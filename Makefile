@@ -1,0 +1,45 @@
+# Standard workflows for the repro module. Everything is stdlib-only Go;
+# no external tools are required beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race ./internal/core ./internal/cc ./internal/deltastep \
+		./internal/par ./internal/bfs ./internal/mta ./internal/digraph ./cmd/ssspd .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over the format parsers and the solver cross-check.
+fuzz:
+	$(GO) test -fuzz FuzzReadGraph -fuzztime 30s ./internal/dimacs
+	$(GO) test -fuzz FuzzReadSources -fuzztime 15s ./internal/dimacs
+	$(GO) test -fuzz FuzzThorupVsDijkstra -fuzztime 30s ./internal/core
+
+# Regenerate every table and figure of the paper at the default scale.
+experiments:
+	$(GO) run ./cmd/experiments -all -csv results/csv | tee results/experiments-logn16.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/socialnetwork
+	$(GO) run ./examples/roadnetwork
+	$(GO) run ./examples/manysources
+	$(GO) run ./examples/facilities
+
+clean:
+	$(GO) clean ./...

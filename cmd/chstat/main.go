@@ -1,0 +1,67 @@
+// Command chstat prints Component Hierarchy statistics (the paper's Table 2)
+// for a DIMACS instance or a generated one.
+//
+// Usage:
+//
+//	chstat -graph rand.gr
+//	chstat -gen rmat -logn 16 -logc 2
+//	chstat -families -logn 14       # all six paper families
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ch"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/par"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "DIMACS .gr input file")
+		genClass  = flag.String("gen", "rand", "generator: rand, rmat, grid")
+		logN      = flag.Int("logn", 14, "n = 2^logn")
+		logC      = flag.Int("logc", 14, "C = 2^logc")
+		pwd       = flag.Bool("pwd", false, "poly-log weights")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		families  = flag.Bool("families", false, "print the full Table 2 over the paper's six families")
+	)
+	flag.Parse()
+
+	if *families {
+		cfg := harness.DefaultConfig()
+		cfg.LogN = *logN
+		cfg.Seed = *seed
+		tb, err := cfg.Table2()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chstat: %v\n", err)
+			os.Exit(1)
+		}
+		tb.Fprint(os.Stdout)
+		return
+	}
+
+	g, name, err := cli.Spec{
+		File: *graphFile, Class: *genClass,
+		LogN: *logN, LogC: *logC, PWD: *pwd, Seed: *seed,
+	}.Load()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chstat: %v\n", err)
+		os.Exit(1)
+	}
+
+	h := ch.BuildKruskal(g)
+	st := h.ComputeStats()
+	q := core.NewSolver(h, par.NewExec(1)).Query()
+	fmt.Printf("instance %s: n=%d m=%d\n", name, g.NumVertices(), g.NumEdges())
+	fmt.Printf("  components       %d (internal %d, leaves %d)\n", st.Components, st.Internal, g.NumVertices())
+	fmt.Printf("  avg children     %.2f (max %d)\n", st.AvgChildren, st.MaxChildren)
+	fmt.Printf("  height           %d levels (max level %d)\n", st.Height, h.MaxLevel())
+	fmt.Printf("  CH memory        %d bytes\n", st.CHBytes)
+	fmt.Printf("  query instance   %d bytes\n", q.InstanceBytes())
+	fmt.Printf("  graph memory     %d bytes\n", g.MemoryBytes())
+}

@@ -1,0 +1,124 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (plus the repository's ablations) at a configurable
+// scale and prints them in the paper's layout.
+//
+// Usage:
+//
+//	experiments -all                      # everything at the default scale
+//	experiments -run table5,figure5       # specific experiments
+//	experiments -run figure4 -logn 18     # bigger instances
+//	experiments -all -csv out/            # also write CSV files for plotting
+//
+// Experiments: table1..table6, figure4, figure5, ablation-ch, ablation-cc,
+// ablation-buckets, road.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// figure5Long reshapes the wide Figure 5 table (three time columns) into a
+// long (series, x, y) table for plotting.
+func figure5Long(tb *harness.Table) *harness.Table {
+	out := &harness.Table{Title: tb.Title, Header: []string{"Series", "Sources", "Time"}}
+	for _, row := range tb.Rows {
+		for col, label := range []string{"", "", "baseline-thorup", "baseline-deltastep", "simul-thorup"} {
+			if label == "" {
+				continue
+			}
+			out.AddRow(label+"/"+row[0], row[1], row[col])
+		}
+	}
+	return out
+}
+
+func main() {
+	cfg := harness.DefaultConfig()
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		run    = flag.String("run", "", "comma-separated experiment names")
+		csvDir = flag.String("csv", "", "also write <name>.csv files into this directory")
+		plot   = flag.Bool("plot", false, "render figure4/figure5 as ASCII plots after their tables")
+		list   = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.IntVar(&cfg.LogN, "logn", cfg.LogN, "instance scale: n = 2^logn, m = 4n")
+	flag.IntVar(&cfg.Procs, "procs", cfg.Procs, "simulated MTA-2 processors")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "host goroutines for wall-clock runs")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	flag.BoolVar(&cfg.Verify, "verify", cfg.Verify, "cross-check solver outputs against Dijkstra")
+	flag.Parse()
+
+	if *list {
+		for _, name := range harness.Order {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var names []string
+	switch {
+	case *all:
+		names = harness.Order
+	case *run != "":
+		names = strings.Split(*run, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: pass -all or -run <names>; -list shows choices")
+		os.Exit(2)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		fn, ok := harness.Experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tb, err := fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tb.Fprint(os.Stdout)
+		if *plot {
+			switch name {
+			case "figure4":
+				// Columns: Series, Procs, Time, Speedup -> plot speedup vs procs.
+				fmt.Println()
+				fmt.Print(harness.PlotFromTable(tb, 0, 1, 3, 70, 16))
+			case "figure5":
+				// Columns: Instance, Sources, then the three time series;
+				// reshape to long form before plotting.
+				fmt.Println()
+				fmt.Print(harness.PlotFromTable(figure5Long(tb), 0, 1, 2, 70, 16))
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Command ssspd is a shortest-path query daemon: it loads (or generates) a
+// graph, builds the Component Hierarchy once, and serves concurrent queries
+// over HTTP — the service shape the paper's shared-CH design is made for
+// (one immutable hierarchy, many simultaneous traversals, cheap per-query
+// state).
+//
+// Usage:
+//
+//	ssspd -gen rand -logn 16 -addr :8080
+//	ssspd -graph city.gr -ch city.chb -workers 8
+//
+// Endpoints (all return JSON):
+//
+//	GET /sssp?src=17              distances summary + optional full vector
+//	GET /sssp?src=17&full=1       include the distance vector
+//	GET /dist?src=17&dst=99       one source-target distance (Thorup query)
+//	GET /st?s=17&t=99             one s-t distance (bidirectional Dijkstra)
+//	GET /table?src=1,2&dst=3,4    many-to-many distance table
+//	GET /stats                    instance and hierarchy statistics
+//	GET /healthz                  liveness
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/ch"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "DIMACS .gr input file")
+		genClass  = flag.String("gen", "rand", "generator: rand, rmat, grid, geometric, smallworld")
+		logN      = flag.Int("logn", 14, "generated size: n = 2^logn")
+		logC      = flag.Int("logc", 14, "generated weights: C = 2^logc")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		workers   = flag.Int("workers", 4, "query workers")
+		addr      = flag.String("addr", ":8080", "listen address")
+		chFile    = flag.String("ch", "", "component hierarchy cache file")
+	)
+	flag.Parse()
+
+	g, name, err := cli.Spec{File: *graphFile, Class: *genClass, LogN: *logN, LogC: *logC, Seed: *seed}.Load()
+	if err != nil {
+		log.Fatalf("ssspd: %v", err)
+	}
+	h := loadOrBuild(g, *chFile)
+	srv := newServer(g, h, name, *workers)
+
+	log.Printf("ssspd: serving %s (n=%d m=%d, CH %d nodes) on %s",
+		name, g.NumVertices(), g.NumEdges(), h.NumNodes(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+}
+
+func loadOrBuild(g *graph.Graph, chFile string) *ch.Hierarchy {
+	if chFile != "" {
+		if f, err := os.Open(chFile); err == nil {
+			h, lerr := ch.ReadFrom(f, g)
+			f.Close()
+			if lerr == nil {
+				return h
+			}
+			log.Printf("ssspd: ignoring cache %s: %v", chFile, lerr)
+		}
+	}
+	h := ch.BuildKruskal(g)
+	if chFile != "" {
+		if f, err := os.Create(chFile); err == nil {
+			if _, werr := h.WriteTo(f); werr != nil {
+				log.Printf("ssspd: cache write: %v", werr)
+			}
+			f.Close()
+		}
+	}
+	return h
+}
+
+// server holds the shared immutable state plus a pool of reusable query
+// instances (the paper's cheap per-query allocation, amortised to zero).
+type server struct {
+	g      *graph.Graph
+	h      *ch.Hierarchy
+	name   string
+	solver *core.Solver
+	pool   sync.Pool
+}
+
+func newServer(g *graph.Graph, h *ch.Hierarchy, name string, workers int) *server {
+	s := &server{
+		g:      g,
+		h:      h,
+		name:   name,
+		solver: core.NewSolver(h, par.NewExec(workers)),
+	}
+	s.pool.New = func() any { return s.solver.Query() }
+	return s
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	m.HandleFunc("GET /stats", s.handleStats)
+	m.HandleFunc("GET /sssp", s.handleSSSP)
+	m.HandleFunc("GET /dist", s.handleDist)
+	m.HandleFunc("GET /st", s.handleST)
+	m.HandleFunc("GET /table", s.handleTable)
+	return m
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.h.ComputeStats()
+	q := s.solver.Query()
+	writeJSON(w, map[string]any{
+		"instance":      s.name,
+		"vertices":      s.g.NumVertices(),
+		"edges":         s.g.NumEdges(),
+		"maxWeight":     s.g.MaxWeight(),
+		"chNodes":       st.Components,
+		"chHeight":      st.Height,
+		"chAvgChildren": st.AvgChildren,
+		"chBytes":       st.CHBytes,
+		"instanceBytes": q.InstanceBytes(),
+	})
+}
+
+func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.vertexParam(w, r, "src")
+	if !ok {
+		return
+	}
+	q := s.pool.Get().(*core.Query)
+	defer s.pool.Put(q)
+	dist := q.Run(src)
+	resp := map[string]any{
+		"src":          src,
+		"reached":      q.Reached(),
+		"eccentricity": q.Eccentricity(),
+	}
+	if r.URL.Query().Get("full") == "1" {
+		// Inf is not JSON-friendly; report unreachable as -1.
+		out := make([]int64, len(dist))
+		for i, d := range dist {
+			if d == graph.Inf {
+				out[i] = -1
+			} else {
+				out[i] = d
+			}
+		}
+		resp["dist"] = out
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.vertexParam(w, r, "src")
+	if !ok {
+		return
+	}
+	dst, ok := s.vertexParam(w, r, "dst")
+	if !ok {
+		return
+	}
+	q := s.pool.Get().(*core.Query)
+	defer s.pool.Put(q)
+	d := q.Run(src)[dst]
+	writeJSON(w, map[string]any{"src": src, "dst": dst, "dist": jsonDist(d), "reachable": d < graph.Inf})
+}
+
+func (s *server) handleST(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.vertexParam(w, r, "s")
+	if !ok {
+		return
+	}
+	dst, ok := s.vertexParam(w, r, "t")
+	if !ok {
+		return
+	}
+	d := dijkstra.STDistance(s.g, src, dst)
+	writeJSON(w, map[string]any{"s": src, "t": dst, "dist": jsonDist(d), "reachable": d < graph.Inf})
+}
+
+func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
+	sources, ok := s.vertexListParam(w, r, "src")
+	if !ok {
+		return
+	}
+	targets, ok := s.vertexListParam(w, r, "dst")
+	if !ok {
+		return
+	}
+	if len(sources)*len(targets) > 1<<20 {
+		httpError(w, http.StatusBadRequest, "table too large")
+		return
+	}
+	table := s.solver.DistanceTable(sources, targets)
+	out := make([][]int64, len(table))
+	for i, row := range table {
+		out[i] = make([]int64, len(row))
+		for j, d := range row {
+			out[i][j] = jsonDist(d)
+		}
+	}
+	writeJSON(w, map[string]any{"src": sources, "dst": targets, "dist": out})
+}
+
+func (s *server) vertexParam(w http.ResponseWriter, r *http.Request, name string) (int32, bool) {
+	raw := r.URL.Query().Get(name)
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil || v < 0 || int(v) >= s.g.NumVertices() {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parameter %q must be a vertex in [0,%d)", name, s.g.NumVertices()))
+		return 0, false
+	}
+	return int32(v), true
+}
+
+func (s *server) vertexListParam(w http.ResponseWriter, r *http.Request, name string) ([]int32, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parameter %q required (comma-separated vertices)", name))
+		return nil, false
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil || v < 0 || int(v) >= s.g.NumVertices() {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad vertex %q in %q", p, name))
+			return nil, false
+		}
+		out = append(out, int32(v))
+	}
+	return out, true
+}
+
+func jsonDist(d int64) int64 {
+	if d >= graph.Inf {
+		return -1
+	}
+	return d
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("ssspd: encode: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

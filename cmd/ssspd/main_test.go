@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *graph.Graph) {
+	t.Helper()
+	g := gen.Random(500, 2000, 1<<10, gen.UWD, 7)
+	h := ch.BuildKruskal(g)
+	srv := newServer(g, h, "test-instance", 4)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts, g
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts, g := testServer(t)
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+	var stats map[string]any
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if int(stats["vertices"].(float64)) != g.NumVertices() {
+		t.Fatalf("stats vertices %v", stats["vertices"])
+	}
+	if stats["chNodes"].(float64) <= float64(g.NumVertices()) {
+		t.Fatalf("chNodes %v", stats["chNodes"])
+	}
+}
+
+func TestSSSPEndpoint(t *testing.T) {
+	ts, g := testServer(t)
+	var resp struct {
+		Src          int32   `json:"src"`
+		Reached      int     `json:"reached"`
+		Eccentricity int64   `json:"eccentricity"`
+		Dist         []int64 `json:"dist"`
+	}
+	if code := getJSON(t, ts.URL+"/sssp?src=3&full=1", &resp); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	want := dijkstra.SSSP(g, 3)
+	if resp.Reached != g.NumVertices() {
+		t.Fatalf("reached %d", resp.Reached)
+	}
+	for v := range want {
+		w := want[v]
+		if w == graph.Inf {
+			w = -1
+		}
+		if resp.Dist[v] != w {
+			t.Fatalf("dist[%d]=%d want %d", v, resp.Dist[v], w)
+		}
+	}
+}
+
+func TestDistAndSTEndpointsAgree(t *testing.T) {
+	ts, g := testServer(t)
+	want := dijkstra.SSSP(g, 10)[450]
+	var d1, d2 struct {
+		Dist      int64 `json:"dist"`
+		Reachable bool  `json:"reachable"`
+	}
+	if code := getJSON(t, ts.URL+"/dist?src=10&dst=450", &d1); code != 200 {
+		t.Fatalf("dist code %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/st?s=10&t=450", &d2); code != 200 {
+		t.Fatalf("st code %d", code)
+	}
+	if d1.Dist != want || d2.Dist != want || !d1.Reachable {
+		t.Fatalf("dist=%d st=%d want %d", d1.Dist, d2.Dist, want)
+	}
+}
+
+func TestTableEndpoint(t *testing.T) {
+	ts, g := testServer(t)
+	var resp struct {
+		Dist [][]int64 `json:"dist"`
+	}
+	if code := getJSON(t, ts.URL+"/table?src=0,5&dst=7,9,11", &resp); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	for i, src := range []int32{0, 5} {
+		want := dijkstra.SSSP(g, src)
+		for j, tgt := range []int32{7, 9, 11} {
+			if resp.Dist[i][j] != want[tgt] {
+				t.Fatalf("table[%d][%d]=%d want %d", i, j, resp.Dist[i][j], want[tgt])
+			}
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, path := range []string{
+		"/sssp?src=99999", "/sssp?src=-1", "/sssp?src=abc", "/sssp",
+		"/dist?src=0&dst=99999", "/st?s=0&t=zz",
+		"/table?src=0&dst=", "/table?src=&dst=0", "/table?src=0,x&dst=1",
+	} {
+		var e map[string]string
+		if code := getJSON(t, ts.URL+path, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", path, code)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	ts, g := testServer(t)
+	oracle := make(map[int32][]int64)
+	for _, src := range []int32{0, 100, 200, 300, 400} {
+		oracle[src] = dijkstra.SSSP(g, src)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := int32((i % 5) * 100)
+			dst := int32(7 + i)
+			var resp struct {
+				Dist int64 `json:"dist"`
+			}
+			r, err := http.Get(fmt.Sprintf("%s/dist?src=%d&dst=%d", ts.URL, src, dst))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer r.Body.Close()
+			if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+				errs <- err
+				return
+			}
+			if want := oracle[src][dst]; resp.Dist != want {
+				errs <- fmt.Errorf("src %d dst %d: got %d want %d", src, dst, resp.Dist, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

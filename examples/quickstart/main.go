@@ -1,0 +1,49 @@
+// Quickstart: generate a paper-style random instance, build the Component
+// Hierarchy once, run Thorup SSSP on it, and verify against Dijkstra.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// A Random-UWD-2^14-2^14 instance: cycle + random edges, m = 4n,
+	// uniform weights in [1, 2^14] (paper §4.2).
+	n := 1 << 14
+	g := repro.RandomGraph(n, 4*n, uint32(n), repro.UWD, 42)
+	fmt.Printf("instance: n=%d, m=%d, weights [%d,%d]\n",
+		g.NumVertices(), g.NumEdges(), g.MinWeight(), g.MaxWeight())
+
+	// The Component Hierarchy is built once and then shared by every query.
+	start := time.Now()
+	h := repro.BuildHierarchy(g)
+	fmt.Printf("component hierarchy: %d nodes, height %d, built in %v\n",
+		h.NumNodes(), h.ComputeStats().Height, time.Since(start).Round(time.Microsecond))
+
+	solver := repro.NewSolver(h, repro.NewExecRuntime(4))
+
+	start = time.Now()
+	dist := solver.SSSP(0)
+	fmt.Printf("thorup SSSP from 0: %v\n", time.Since(start).Round(time.Microsecond))
+
+	// Cross-check against the Dijkstra oracle.
+	want := repro.Dijkstra(g, 0)
+	for v := range want {
+		if dist[v] != want[v] {
+			log.Fatalf("mismatch at vertex %d: thorup %d, dijkstra %d", v, dist[v], want[v])
+		}
+	}
+	far, farDist := 0, int64(0)
+	for v, d := range dist {
+		if d < repro.Inf && d > farDist {
+			far, farDist = v, d
+		}
+	}
+	fmt.Printf("verified against Dijkstra; farthest vertex %d at distance %d\n", far, farDist)
+}

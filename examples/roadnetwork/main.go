@@ -1,0 +1,65 @@
+// Road networks: the paper's §6 future-work scenario.
+//
+// Structured, high-diameter instances (road networks, modelled here as a 2D
+// grid) are hard for parallel delta-stepping — the frontier per bucket is
+// tiny, so there is no parallelism to exploit — and they expose the
+// "trapping" behaviour of Thorup's traversal: the Component Hierarchy is a
+// deep chain and the recursion descends and re-ascends it once per bucket.
+// This example measures both effects and compares against the unstructured
+// random family at the same size.
+//
+//	go run ./examples/roadnetwork
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	side := 128
+	n := side * side
+	grid := repro.GridGraph(side, side, 64, repro.UWD, 3)
+	random := repro.RandomGraph(n, 4*n, 64, repro.UWD, 3)
+
+	fmt.Printf("grid   (road-like): n=%d m=%d\n", grid.NumVertices(), grid.NumEdges())
+	fmt.Printf("random (unstructured): n=%d m=%d\n\n", random.NumVertices(), random.NumEdges())
+
+	rt := repro.NewExecRuntime(4)
+	for _, tc := range []struct {
+		name string
+		g    *repro.Graph
+	}{{"grid", grid}, {"random", random}} {
+		// Delta-stepping phase structure: the road-like instance needs far
+		// more buckets (diameter) and phases, killing parallelism (paper §2:
+		// "structured instances with large diameter ... prove to be very
+		// difficult for parallel delta stepping regardless of instance size").
+		_, st := repro.DeltaSteppingStats(rt, tc.g, 0, 0)
+		fmt.Printf("%-7s delta-stepping: %4d buckets, %4d phases, %6d light + %6d heavy relaxations\n",
+			tc.name, st.Buckets, st.Phases, st.LightRelax, st.HeavyRelax)
+
+		// Thorup hierarchy shape: deep and narrow on the grid.
+		h := repro.BuildHierarchy(tc.g)
+		stats := h.ComputeStats()
+		fmt.Printf("%-7s component hierarchy: %5d nodes, height %2d, avg children %.1f\n",
+			tc.name, stats.Components, stats.Height, stats.AvgChildren)
+
+		start := time.Now()
+		dist := repro.ThorupSerial(h, 0)
+		thorup := time.Since(start)
+		start = time.Now()
+		want := repro.Dijkstra(tc.g, 0)
+		dij := time.Since(start)
+		for v := range want {
+			if dist[v] != want[v] {
+				panic("thorup result mismatch")
+			}
+		}
+		fmt.Printf("%-7s serial thorup %v vs dijkstra %v (verified)\n\n",
+			tc.name, thorup.Round(time.Microsecond), dij.Round(time.Microsecond))
+	}
+
+	fmt.Println("simulated 40-processor comparison: go run ./cmd/experiments -run road")
+}

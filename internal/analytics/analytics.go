@@ -1,0 +1,178 @@
+// Package analytics implements the graph-analysis workloads the paper's
+// introduction motivates ("unstructured networks, such as social networks and
+// economic transaction networks"): centrality and distance statistics that
+// consume many shortest-path trees. Every routine is built on batched
+// shared-Component-Hierarchy Thorup queries — the access pattern the paper's
+// Figure 5 shows this system is built for.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Closeness computes closeness centrality for the given vertices:
+// (reached-1) / sum of distances to reached vertices, 0 for isolated
+// vertices. One shared-CH query per vertex, all concurrent.
+func Closeness(s *core.Solver, vertices []int32) []float64 {
+	results := s.RunMany(vertices)
+	out := make([]float64, len(vertices))
+	for i := range vertices {
+		var sum int64
+		reached := 0
+		for _, d := range results[i] {
+			if d < graph.Inf && d > 0 {
+				sum += d
+				reached++
+			}
+		}
+		if sum > 0 {
+			out[i] = float64(reached) / float64(sum)
+		}
+	}
+	return out
+}
+
+// Harmonic computes harmonic centrality (sum of 1/d over reachable vertices),
+// which, unlike closeness, is well-behaved on disconnected graphs.
+func Harmonic(s *core.Solver, vertices []int32) []float64 {
+	results := s.RunMany(vertices)
+	out := make([]float64, len(vertices))
+	for i := range vertices {
+		var sum float64
+		for _, d := range results[i] {
+			if d < graph.Inf && d > 0 {
+				sum += 1 / float64(d)
+			}
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// DiameterEstimate lower-bounds the weighted diameter by the double-sweep
+// heuristic: run from a start vertex, then from the farthest vertex found,
+// repeating for the given number of sweeps. Exact on trees; a strong lower
+// bound in general.
+func DiameterEstimate(s *core.Solver, start int32, sweeps int) int64 {
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	q := s.Query()
+	best := int64(0)
+	src := start
+	for i := 0; i < sweeps; i++ {
+		dist := q.Run(src)
+		far, farD := src, int64(0)
+		for v, d := range dist {
+			if d < graph.Inf && d > farD {
+				far, farD = int32(v), d
+			}
+		}
+		if farD > best {
+			best = farD
+		}
+		if far == src {
+			break // isolated or fully explored
+		}
+		src = far
+	}
+	return best
+}
+
+// DistanceHistogram runs queries from sampled sources and returns the counts
+// of shortest-path distances falling into numBuckets equal-width buckets over
+// [0, max]; the small-world "hop plot" of network analysis, weighted.
+type DistanceHistogram struct {
+	Max     int64   // largest finite distance seen
+	Buckets []int64 // counts per bucket
+	Samples int     // number of source samples
+	Mean    float64 // mean finite distance
+}
+
+// Histogram samples k sources (deterministically from seed) and aggregates
+// all finite, non-zero distances.
+func Histogram(s *core.Solver, k, numBuckets int, seed uint64) DistanceHistogram {
+	n := s.Hierarchy().NumLeaves()
+	if n == 0 || k < 1 || numBuckets < 1 {
+		return DistanceHistogram{Buckets: make([]int64, max(numBuckets, 1))}
+	}
+	if k > n {
+		k = n
+	}
+	r := rng.New(seed)
+	sources := make([]int32, k)
+	for i := range sources {
+		sources[i] = int32(r.Intn(n))
+	}
+	results := s.RunMany(sources)
+
+	h := DistanceHistogram{Samples: k, Buckets: make([]int64, numBuckets)}
+	var sum float64
+	var count int64
+	for _, dist := range results {
+		for _, d := range dist {
+			if d > 0 && d < graph.Inf {
+				if d > h.Max {
+					h.Max = d
+				}
+			}
+		}
+	}
+	if h.Max == 0 {
+		return h
+	}
+	width := h.Max/int64(numBuckets) + 1
+	for _, dist := range results {
+		for _, d := range dist {
+			if d > 0 && d < graph.Inf {
+				h.Buckets[d/width]++
+				sum += float64(d)
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		h.Mean = sum / float64(count)
+	}
+	return h
+}
+
+func (h DistanceHistogram) String() string {
+	return fmt.Sprintf("hist{samples=%d max=%d mean=%.1f}", h.Samples, h.Max, h.Mean)
+}
+
+// TopKCloseness returns the k vertices with the highest closeness among the
+// given candidates (ties broken by vertex id), using one batched run.
+func TopKCloseness(s *core.Solver, candidates []int32, k int) []int32 {
+	scores := Closeness(s, candidates)
+	idx := make([]int, len(candidates))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return candidates[idx[a]] < candidates[idx[b]]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = candidates[idx[i]]
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

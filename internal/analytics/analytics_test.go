@@ -1,0 +1,150 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+func solverFor(g *graph.Graph) *core.Solver {
+	return core.NewSolver(ch.BuildKruskal(g), par.NewExec(4))
+}
+
+func TestClosenessStar(t *testing.T) {
+	// Star with unit weights: center has distance 1 to all n-1 leaves;
+	// each leaf has distance 1 to center and 2 to the other n-2 leaves.
+	n := 11
+	s := solverFor(gen.Star(n, 1))
+	scores := Closeness(s, []int32{0, 1})
+	wantCenter := float64(n-1) / float64(n-1)
+	wantLeaf := float64(n-1) / float64(1+2*(n-2))
+	if math.Abs(scores[0]-wantCenter) > 1e-12 {
+		t.Fatalf("center closeness %v, want %v", scores[0], wantCenter)
+	}
+	if math.Abs(scores[1]-wantLeaf) > 1e-12 {
+		t.Fatalf("leaf closeness %v, want %v", scores[1], wantLeaf)
+	}
+	if scores[0] <= scores[1] {
+		t.Fatal("center must be more central than a leaf")
+	}
+}
+
+func TestClosenessIsolated(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 2)
+	s := solverFor(b.Build())
+	scores := Closeness(s, []int32{2})
+	if scores[0] != 0 {
+		t.Fatalf("isolated closeness %v", scores[0])
+	}
+}
+
+func TestHarmonicPath(t *testing.T) {
+	// Path 0-1-2 with unit weights: harmonic(0) = 1 + 1/2.
+	s := solverFor(gen.Path(3, 1))
+	h := Harmonic(s, []int32{0, 1})
+	if math.Abs(h[0]-1.5) > 1e-12 {
+		t.Fatalf("harmonic(0) = %v", h[0])
+	}
+	if math.Abs(h[1]-2.0) > 1e-12 {
+		t.Fatalf("harmonic(1) = %v", h[1])
+	}
+}
+
+func TestHarmonicHandlesDisconnection(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(2, 3, 1)
+	s := solverFor(b.Build())
+	h := Harmonic(s, []int32{0})
+	if math.Abs(h[0]-1.0) > 1e-12 {
+		t.Fatalf("harmonic across components = %v", h[0])
+	}
+}
+
+func TestDiameterExactOnPath(t *testing.T) {
+	// Weighted path: diameter = sum of weights; the double sweep finds it
+	// from any start.
+	g := gen.Path(50, 3)
+	s := solverFor(g)
+	if d := DiameterEstimate(s, 25, 3); d != 49*3 {
+		t.Fatalf("diameter %d, want %d", d, 49*3)
+	}
+}
+
+func TestDiameterLowerBound(t *testing.T) {
+	g := gen.Random(500, 2000, 64, gen.UWD, 3)
+	s := solverFor(g)
+	est := DiameterEstimate(s, 0, 4)
+	if est <= 0 {
+		t.Fatal("no estimate")
+	}
+	// It must be a valid eccentricity lower bound: at least the max distance
+	// from vertex 0.
+	q := s.Query()
+	q.Run(0)
+	if est < q.Eccentricity() {
+		t.Fatalf("estimate %d below ecc(0) %d", est, q.Eccentricity())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	g := gen.Random(400, 1600, 64, gen.UWD, 5)
+	s := solverFor(g)
+	h := Histogram(s, 8, 10, 42)
+	if h.Samples != 8 || h.Max <= 0 || h.Mean <= 0 {
+		t.Fatalf("histogram %+v", h)
+	}
+	var total int64
+	for _, c := range h.Buckets {
+		total += c
+	}
+	// 8 sources x (n-1) reachable targets (graph is connected).
+	if total != 8*399 {
+		t.Fatalf("histogram counted %d distances, want %d", total, 8*399)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	s := solverFor(gen.Path(1, 1))
+	h := Histogram(s, 4, 5, 1)
+	if h.Max != 0 {
+		t.Fatalf("single vertex: %+v", h)
+	}
+	h2 := Histogram(s, 0, 0, 1)
+	if len(h2.Buckets) == 0 {
+		t.Fatal("no buckets allocated")
+	}
+}
+
+func TestTopKCloseness(t *testing.T) {
+	// Two stars joined by a long path: centers beat leaves.
+	b := graph.NewBuilder(8)
+	// star A: center 0, leaves 1,2,3 ; star B: center 4, leaves 5,6
+	for _, v := range []int32{1, 2, 3} {
+		b.MustAddEdge(0, v, 1)
+	}
+	for _, v := range []int32{5, 6} {
+		b.MustAddEdge(4, v, 1)
+	}
+	b.MustAddEdge(3, 7, 8)
+	b.MustAddEdge(7, 4, 8)
+	s := solverFor(b.Build())
+	top := TopKCloseness(s, []int32{0, 1, 2, 4, 5, 6}, 2)
+	if len(top) != 2 {
+		t.Fatalf("top %v", top)
+	}
+	if top[0] != 0 && top[0] != 4 {
+		t.Fatalf("top-1 %d is not a star center", top[0])
+	}
+	// k larger than candidates: clamped.
+	all := TopKCloseness(s, []int32{0, 1}, 10)
+	if len(all) != 2 {
+		t.Fatalf("clamp failed: %v", all)
+	}
+}

@@ -1,0 +1,93 @@
+package analytics
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Betweenness estimates betweenness centrality by Brandes' dependency
+// accumulation over the shortest-path DAGs of the sampled sources (exact when
+// sources covers every vertex). Distances come from shared-CH Thorup queries;
+// the DAG walk runs per source:
+//
+//	sigma(v)  — number of shortest s-v paths, accumulated in distance order;
+//	delta(v)  — dependency, accumulated in reverse distance order:
+//	            delta(u) += sigma(u)/sigma(v) * (1 + delta(v)) over tight
+//	            edges (u,v);
+//	score(v) += delta(v) for every v != s.
+//
+// Scores are scaled by n/len(sources) so sampled runs estimate the exact
+// full-source quantity.
+func Betweenness(s *core.Solver, sources []int32) []float64 {
+	h := s.Hierarchy()
+	g := h.Graph()
+	n := g.NumVertices()
+	score := make([]float64, n)
+	if n == 0 || len(sources) == 0 {
+		return score
+	}
+
+	results := s.RunMany(sources)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]int32, 0, n)
+
+	for si, src := range sources {
+		dist := results[si]
+		order = order[:0]
+		for v := 0; v < n; v++ {
+			sigma[v], delta[v] = 0, 0
+			if dist[v] < graph.Inf {
+				order = append(order, int32(v))
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return dist[order[a]] < dist[order[b]] })
+		sigma[src] = 1
+
+		// Path counting in non-decreasing distance order: every tight edge
+		// (u,v) with dist[u] + w == dist[v] contributes sigma(u) to sigma(v).
+		for _, v := range order {
+			if v == src {
+				continue
+			}
+			ts, ws := g.Neighbors(v)
+			for i, u := range ts {
+				if u != v && dist[u]+int64(ws[i]) == dist[v] {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		// Dependency accumulation in reverse order.
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if sigma[v] == 0 {
+				continue
+			}
+			ts, ws := g.Neighbors(v)
+			for k, u := range ts {
+				if u != v && dist[u]+int64(ws[k]) == dist[v] {
+					delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+				}
+			}
+			if v != src {
+				score[v] += delta[v]
+			}
+		}
+	}
+	scale := float64(n) / float64(len(sources))
+	for v := range score {
+		score[v] *= scale
+	}
+	return score
+}
+
+// AllSources returns [0, n) for exact (non-sampled) analytics runs.
+func AllSources(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func exactBetweenness(g *graph.Graph) []float64 {
+	s := solverFor(g)
+	return Betweenness(s, AllSources(g.NumVertices()))
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// On a path, the vertex at index i has directed-pair betweenness
+	// 2*i*(n-1-i).
+	n := 7
+	b := exactBetweenness(gen.Path(n, 3))
+	for i := 0; i < n; i++ {
+		want := float64(2 * i * (n - 1 - i))
+		if math.Abs(b[i]-want) > 1e-9 {
+			t.Fatalf("betweenness[%d] = %v, want %v", i, b[i], want)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star center carries every leaf pair: (n-1)(n-2) directed pairs; leaves
+	// carry none.
+	n := 9
+	b := exactBetweenness(gen.Star(n, 2))
+	wantCenter := float64((n - 1) * (n - 2))
+	if math.Abs(b[0]-wantCenter) > 1e-9 {
+		t.Fatalf("center = %v, want %v", b[0], wantCenter)
+	}
+	for v := 1; v < n; v++ {
+		if b[v] != 0 {
+			t.Fatalf("leaf %d = %v", v, b[v])
+		}
+	}
+}
+
+func TestBetweennessTiesSplit(t *testing.T) {
+	// Unit-weight 4-cycle: every vertex carries exactly 1 (two ordered
+	// opposite pairs x 1/2 each).
+	b := exactBetweenness(gen.Cycle(4, 1))
+	for v, x := range b {
+		if math.Abs(x-1) > 1e-9 {
+			t.Fatalf("C4 betweenness[%d] = %v, want 1", v, x)
+		}
+	}
+}
+
+func TestBetweennessDisconnected(t *testing.T) {
+	bld := graph.NewBuilder(5)
+	bld.MustAddEdge(0, 1, 1)
+	bld.MustAddEdge(1, 2, 1) // path of 3 + two isolated vertices
+	b := exactBetweenness(bld.Build())
+	if math.Abs(b[1]-2) > 1e-9 {
+		t.Fatalf("middle = %v, want 2", b[1])
+	}
+	if b[3] != 0 || b[4] != 0 {
+		t.Fatalf("isolated vertices %v %v", b[3], b[4])
+	}
+}
+
+func TestBetweennessSamplingPartitionsToExact(t *testing.T) {
+	// The sampled estimator is unbiased: averaging the estimates over a
+	// partition of the sources must give the exact values.
+	g := gen.Cycle(9, 2)
+	exact := exactBetweenness(g)
+	s := solverFor(g)
+	samples := [][]int32{{0, 3, 6}, {1, 4, 7}, {2, 5, 8}}
+	avg := make([]float64, g.NumVertices())
+	for _, srcs := range samples {
+		est := Betweenness(s, srcs)
+		for v := range est {
+			avg[v] += est[v] / float64(len(samples))
+		}
+	}
+	for v := range exact {
+		if math.Abs(avg[v]-exact[v]) > 1e-9 {
+			t.Fatalf("partition average[%d] = %v, exact %v", v, avg[v], exact[v])
+		}
+	}
+}
+
+func TestBetweennessEmpty(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	if len(Betweenness(solverFor(g), nil)) != 0 {
+		t.Fatal("empty graph")
+	}
+}

@@ -1,0 +1,118 @@
+// Package bfs provides breadth-first search, the other flagship kernel of
+// the MTGL on the MTA-2 (the paper's companion work, Bader/Madduri's
+// "Designing Multithreaded Algorithms for Breadth-First Search and
+// st-connectivity on the Cray MTA-2", shares this code lineage). BFS is the
+// unweighted special case of SSSP and doubles as an oracle: on a unit-weight
+// graph every solver in this repository must produce exactly these levels.
+//
+// The parallel variant is level-synchronous: each frontier expands in one
+// parallel sweep, discoveries are claimed with a CAS on the level array, and
+// the next frontier is compacted through an atomic cursor — the MTA
+// int_fetch_add idiom.
+package bfs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Serial computes BFS levels from src (-1 for unreachable vertices).
+func Serial(g *graph.Graph, src int32) []int32 {
+	n := g.NumVertices()
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	if n == 0 {
+		return level
+	}
+	level[src] = 0
+	frontier := []int32{src}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		var next []int32
+		for _, v := range frontier {
+			ts, _ := g.Neighbors(v)
+			for _, u := range ts {
+				if level[u] < 0 {
+					level[u] = depth
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return level
+}
+
+// Parallel computes the same levels with level-synchronous parallel frontier
+// expansion on the given runtime.
+func Parallel(rt *par.Runtime, g *graph.Graph, src int32) []int32 {
+	n := g.NumVertices()
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	if n == 0 {
+		return level
+	}
+	level[src] = 0
+	frontier := []int32{src}
+	var next []int32
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		// Size the output by the frontier's total degree, then compact with
+		// an atomic cursor.
+		total := 0
+		for _, v := range frontier {
+			total += g.Degree(v)
+		}
+		rt.ChargeLoop(rt.ModeFor(par.DefaultThresholds, len(frontier)), len(frontier), 1)
+		if cap(next) < total {
+			next = make([]int32, total)
+		}
+		next = next[:total]
+		var cursor int64
+		rt.ForAuto(par.DefaultThresholds, len(frontier), func(i int) {
+			v := frontier[i]
+			ts, _ := g.Neighbors(v)
+			rt.Charge(int64(len(ts)) * 2)
+			for _, u := range ts {
+				if atomic.LoadInt32(&level[u]) >= 0 {
+					continue
+				}
+				if atomic.CompareAndSwapInt32(&level[u], -1, depth) {
+					next[atomic.AddInt64(&cursor, 1)-1] = u
+				}
+			}
+		})
+		frontier = append(frontier[:0], next[:cursor]...)
+	}
+	return level
+}
+
+// Distances converts BFS levels to unit-weight shortest-path distances
+// (graph.Inf for unreachable), for direct comparison with the SSSP solvers.
+func Distances(level []int32) []int64 {
+	out := make([]int64, len(level))
+	for i, l := range level {
+		if l < 0 {
+			out[i] = graph.Inf
+		} else {
+			out[i] = int64(l)
+		}
+	}
+	return out
+}
+
+// Eccentricity returns the maximum finite level (the source's eccentricity),
+// or -1 if only the source is reachable.
+func Eccentricity(level []int32) int32 {
+	max := int32(-1)
+	for _, l := range level {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

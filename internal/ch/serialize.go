@@ -1,0 +1,217 @@
+package ch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// The Component Hierarchy is the expensive, shareable preprocessing artifact
+// of the whole system (the paper's Table 1 shows construction dominating a
+// single query). WriteTo/ReadFrom persist it in a compact binary format so a
+// service can build it once and load it for later query batches.
+//
+// Format (all little-endian):
+//
+//	magic   [8]byte  "THORUPCH"
+//	version uint32   (currently 1)
+//	n       uint32   number of leaves
+//	nodes   uint32   total nodes
+//	root    int32
+//	maxLvl  int32
+//	virtual uint8
+//	level       [nodes]int32
+//	parent      [nodes]int32
+//	vertexCount [nodes]int32
+//	childStart  [nodes-n+1]int32
+//	children    [...]int32
+//	crc     uint64   CRC-64/ECMA of everything above
+//
+// ReadFrom validates the checksum, the O(nodes) structural invariants, and a
+// deterministic sample of edge separation properties before returning, so a
+// corrupted or mismatched file cannot produce silent wrong answers; run
+// Validate for the full O(m log C) cross-check.
+
+var chMagic = [8]byte{'T', 'H', 'O', 'R', 'U', 'P', 'C', 'H'}
+
+const chVersion = 1
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint64
+	tab *crc64.Table
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc64.Update(cw.crc, cw.tab, p)
+	return cw.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint64
+	tab *crc64.Table
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc64.Update(cr.crc, cr.tab, p[:n])
+	return n, err
+}
+
+// WriteTo serialises the hierarchy (not the graph) to w.
+func (h *Hierarchy) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw, tab: crc64.MakeTable(crc64.ECMA)}
+
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	virtual := uint8(0)
+	if h.virtualRoot {
+		virtual = 1
+	}
+	header := []any{
+		chMagic, uint32(chVersion),
+		uint32(h.g.NumVertices()), uint32(h.NumNodes()),
+		h.root, h.maxLevel, virtual,
+	}
+	for _, v := range header {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	for _, arr := range [][]int32{h.level, h.parent, h.vertexCount, h.childStart, h.children} {
+		if err := put(arr); err != nil {
+			return written, err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return written, err
+	}
+	written += 8
+	return written, bw.Flush()
+}
+
+// ReadFrom deserialises a hierarchy for graph g, verifying the checksum and
+// every structural invariant against g. It fails if the file was produced
+// for a different graph.
+func ReadFrom(r io.Reader, g *graph.Graph) (*Hierarchy, error) {
+	cr := &crcReader{r: bufio.NewReader(r), tab: crc64.MakeTable(crc64.ECMA)}
+	get := func(v any) error { return binary.Read(cr, binary.LittleEndian, v) }
+
+	var magic [8]byte
+	if err := get(&magic); err != nil {
+		return nil, fmt.Errorf("ch: read header: %w", err)
+	}
+	if magic != chMagic {
+		return nil, errors.New("ch: not a component hierarchy file")
+	}
+	var version, n, nodes uint32
+	var root, maxLevel int32
+	var virtual uint8
+	for _, v := range []any{&version, &n, &nodes, &root, &maxLevel, &virtual} {
+		if err := get(v); err != nil {
+			return nil, fmt.Errorf("ch: read header: %w", err)
+		}
+	}
+	if version != chVersion {
+		return nil, fmt.Errorf("ch: unsupported version %d", version)
+	}
+	if int(n) != g.NumVertices() {
+		return nil, fmt.Errorf("ch: file has %d leaves, graph has %d vertices", n, g.NumVertices())
+	}
+	if nodes < n || nodes > 2*n+1 {
+		return nil, fmt.Errorf("ch: implausible node count %d for %d vertices", nodes, n)
+	}
+
+	h := &Hierarchy{
+		g:           g,
+		level:       make([]int32, nodes),
+		parent:      make([]int32, nodes),
+		vertexCount: make([]int32, nodes),
+		childStart:  make([]int32, nodes-n+1),
+		root:        root,
+		maxLevel:    maxLevel,
+		virtualRoot: virtual != 0,
+	}
+	for _, arr := range [][]int32{h.level, h.parent, h.vertexCount, h.childStart} {
+		if err := get(arr); err != nil {
+			return nil, fmt.Errorf("ch: read arrays: %w", err)
+		}
+	}
+	last := int64(0)
+	for _, cs := range h.childStart {
+		if int64(cs) < last {
+			return nil, errors.New("ch: childStart not monotone")
+		}
+		last = int64(cs)
+	}
+	total := int64(0)
+	if len(h.childStart) > 0 {
+		total = int64(h.childStart[len(h.childStart)-1])
+	}
+	if total < 0 || total > int64(nodes) {
+		return nil, fmt.Errorf("ch: implausible child count %d", total)
+	}
+	h.children = make([]int32, total)
+	if err := get(h.children); err != nil {
+		return nil, fmt.Errorf("ch: read children: %w", err)
+	}
+
+	sum := cr.crc
+	var stored uint64
+	if err := binary.Read(cr.r, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("ch: read checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, errors.New("ch: checksum mismatch (corrupted file)")
+	}
+	if err := h.ValidateStructure(); err != nil {
+		return nil, fmt.Errorf("ch: loaded hierarchy does not match graph: %w", err)
+	}
+	// Spot-check the separation property on a deterministic sample of edges
+	// (the checksum already guards against corruption; this guards against
+	// pairing the file with the wrong graph). Full validation: Validate().
+	if err := h.sampleEdgeCheck(1024); err != nil {
+		return nil, fmt.Errorf("ch: loaded hierarchy does not match graph: %w", err)
+	}
+	return h, nil
+}
+
+// sampleEdgeCheck verifies the separation property on up to limit edges,
+// spread deterministically across the vertex range.
+func (h *Hierarchy) sampleEdgeCheck(limit int) error {
+	n := h.g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	step := n/limit + 1
+	checked := 0
+	for v := 0; v < n && checked < limit; v += step {
+		ts, ws := h.g.Neighbors(int32(v))
+		for k, u := range ts {
+			if u == int32(v) {
+				continue
+			}
+			if err := h.checkEdge(int32(v), u, ws[k]); err != nil {
+				return err
+			}
+			checked++
+			if checked >= limit {
+				break
+			}
+		}
+	}
+	return nil
+}

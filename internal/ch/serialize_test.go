@@ -1,0 +1,156 @@
+package ch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func roundTrip(t *testing.T, g *graph.Graph) *Hierarchy {
+	t.Helper()
+	h := BuildKruskal(g)
+	var buf bytes.Buffer
+	n, err := h.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if int64(buf.Len()) != n {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	h2, err := ReadFrom(&buf, g)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	return h2
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Random(500, 2000, 1<<10, gen.UWD, 1),
+		gen.RMATGraph(256, 1024, 4, gen.UWD, 2),
+		gen.Path(40, 9),
+		graph.NewBuilder(1).Build(),
+		graph.NewBuilder(0).Build(),
+	} {
+		h := BuildKruskal(g)
+		h2 := roundTrip(t, g)
+		if h2.NumNodes() != h.NumNodes() || h2.Root() != h.Root() || h2.MaxLevel() != h.MaxLevel() {
+			t.Fatalf("round trip changed structure: %v vs %v", h2, h)
+		}
+		for x := int32(0); x < int32(h.NumNodes()); x++ {
+			if h.Level(x) != h2.Level(x) || h.Parent(x) != h2.Parent(x) || h.VertexCount(x) != h2.VertexCount(x) {
+				t.Fatalf("node %d differs after round trip", x)
+			}
+		}
+	}
+}
+
+func TestSerializeDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.MustAddEdge(0, 1, 3)
+	b.MustAddEdge(2, 3, 5)
+	g := b.Build()
+	h2 := roundTrip(t, g)
+	if !h2.virtualRoot {
+		t.Fatal("virtual root flag lost")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	g := gen.Random(200, 800, 256, gen.UWD, 3)
+	h := BuildKruskal(g)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"flipped byte":  func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)/2] ^= 0x40; return c },
+		"truncated":     func(b []byte) []byte { return b[:len(b)-9] },
+		"bad magic":     func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c },
+		"empty":         func([]byte) []byte { return nil },
+		"header only":   func(b []byte) []byte { return b[:12] },
+		"flipped level": func(b []byte) []byte { c := append([]byte(nil), b...); c[29] ^= 1; return c },
+	} {
+		if _, err := ReadFrom(bytes.NewReader(corrupt(raw)), g); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadRejectsWrongGraph(t *testing.T) {
+	g := gen.Random(200, 800, 256, gen.UWD, 3)
+	h := BuildKruskal(g)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different vertex count: rejected by the header check.
+	other := gen.Random(100, 400, 256, gen.UWD, 3)
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("accepted hierarchy for a graph of different size")
+	}
+	// Same size, different weights: rejected by invariant validation.
+	sameSize := gen.Random(200, 800, 256, gen.UWD, 99)
+	_, err := ReadFrom(bytes.NewReader(buf.Bytes()), sameSize)
+	if err == nil {
+		t.Fatal("accepted hierarchy for a different graph of the same size")
+	}
+	if !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestReadVersionCheck(t *testing.T) {
+	g := gen.Path(4, 1)
+	h := BuildKruskal(g)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] = 99 // version field
+	if _, err := ReadFrom(bytes.NewReader(raw), g); err == nil {
+		t.Fatal("accepted future version")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g := gen.Random(400, 1600, 1<<10, gen.UWD, 8)
+	a := BuildKruskal(g)
+	b := BuildKruskal(g)
+	if a.NumNodes() != b.NumNodes() || a.Root() != b.Root() {
+		t.Fatal("BuildKruskal nondeterministic")
+	}
+	for x := int32(0); x < int32(a.NumNodes()); x++ {
+		if a.Level(x) != b.Level(x) || a.Parent(x) != b.Parent(x) {
+			t.Fatalf("node %d differs between identical builds", x)
+		}
+	}
+}
+
+func TestReadRejectsCrossComponentGraph(t *testing.T) {
+	// Hierarchy built for two separate components, then paired with a graph
+	// that joins them: the sampled edge check must reject, not panic.
+	b1 := graph.NewBuilder(4)
+	b1.MustAddEdge(0, 1, 2)
+	b1.MustAddEdge(2, 3, 2)
+	g1 := b1.Build()
+	h := BuildKruskal(g1)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b2 := graph.NewBuilder(4)
+	b2.MustAddEdge(0, 1, 2)
+	b2.MustAddEdge(2, 3, 2)
+	b2.MustAddEdge(1, 2, 2) // crosses the stored components... same sizes
+	g2 := b2.Build()
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes()), g2); err == nil {
+		t.Fatal("accepted hierarchy whose components the graph bridges")
+	}
+}

@@ -1,0 +1,103 @@
+// Package cli holds the instance-specification logic shared by the command
+// line tools (cmd/sssp, cmd/gengraph, cmd/chstat): parsing a generator spec
+// or loading a DIMACS file, with uniform naming and errors. Factoring it here
+// keeps the tools thin and makes the logic unit-testable.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dimacs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Spec describes a graph source: either a DIMACS file or a generator.
+type Spec struct {
+	// File is a DIMACS .gr path; when set it wins over the generator fields.
+	File string
+	// Class is the generator family: rand, rmat, grid, geometric, smallworld.
+	Class string
+	// LogN sets n = 2^LogN; LogC sets C = 2^LogC.
+	LogN, LogC int
+	// PWD selects the poly-log weight distribution.
+	PWD bool
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// Load resolves the spec to a graph and a human-readable instance name.
+func (s Spec) Load() (*graph.Graph, string, error) {
+	if s.File != "" {
+		f, err := os.Open(s.File)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		g, err := dimacs.ReadGraph(f)
+		return g, s.File, err
+	}
+	return s.Generate()
+}
+
+// Generate resolves a generator-only spec (no file fallback).
+func (s Spec) Generate() (*graph.Graph, string, error) {
+	if s.LogN < 0 || s.LogN > 28 {
+		return nil, "", fmt.Errorf("cli: logn %d out of [0,28]", s.LogN)
+	}
+	if s.LogC < 0 || s.LogC > 30 {
+		return nil, "", fmt.Errorf("cli: logc %d out of [0,30]", s.LogC)
+	}
+	class := strings.ToLower(s.Class)
+	if class == "" {
+		class = "rand"
+	}
+	in := gen.Instance{LogN: s.LogN, LogC: s.LogC, Seed: s.Seed}
+	if s.PWD {
+		in.Dist = gen.PWD
+	}
+	switch class {
+	case "rand", "random":
+		in.Class = gen.Rand
+	case "rmat":
+		in.Class = gen.RMAT
+	case "grid":
+		in.Class = gen.Grid
+	case "geometric":
+		n := 1 << s.LogN
+		name := fmt.Sprintf("Geometric-2^%d-2^%d", s.LogN, s.LogC)
+		return gen.Geometric(n, 0.05, uint32(1)<<s.LogC, s.Seed), name, nil
+	case "smallworld":
+		n := 1 << s.LogN
+		if n < 5 {
+			return nil, "", fmt.Errorf("cli: smallworld needs logn >= 3")
+		}
+		name := fmt.Sprintf("SmallWorld-%s-2^%d-2^%d", in.Dist, s.LogN, s.LogC)
+		return gen.SmallWorld(n, 2, 0.1, uint32(1)<<s.LogC, in.Dist, s.Seed), name, nil
+	default:
+		return nil, "", fmt.Errorf("cli: unknown generator class %q (rand, rmat, grid, geometric, smallworld)", s.Class)
+	}
+	g := in.Generate()
+	return g, in.Name(), nil
+}
+
+// ReadSources loads a DIMACS .ss file and bounds-checks the sources against
+// the graph.
+func ReadSources(r io.Reader, g *graph.Graph) ([]int32, error) {
+	sources, err := dimacs.ReadSources(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("cli: source file lists no sources")
+	}
+	for _, s := range sources {
+		if s < 0 || int(s) >= g.NumVertices() {
+			return nil, fmt.Errorf("cli: source %d out of range [0,%d)", s, g.NumVertices())
+		}
+	}
+	return sources, nil
+}

@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dimacs"
+	"repro/internal/gen"
+)
+
+func TestGenerateClasses(t *testing.T) {
+	for _, class := range []string{"rand", "random", "rmat", "grid", "geometric", "smallworld", ""} {
+		s := Spec{Class: class, LogN: 8, LogC: 8, Seed: 1}
+		g, name, err := s.Generate()
+		if err != nil {
+			t.Errorf("%q: %v", class, err)
+			continue
+		}
+		if g.NumVertices() == 0 || name == "" {
+			t.Errorf("%q: empty result (%s)", class, name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%q: %v", class, err)
+		}
+	}
+}
+
+func TestGenerateNaming(t *testing.T) {
+	s := Spec{Class: "rmat", LogN: 10, LogC: 2, PWD: true, Seed: 3}
+	_, name, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "RMAT-PWD-2^10-2^2" {
+		t.Fatalf("name %q", name)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []Spec{
+		{Class: "bogus", LogN: 8, LogC: 8},
+		{Class: "rand", LogN: -1, LogC: 8},
+		{Class: "rand", LogN: 99, LogC: 8},
+		{Class: "rand", LogN: 8, LogC: 99},
+		{Class: "smallworld", LogN: 1, LogC: 4},
+	}
+	for i, s := range cases {
+		if _, _, err := s.Generate(); err == nil {
+			t.Errorf("case %d: accepted %+v", i, s)
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.gr")
+	g := gen.Random(100, 400, 64, gen.UWD, 7)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dimacs.WriteGraph(f, g, "test"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g2, name, err := Spec{File: path}.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != path || g2.NumVertices() != 100 || g2.NumEdges() != 400 {
+		t.Fatalf("loaded %s: %v", name, g2)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := (Spec{File: "/nonexistent/g.gr"}).Load(); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadPrefersFile(t *testing.T) {
+	// With File set, generator fields are ignored (even invalid ones).
+	if _, _, err := (Spec{File: "/nonexistent/g.gr", LogN: -5}).Load(); err == nil {
+		t.Fatal("expected file error, not generator run")
+	}
+}
+
+func TestReadSources(t *testing.T) {
+	g := gen.Path(10, 1)
+	good := strings.NewReader("p aux sp ss 2\ns 1\ns 10\n")
+	sources, err := ReadSources(good, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 2 || sources[0] != 0 || sources[1] != 9 {
+		t.Fatalf("sources %v", sources)
+	}
+	for name, in := range map[string]string{
+		"out of range": "s 11\n",
+		"empty":        "c nothing\n",
+		"garbage":      "s x\n",
+	} {
+		if _, err := ReadSources(strings.NewReader(in), g); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

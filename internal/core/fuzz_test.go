@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// FuzzThorupVsDijkstra decodes arbitrary bytes into a small multigraph and
+// cross-checks every Thorup variant against Dijkstra. This hunts for CH or
+// traversal bugs on degenerate shapes the structured generators never emit.
+func FuzzThorupVsDijkstra(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 1, 2, 2, 2, 3, 4})
+	f.Add([]byte{2, 0, 0, 200})
+	f.Add([]byte{10})
+	f.Add([]byte{7, 0, 1, 255, 1, 2, 1, 2, 0, 128, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%30 + 1
+		data = data[1:]
+		b := graph.NewBuilder(n)
+		for len(data) >= 3 {
+			u := int32(int(data[0]) % n)
+			v := int32(int(data[1]) % n)
+			w := uint32(data[2])%255 + 1
+			b.MustAddEdge(u, v, w)
+			data = data[3:]
+		}
+		g := b.Build()
+		h := ch.BuildKruskal(g)
+		if err := h.Validate(); err != nil {
+			t.Fatalf("hierarchy invalid: %v", err)
+		}
+		src := int32(0)
+		want := dijkstra.SSSP(g, src)
+		for name, got := range map[string][]int64{
+			"serial":   SerialSSSP(h, src),
+			"physical": SerialSSSPPhysical(h, src),
+			"parallel": NewSolver(h, par.NewExec(2)).SSSP(src),
+		} {
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s: d[%d]=%d, dijkstra %d (n=%d)", name, v, got[v], want[v], n)
+				}
+			}
+		}
+	})
+}

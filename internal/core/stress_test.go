@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/par"
+)
+
+// Heavy randomized stress across 300 seeds and larger exec worker counts.
+func TestStressExecParallel(t *testing.T) {
+	rt := par.NewExec(8)
+	for seed := uint64(0); seed < 300; seed++ {
+		n := int(seed%500) + 2
+		c := uint32(1) << (seed%20 + 1)
+		dist := gen.UWD
+		if seed%3 == 0 {
+			dist = gen.PWD
+		}
+		g := gen.Random(n, 4*n, c, dist, seed)
+		h := ch.BuildKruskal(g)
+		s := NewSolver(h, rt)
+		src := int32(seed) % int32(n)
+		want := dijkstra.SSSP(g, src)
+		got := s.SSSP(src)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("seed %d n %d src %d: d[%d]=%d want %d", seed, n, src, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// Many concurrent queries over one shared hierarchy, exercising the
+// Figure 5 code path under the race detector.
+func TestStressSharedCHConcurrentQueries(t *testing.T) {
+	g := gen.Random(800, 3200, 1<<10, gen.UWD, 777)
+	h := ch.BuildKruskal(g)
+	s := NewSolver(h, par.NewExec(8))
+	sources := make([]int32, 16)
+	for i := range sources {
+		sources[i] = int32(i * 50)
+	}
+	res := s.RunMany(sources)
+	for i, src := range sources {
+		want := dijkstra.SSSP(g, src)
+		for v := range want {
+			if res[i][v] != want[v] {
+				t.Fatalf("query %d src %d: d[%d]=%d want %d", i, src, v, res[i][v], want[v])
+			}
+		}
+	}
+}

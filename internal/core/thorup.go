@@ -1,0 +1,407 @@
+// Package core implements the paper's primary contribution: a multithreaded
+// version of Thorup's linear-time single-source shortest path algorithm for
+// undirected graphs with positive integer weights, driven by the Component
+// Hierarchy of internal/ch.
+//
+// # Algorithm
+//
+// Thorup's insight (his Lemma, restated as Lemma 1 in the paper) is that if
+// the vertex set splits into components whose crossing edges all weigh at
+// least delta = 2^(i-1), then any vertex v minimising d(v) within a component
+// whose minimum lies within delta of the global minimum is already settled
+// (d(v) = delta(v)) and may be visited in any order — in particular, in
+// parallel. The Component Hierarchy organises exactly these components: a
+// node at level i buckets its children by minD(child) >> (i-1), and all
+// children in the lowest occupied bucket can be visited concurrently,
+// recursively, until leaves are reached and settled.
+//
+// # Parallel implementation (paper §3.2, §3.3)
+//
+//   - d and minD are maintained with atomic CAS-min; a successful relaxation
+//     propagates its value from the leaf toward the root, stopping early at
+//     the first ancestor that is already low enough (the paper locks minD
+//     and observes values are "not propagated very far up the CH in
+//     practice" — the early stop is the same phenomenon).
+//   - Buckets are virtual: no bucket lists exist. A node's current bucket is
+//     minD >> shift and membership is discovered by scanning its children —
+//     the paper's Figure 3 loop. Insertion is therefore a single store and
+//     needs no concurrent data structure.
+//   - minD increases (bucket advances) are performed only by the node's
+//     visitor at quiescent points, with a rescan after each raise to close
+//     the race against concurrent CAS-min decreases.
+//   - The toVisit set is built by one of two strategies: Naive always runs
+//     the scan as an all-processor loop (the paper's "Thorup A"), Selective
+//     picks serial / single-processor / all-processors from the child count
+//     (the paper's "Thorup B", its §3.3 contribution, ~2x in Table 6).
+//
+// A Solver wraps one Component Hierarchy and hands out independent Query
+// objects; any number of queries may run concurrently against the shared
+// hierarchy (the paper's Figure 5 experiment and its motivating use case).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/ch"
+	"repro/internal/graph"
+	"repro/internal/mta"
+	"repro/internal/par"
+)
+
+// Strategy selects how toVisit-set loops are parallelized.
+type Strategy int
+
+const (
+	// Naive runs every toVisit loop on all processors ("Thorup A").
+	Naive Strategy = iota
+	// Selective chooses serial / single-processor / multi-processor from the
+	// iteration count ("Thorup B").
+	Selective
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Naive:
+		return "naive"
+	case Selective:
+		return "selective"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Solver runs Thorup SSSP queries over a shared Component Hierarchy.
+type Solver struct {
+	h          *ch.Hierarchy
+	rt         *par.Runtime
+	strategy   Strategy
+	thresholds par.Thresholds
+}
+
+// Option configures a Solver.
+type Option func(*Solver)
+
+// WithStrategy selects the toVisit strategy (default Selective).
+func WithStrategy(s Strategy) Option {
+	return func(sv *Solver) { sv.strategy = s }
+}
+
+// WithThresholds overrides the selective-parallelization thresholds.
+func WithThresholds(t par.Thresholds) Option {
+	return func(sv *Solver) { sv.thresholds = t }
+}
+
+// NewSolver creates a solver over the hierarchy, executing on rt.
+func NewSolver(h *ch.Hierarchy, rt *par.Runtime, opts ...Option) *Solver {
+	s := &Solver{h: h, rt: rt, strategy: Selective, thresholds: par.DefaultThresholds}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Hierarchy returns the shared Component Hierarchy.
+func (s *Solver) Hierarchy() *ch.Hierarchy { return s.h }
+
+// Query holds the per-query state of one SSSP computation. Queries are cheap
+// relative to the graph ("it is more memory efficient to allocate a new
+// instance of the CH than to create a copy of the entire graph", paper §5.2)
+// and reusable: Run resets all state.
+type Query struct {
+	s         *Solver
+	dist      []int64 // per vertex, atomic
+	minD      []int64 // per CH node, atomic
+	unsettled []int32 // per CH node: unsettled vertices in subtree, atomic
+	trace     *Trace  // optional event counters, nil unless EnableTrace
+}
+
+// Query allocates per-query state bound to this solver.
+func (s *Solver) Query() *Query {
+	nodes := s.h.NumNodes()
+	return &Query{
+		s:         s,
+		dist:      make([]int64, s.h.NumLeaves()),
+		minD:      make([]int64, nodes),
+		unsettled: make([]int32, nodes),
+	}
+}
+
+// InstanceBytes is the memory footprint of one query instance — the paper's
+// Table 2 "instance" column.
+func (q *Query) InstanceBytes() int64 {
+	return int64(len(q.dist))*8 + int64(len(q.minD))*8 + int64(len(q.unsettled))*4
+}
+
+// SSSP is a convenience one-shot: build a query, run it, return distances.
+func (s *Solver) SSSP(src int32) []int64 {
+	return s.Query().Run(src)
+}
+
+// EnableTrace turns on event counting for this query and returns the counter
+// block (reset on every Run). Tracing costs a few atomic increments per
+// event.
+func (q *Query) EnableTrace() *Trace {
+	q.trace = &Trace{}
+	return q.trace
+}
+
+// Run computes shortest path distances from src. The returned slice aliases
+// the query's internal state and is valid until the next Run.
+func (q *Query) Run(src int32) []int64 {
+	return q.RunFromSources([]int32{src})
+}
+
+// RunFromSources computes, for every vertex, the distance to the nearest of
+// the given source vertices (multi-source SSSP / nearest-facility search).
+// With one source this is ordinary SSSP; Thorup's invariants are unaffected
+// by several distance-zero leaves. The returned slice aliases the query's
+// internal state and is valid until the next Run.
+func (q *Query) RunFromSources(sources []int32) []int64 {
+	s := q.s
+	h := s.h
+	n := h.NumLeaves()
+	if n == 0 {
+		return q.dist
+	}
+	if len(sources) == 0 {
+		panic("core: no source vertices")
+	}
+	for _, src := range sources {
+		if src < 0 || int(src) >= n {
+			panic(fmt.Sprintf("core: source %d out of range [0,%d)", src, n))
+		}
+	}
+	rt := s.rt
+
+	// Reset.
+	rt.For(n, func(i int) { q.dist[i] = graph.Inf })
+	rt.For(h.NumNodes(), func(i int) {
+		q.minD[i] = graph.Inf
+		q.unsettled[i] = h.VertexCount(int32(i))
+	})
+	if q.trace != nil {
+		*q.trace = Trace{}
+	}
+
+	for _, src := range sources {
+		q.dist[src] = 0
+		for x := src; x >= 0; x = h.Parent(x) {
+			q.minD[x] = 0
+		}
+	}
+	rt.Charge(int64(h.MaxLevel()) * int64(len(sources)))
+
+	q.visit(h.Root(), graph.Inf)
+	return q.dist
+}
+
+// Parents derives shortest-path-tree parent pointers from the distances of
+// the last Run: parent[v] is a neighbour u with dist[u] + w(u,v) == dist[v],
+// or -1 for sources and unreachable vertices. The scan is race-free (it runs
+// after the query) and parallel.
+func (q *Query) Parents() []int32 {
+	h := q.s.h
+	g := h.Graph()
+	n := h.NumLeaves()
+	parent := make([]int32, n)
+	q.s.rt.For(n, func(vi int) {
+		v := int32(vi)
+		parent[v] = -1
+		dv := q.dist[v]
+		if dv == graph.Inf || dv == 0 {
+			return
+		}
+		ts, ws := g.Neighbors(v)
+		q.s.rt.Charge(int64(len(ts)))
+		for i, u := range ts {
+			if u != v && q.dist[u]+int64(ws[i]) == dv {
+				parent[v] = u
+				return
+			}
+		}
+	})
+	return parent
+}
+
+// Dist returns the distance slice of the last Run.
+func (q *Query) Dist() []int64 { return q.dist }
+
+// visit processes component c while its minimum unsettled tentative distance
+// stays below bound (the exclusive end of the parent's current bucket). On
+// return, either the component is fully settled or minD(c) >= bound and the
+// stored minD is up to date.
+func (q *Query) visit(c int32, bound int64) {
+	h := q.s.h
+	if h.IsLeaf(c) {
+		q.visitLeaf(c)
+		return
+	}
+	shift := h.Shift(c)
+	children := h.Children(c)
+	for {
+		if atomic.LoadInt32(&q.unsettled[c]) == 0 {
+			return
+		}
+		m := atomic.LoadInt64(&q.minD[c])
+		if m >= bound {
+			return
+		}
+		j := m >> shift
+		childBound := (j + 1) << shift
+
+		// Build the toVisit set: all children (virtually) in bucket j — the
+		// paper's Figure 3 loop, run with the configured strategy.
+		toVisit := q.gather(children, j, shift)
+		if q.trace != nil {
+			q.trace.addGather(len(children), len(toVisit))
+		}
+		if len(toVisit) == 0 {
+			// Bucket j exhausted: advance by recomputing minD from the
+			// children. If nothing is left below bound the caller takes over.
+			if q.trace != nil {
+				q.trace.addAdvance()
+			}
+			q.refreshMinD(c, children)
+			continue
+		}
+		// Visit everything in the lowest bucket, in parallel (safe by
+		// Thorup's Lemma: crossing edges weigh >= 2^shift, one full bucket).
+		// Child visits are spawned as lightweight threads (MTA futures), not
+		// team-forked loops: the set is often tiny but the bodies are whole
+		// subtree traversals.
+		q.s.rt.ForMode(mta.Futures, len(toVisit), func(i int) {
+			q.visit(toVisit[i], childBound)
+		})
+	}
+}
+
+// visitLeaf settles the vertex of leaf c and relaxes its edges.
+func (q *Query) visitLeaf(c int32) {
+	// Only one visitor can win the settle; concurrent duplicates back off.
+	if !atomic.CompareAndSwapInt32(&q.unsettled[c], 1, 0) {
+		return
+	}
+	if q.trace != nil {
+		q.trace.addSettled()
+	}
+	h := q.s.h
+	rt := q.s.rt
+	g := h.Graph()
+	v := c // leaf id == vertex id
+	dv := atomic.LoadInt64(&q.dist[v])
+	atomic.StoreInt64(&q.minD[c], graph.Inf)
+
+	// Account for the settled vertex up the tree.
+	for x := h.Parent(c); x >= 0; x = h.Parent(x) {
+		atomic.AddInt32(&q.unsettled[x], -1)
+	}
+
+	ts, ws := g.Neighbors(v)
+	rt.Charge(int64(len(ts)) * 3)
+	for i, u := range ts {
+		if u == v {
+			continue
+		}
+		if atomic.LoadInt32(&q.unsettled[u]) == 0 {
+			continue // already settled; its distance cannot improve
+		}
+		nd := dv + int64(ws[i])
+		if par.CASMin(&q.dist[u], nd) {
+			q.propagate(u, nd)
+		}
+	}
+}
+
+// propagate pushes a lowered leaf distance up the minD chain, stopping at the
+// first ancestor that is already at least as low (whoever lowered that
+// ancestor is responsible for the rest of the chain).
+func (q *Query) propagate(leaf int32, nd int64) {
+	h := q.s.h
+	hops := int64(0)
+	for x := leaf; x >= 0; x = h.Parent(x) {
+		if !par.CASMin(&q.minD[x], nd) {
+			break // plain read: CASMin only writes when improving
+		}
+		// A successful minD update on a component is the synchronized write
+		// the paper protects with a lock ("our implementation must lock the
+		// value of minD during an update", §3.2); contention is modelled per
+		// CH-node word. A leaf's minD is just its own d(v) — no shared lock.
+		if !h.IsLeaf(x) {
+			q.s.rt.ChargeContended(uint64(x))
+		}
+		hops++
+	}
+	q.s.rt.Charge(hops + 1)
+	if q.trace != nil {
+		q.trace.addRelax(hops)
+	}
+}
+
+// gather collects the children currently in bucket j (minD >> shift == j and
+// not fully settled) using the solver's strategy — the selective
+// parallelization of the paper's §3.3.
+func (q *Query) gather(children []int32, j int64, shift uint) []int32 {
+	out := make([]int32, len(children))
+	var cursor int64
+	q.forStrategy(len(children), func(i int) {
+		k := children[i]
+		q.s.rt.Charge(2)
+		if atomic.LoadInt32(&q.unsettled[k]) == 0 {
+			return
+		}
+		if atomic.LoadInt64(&q.minD[k])>>shift == j {
+			out[atomic.AddInt64(&cursor, 1)-1] = k
+		}
+	})
+	return out[:cursor]
+}
+
+// forStrategy runs a toVisit-shaped loop under the configured strategy.
+func (q *Query) forStrategy(n int, body func(i int)) {
+	switch q.s.strategy {
+	case Naive:
+		q.s.rt.ForMode(mta.MultiPar, n, body)
+	default:
+		q.s.rt.ForAuto(q.s.thresholds, n, body)
+	}
+}
+
+// refreshMinD recomputes minD(c) from the children, raising it at a quiescent
+// point. A rescan after the raise closes the race with concurrent CAS-min
+// decreases (decreases always update the child before the parent, so either
+// the rescan sees the lower child value or the decreaser's own parent update
+// lands after the raise).
+func (q *Query) refreshMinD(c int32, children []int32) {
+	rt := q.s.rt
+	scan := func() int64 {
+		min := graph.Inf
+		// The scan is itself a toVisit-shaped loop over the children.
+		var amin int64 = graph.Inf
+		q.forStrategy(len(children), func(i int) {
+			k := children[i]
+			rt.Charge(2)
+			if atomic.LoadInt32(&q.unsettled[k]) == 0 {
+				return
+			}
+			par.CASMin(&amin, atomic.LoadInt64(&q.minD[k]))
+		})
+		if amin < min {
+			min = amin
+		}
+		return min
+	}
+	for {
+		cur := atomic.LoadInt64(&q.minD[c])
+		newv := scan()
+		if newv <= cur {
+			return // already low enough; nothing to raise
+		}
+		if atomic.CompareAndSwapInt64(&q.minD[c], cur, newv) {
+			if again := scan(); again < newv {
+				par.CASMin(&q.minD[c], again)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Trace counts the structural events of one Thorup query. The paper's §3.2
+// justifies lock-based minD maintenance with the observation that "minD
+// values are not propagated very far up the CH in practice"; PropagationHops
+// quantifies exactly that, and the other counters expose how much of the
+// traversal is gathering versus settling.
+type Trace struct {
+	// Settled is the number of vertices settled (= reachable vertices).
+	Settled int64
+	// Relaxations counts successful distance decreases.
+	Relaxations int64
+	// PropagationHops counts CH-node updates performed by upward minD
+	// propagation; PropagationHops/Relaxations is the paper's "how far up"
+	// metric.
+	PropagationHops int64
+	// Gathers counts toVisit-set constructions.
+	Gathers int64
+	// GatherScanned counts children examined across all gathers.
+	GatherScanned int64
+	// GatherTaken counts children that entered a toVisit set.
+	GatherTaken int64
+	// BucketAdvances counts minD refreshes (bucket exhaustion events).
+	BucketAdvances int64
+	// MaxTovisit is the largest toVisit set seen.
+	MaxTovisit int64
+}
+
+// HopsPerRelaxation returns the mean propagation distance of a relaxation up
+// the hierarchy (0 when no relaxation occurred).
+func (t Trace) HopsPerRelaxation() float64 {
+	if t.Relaxations == 0 {
+		return 0
+	}
+	return float64(t.PropagationHops) / float64(t.Relaxations)
+}
+
+func (t Trace) String() string {
+	return fmt.Sprintf("trace{settled=%d relax=%d hops/relax=%.2f gathers=%d advances=%d maxTovisit=%d}",
+		t.Settled, t.Relaxations, t.HopsPerRelaxation(), t.Gathers, t.BucketAdvances, t.MaxTovisit)
+}
+
+// add merges event counts atomically (queries may run on many goroutines).
+func (t *Trace) addSettled() { atomic.AddInt64(&t.Settled, 1) }
+
+func (t *Trace) addRelax(hops int64) {
+	atomic.AddInt64(&t.Relaxations, 1)
+	atomic.AddInt64(&t.PropagationHops, hops)
+}
+
+func (t *Trace) addGather(scanned, taken int) {
+	atomic.AddInt64(&t.Gathers, 1)
+	atomic.AddInt64(&t.GatherScanned, int64(scanned))
+	atomic.AddInt64(&t.GatherTaken, int64(taken))
+	for {
+		cur := atomic.LoadInt64(&t.MaxTovisit)
+		if int64(taken) <= cur {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&t.MaxTovisit, cur, int64(taken)) {
+			return
+		}
+	}
+}
+
+func (t *Trace) addAdvance() { atomic.AddInt64(&t.BucketAdvances, 1) }

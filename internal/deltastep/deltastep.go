@@ -1,0 +1,195 @@
+// Package deltastep implements delta-stepping (Meyer & Sanders), the parallel
+// Dijkstra variant of Madduri et al. that the paper compares Thorup's
+// algorithm against (Table 5 and Figure 5).
+//
+// Delta-stepping groups queued vertices into buckets of width Delta. The
+// smallest non-empty bucket is emptied in sub-phases that relax only light
+// edges (weight < Delta; these may re-insert vertices into the current
+// bucket); once the bucket stays empty, the heavy edges (weight >= Delta) of
+// every vertex removed from it are relaxed in one final parallel phase.
+// Within a sub-phase all requests are independent, which is where the
+// parallelism comes from.
+//
+// The implementation is written against par.Runtime, so the same code runs
+// with real goroutines (relaxation via CAS-min) or on the simulated MTA-2
+// cost model. Bucket membership is lazy: insertions append (possibly
+// duplicate) candidates and the scan filters by the vertex's current bucket,
+// which avoids the concurrent-deletion problem the paper notes buckets have
+// on parallel machines.
+package deltastep
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Stats reports the phase structure of one run (useful for analysis and for
+// the road-network experiment, where the number of phases explodes).
+type Stats struct {
+	Buckets     int   // non-empty buckets processed
+	Phases      int   // light sub-phases
+	LightRelax  int64 // light edge relaxation requests
+	HeavyRelax  int64 // heavy edge relaxation requests
+	Reinsertion int64 // vertices rescanned within one bucket
+}
+
+// DefaultDelta returns the standard heuristic bucket width Delta = C/d, where
+// C is the maximum edge weight and d the average degree (at least 1). For
+// d >= C this degenerates to Dijkstra-like width 1.
+func DefaultDelta(g *graph.Graph) int64 {
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		return 1
+	}
+	avgDeg := int64(g.NumArcs()) / int64(g.NumVertices())
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
+	d := int64(g.MaxWeight()) / avgDeg
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// SSSP computes single-source shortest path distances from src with bucket
+// width delta (use DefaultDelta for the standard choice).
+func SSSP(rt *par.Runtime, g *graph.Graph, src int32, delta int64) []int64 {
+	d, _ := Run(rt, g, src, delta)
+	return d
+}
+
+// Run is SSSP returning phase statistics as well.
+func Run(rt *par.Runtime, g *graph.Graph, src int32, delta int64) ([]int64, Stats) {
+	if delta < 1 {
+		panic("deltastep: delta must be >= 1")
+	}
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	var st Stats
+	if n == 0 {
+		return dist, st
+	}
+
+	buckets := make([][]int32, 1, 64)
+	addBucket := func(v int32, idx int64) {
+		for int64(len(buckets)) <= idx {
+			buckets = append(buckets, nil)
+		}
+		buckets[idx] = append(buckets[idx], v)
+	}
+
+	dist[src] = 0
+	addBucket(src, 0)
+
+	// scratch space reused across phases
+	var frontier []int32        // deduplicated current-bucket members
+	var removed []int32         // everything removed from the current bucket
+	scanned := make([]int64, n) // bucket epoch when last light-scanned
+	for i := range scanned {
+		scanned[i] = -1
+	}
+	inRemoved := make([]int64, n)
+	for i := range inRemoved {
+		inRemoved[i] = -1
+	}
+
+	// touched is the shared output array of one relax phase: improved
+	// vertices are appended with an atomic cursor (the MTA int_fetch_add
+	// reduction idiom) and distributed into buckets afterwards.
+	var touched []int32
+	var cursor int64
+
+	relaxPhase := func(sources []int32, light bool, i int64) {
+		// Size the output by the total degree of the sources.
+		total := 0
+		for _, v := range sources {
+			total += g.Degree(v)
+		}
+		if cap(touched) < total {
+			touched = make([]int32, total)
+		}
+		touched = touched[:total]
+		atomic.StoreInt64(&cursor, 0)
+		rt.ForAuto(par.DefaultThresholds, len(sources), func(k int) {
+			v := sources[k]
+			dv := atomic.LoadInt64(&dist[v])
+			ts, ws := g.Neighbors(v)
+			rt.Charge(int64(len(ts)))
+			for e, u := range ts {
+				w := int64(ws[e])
+				if light != (w < delta) {
+					continue
+				}
+				nd := dv + w
+				if par.CASMin(&dist[u], nd) {
+					slot := atomic.AddInt64(&cursor, 1) - 1
+					touched[slot] = u
+				}
+			}
+		})
+		cnt := atomic.LoadInt64(&cursor)
+		if light {
+			st.LightRelax += cnt
+		} else {
+			st.HeavyRelax += cnt
+		}
+		// Distribute improved vertices into their (new) buckets. Duplicates
+		// are fine: the scan filters lazily by current distance.
+		// A relaxation never lands below the bucket being processed (all
+		// sources have distance >= i*delta and weights are positive), so
+		// idx >= i: light requests may re-enter bucket i, heavy ones always
+		// land strictly above it.
+		rt.ChargeLoop(rt.ModeFor(par.DefaultThresholds, int(cnt)), int(cnt), 2)
+		for _, u := range touched[:cnt] {
+			addBucket(u, dist[u]/delta)
+		}
+	}
+
+	for i := int64(0); i < int64(len(buckets)); i++ {
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		st.Buckets++
+		removed = removed[:0]
+		for len(buckets[i]) > 0 {
+			// Collect the sub-phase frontier: members whose current distance
+			// really lies in this bucket and that were not already scanned
+			// at this distance.
+			cand := buckets[i]
+			buckets[i] = nil
+			frontier = frontier[:0]
+			rt.ChargeLoop(rt.ModeFor(par.DefaultThresholds, len(cand)), len(cand), 2)
+			for _, v := range cand {
+				if dist[v]/delta != i {
+					continue // stale entry
+				}
+				if scanned[v] == dist[v] {
+					continue // already light-scanned at this distance
+				}
+				if scanned[v] >= 0 {
+					st.Reinsertion++
+				}
+				scanned[v] = dist[v]
+				frontier = append(frontier, v)
+				if inRemoved[v] != i {
+					inRemoved[v] = i
+					removed = append(removed, v)
+				}
+			}
+			if len(frontier) == 0 {
+				continue
+			}
+			st.Phases++
+			relaxPhase(frontier, true, i)
+		}
+		if len(removed) > 0 {
+			relaxPhase(removed, false, i)
+		}
+	}
+	return dist, st
+}

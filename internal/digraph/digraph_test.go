@@ -1,0 +1,162 @@
+package digraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mta"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+func randomDigraph(n, m int, c uint32, seed uint64) *Digraph {
+	r := rng.New(seed)
+	arcs := make([]Arc, 0, m)
+	for i := 0; i < m; i++ {
+		arcs = append(arcs, Arc{
+			From: int32(r.Intn(n)),
+			To:   int32(r.Intn(n)),
+			W:    uint32(r.Intn(int(c))) + 1,
+		})
+	}
+	return FromArcs(n, arcs)
+}
+
+func sameDists(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDirectionalityMatters(t *testing.T) {
+	// 0 -> 1 -> 2 with no back arcs.
+	g := FromArcs(3, []Arc{{0, 1, 4}, {1, 2, 5}})
+	d := Dijkstra(g, 0)
+	if d[2] != 9 {
+		t.Fatalf("forward d[2]=%d", d[2])
+	}
+	back := Dijkstra(g, 2)
+	if back[0] != graph.Inf {
+		t.Fatalf("backward reachable: %d", back[0])
+	}
+	rev := Dijkstra(g.Reverse(), 2)
+	if rev[0] != 9 {
+		t.Fatalf("reverse d[0]=%d", rev[0])
+	}
+}
+
+func TestDijkstraVsBellmanFord(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := randomDigraph(200, 1000, 64, seed)
+		want := BellmanFord(g, 0)
+		if got := Dijkstra(g, 0); !sameDists(got, want) {
+			t.Fatalf("seed %d: Dijkstra != Bellman-Ford", seed)
+		}
+	}
+}
+
+func TestDeltaSteppingDirected(t *testing.T) {
+	rts := map[string]*par.Runtime{
+		"exec1": par.NewExec(1),
+		"exec4": par.NewExec(4),
+		"sim":   par.NewSim(mta.MTA2(8)),
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		g := randomDigraph(300, 1800, 256, seed)
+		want := Dijkstra(g, 0)
+		for name, rt := range rts {
+			for _, delta := range []int64{1, 7, DefaultDelta(g), 1 << 12} {
+				if got := DeltaStepping(rt, g, 0, delta); !sameDists(got, want) {
+					t.Fatalf("seed %d %s delta %d: mismatch", seed, name, delta)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripWithUndirected(t *testing.T) {
+	// Undirected -> directed -> undirected preserves distances.
+	ug := gen.Random(300, 1200, 128, gen.UWD, 3)
+	dg := FromUndirected(ug)
+	if dg.NumArcs() != ug.NumArcs() {
+		t.Fatalf("arcs %d vs %d", dg.NumArcs(), ug.NumArcs())
+	}
+	want := dijkstra.SSSP(ug, 0)
+	if got := Dijkstra(dg, 0); !sameDists(got, want) {
+		t.Fatal("directed view changed distances")
+	}
+	back := dg.Symmetrize()
+	if back.NumEdges() != ug.NumEdges() {
+		t.Fatalf("symmetrize: %d edges vs %d", back.NumEdges(), ug.NumEdges())
+	}
+	if got := dijkstra.SSSP(back, 0); !sameDists(got, want) {
+		t.Fatal("symmetrized graph changed distances")
+	}
+}
+
+func TestSymmetrizeOneWayArc(t *testing.T) {
+	// A one-way arc becomes a two-way edge (the paper's undirected adaptation).
+	g := FromArcs(2, []Arc{{0, 1, 3}})
+	u := g.Symmetrize()
+	if u.NumEdges() != 1 {
+		t.Fatalf("edges %d", u.NumEdges())
+	}
+	if d := dijkstra.SSSP(u, 1); d[0] != 3 {
+		t.Fatalf("symmetrized distance %d", d[0])
+	}
+}
+
+func TestTrivialAndPanics(t *testing.T) {
+	empty := FromArcs(0, nil)
+	if len(Dijkstra(empty, 0)) != 0 {
+		t.Fatal("empty digraph")
+	}
+	for _, f := range []func(){
+		func() { FromArcs(1, []Arc{{0, 0, 0}}) },
+		func() { FromArcs(1, []Arc{{0, 5, 1}}) },
+		func() { DeltaStepping(par.NewExec(1), empty, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: directed delta-stepping matches directed Dijkstra.
+func TestQuickDirectedDeltaMatches(t *testing.T) {
+	rt := par.NewExec(4)
+	f := func(seed uint32, deltaRaw uint16) bool {
+		n := int(seed%100) + 1
+		g := randomDigraph(n, 5*n, 128, uint64(seed))
+		delta := int64(deltaRaw%256) + 1
+		src := int32(seed % uint32(n))
+		return sameDists(DeltaStepping(rt, g, src, delta), Dijkstra(g, src))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDirectedDeltaStepping(b *testing.B) {
+	g := randomDigraph(1<<14, 1<<17, 1<<14, 42)
+	rt := par.NewExec(4)
+	delta := DefaultDelta(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DeltaStepping(rt, g, 0, delta)
+	}
+}

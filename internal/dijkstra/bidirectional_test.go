@@ -1,0 +1,83 @@
+package dijkstra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestSTBasics(t *testing.T) {
+	g := gen.Path(10, 3)
+	if d := STDistance(g, 0, 9); d != 27 {
+		t.Fatalf("path end-to-end: %d", d)
+	}
+	if d := STDistance(g, 4, 4); d != 0 {
+		t.Fatalf("self: %d", d)
+	}
+	if d := STDistance(g, 9, 0); d != 27 {
+		t.Fatalf("reverse: %d", d)
+	}
+}
+
+func TestSTUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 2)
+	g := b.Build()
+	if d := STDistance(g, 0, 3); d != graph.Inf {
+		t.Fatalf("unreachable: %d", d)
+	}
+}
+
+func TestSTEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	if d := STDistance(g, 0, 0); d != 0 {
+		t.Fatalf("s==t on empty ids: %d", d)
+	}
+}
+
+func TestSTMatchesDijkstraOnFamilies(t *testing.T) {
+	gs := []*graph.Graph{
+		gen.Random(800, 3200, 1<<12, gen.UWD, 1),
+		gen.GridGraph(30, 30, 64, gen.UWD, 2),
+		gen.RMATGraph(512, 2048, 1<<8, gen.PWD, 3),
+	}
+	for gi, g := range gs {
+		d0 := SSSP(g, 0)
+		for _, tgt := range []int32{1, int32(g.NumVertices() / 2), int32(g.NumVertices() - 1)} {
+			if got := STDistance(g, 0, tgt); got != d0[tgt] {
+				t.Errorf("graph %d: st(0,%d)=%d, dijkstra %d", gi, tgt, got, d0[tgt])
+			}
+		}
+	}
+}
+
+// Property: bidirectional search matches full Dijkstra for random pairs.
+func TestQuickSTMatchesDijkstra(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := int(seed%150) + 2
+		g := gen.Random(n, 4*n, 1<<10, gen.UWD, uint64(seed))
+		s := int32(seed % uint32(n))
+		tt := int32((seed / 3) % uint32(n))
+		return STDistance(g, s, tt) == SSSP(g, s)[tt]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSTGrid(b *testing.B) {
+	g := gen.GridGraph(128, 128, 64, gen.UWD, 42)
+	n := int32(g.NumVertices())
+	b.Run("Bidirectional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			STDistance(g, 0, n-1)
+		}
+	})
+	b.Run("FullDijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = SSSP(g, 0)[n-1]
+		}
+	})
+}

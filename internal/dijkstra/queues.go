@@ -1,0 +1,52 @@
+package dijkstra
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// SSSPWithQueue runs Dijkstra's algorithm over any monotone vertex queue —
+// the hook the bench suite uses to attribute constant factors to the queue
+// choice (pairing heap, Dial buckets, and the heaps built into this package).
+func SSSPWithQueue(g *graph.Graph, src int32, q pq.VertexQueue) []int64 {
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	q.InsertOrDecrease(src, 0)
+	for {
+		v, d, ok := q.PopMin()
+		if !ok {
+			return dist
+		}
+		if d > dist[v] {
+			continue // stale (possible only for queues without true decrease)
+		}
+		ts, ws := g.Neighbors(v)
+		for i, u := range ts {
+			nd := d + int64(ws[i])
+			if nd < dist[u] {
+				dist[u] = nd
+				q.InsertOrDecrease(u, nd)
+			}
+		}
+	}
+}
+
+// SSSPPairing is Dijkstra with a pairing heap.
+func SSSPPairing(g *graph.Graph, src int32) []int64 {
+	return SSSPWithQueue(g, src, pq.NewPairingHeap(g.NumVertices()))
+}
+
+// SSSPDial is Dijkstra with Dial's bucket queue. It is only practical when
+// the distance range n*C is modest; the caller is responsible for that (the
+// multi-level buckets in internal/mlb remove the restriction).
+func SSSPDial(g *graph.Graph, src int32) []int64 {
+	maxKey := int64(g.NumVertices()) * int64(g.MaxWeight())
+	return SSSPWithQueue(g, src, pq.NewBucketQueue(g.NumVertices(), maxKey))
+}

@@ -1,0 +1,84 @@
+package dijkstra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func TestPairingAndDialMatchHeap(t *testing.T) {
+	for gi, in := range []gen.Instance{
+		{Class: gen.Rand, Dist: gen.UWD, LogN: 9, LogC: 9, Seed: 1},
+		{Class: gen.Rand, Dist: gen.PWD, LogN: 9, LogC: 9, Seed: 2},
+		{Class: gen.RMAT, Dist: gen.UWD, LogN: 9, LogC: 2, Seed: 3},
+		{Class: gen.Grid, Dist: gen.UWD, LogN: 8, LogC: 4, Seed: 4},
+	} {
+		gr := in.Generate()
+		want := SSSP(gr, 0)
+		for name, got := range map[string][]int64{
+			"pairing": SSSPPairing(gr, 0),
+			"dial":    SSSPDial(gr, 0),
+		} {
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("graph %d %s: d[%d]=%d want %d", gi, name, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestQueueVariantsTrivialGraphs(t *testing.T) {
+	g := gen.Path(1, 1)
+	if d := SSSPPairing(g, 0); d[0] != 0 {
+		t.Fatal("pairing singleton")
+	}
+	if d := SSSPDial(g, 0); d[0] != 0 {
+		t.Fatal("dial singleton")
+	}
+}
+
+func TestQuickQueueVariantsAgree(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := int(seed%100) + 1
+		g := gen.Random(n, 4*n, 64, gen.UWD, uint64(seed))
+		src := int32(seed % uint32(n))
+		want := SSSP(g, src)
+		for _, got := range [][]int64{SSSPPairing(g, src), SSSPDial(g, src)} {
+			for v := range want {
+				if got[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQueueChoice(b *testing.B) {
+	g := gen.Random(1<<13, 1<<15, 64, gen.UWD, 42) // small C so Dial is fair
+	b.Run("LazyBinaryHeap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SSSP(g, 0)
+		}
+	})
+	b.Run("Indexed4ary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SSSPIndexed(g, 0)
+		}
+	})
+	b.Run("PairingHeap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SSSPPairing(g, 0)
+		}
+	})
+	b.Run("DialBuckets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SSSPDial(g, 0)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package dimacs reads and writes the 9th DIMACS Implementation Challenge
+// shortest-path file formats, the formats of the instances the paper
+// evaluates on (paper §4.2):
+//
+//   - .gr graph files:   "c <comment>", "p sp <n> <m>", "a <u> <v> <w>"
+//   - .ss source files:  "c <comment>", "p aux sp ss <k>", "s <v>"
+//
+// Vertices are 1-based in the files and 0-based in memory. The Challenge's
+// .gr files list each undirected edge as two arcs; ReadGraph accepts both
+// that convention (pairs are collapsed) and single-arc-per-edge files.
+package dimacs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ReadGraph parses a .gr file into an undirected graph. Arcs that appear in
+// both directions with equal weight are collapsed into a single undirected
+// edge; an arc that appears in only one direction is kept as one undirected
+// edge.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var (
+		b        *graph.Builder
+		declared int64
+		seen     int64
+		line     int
+		// pending counts each (min,max,w) arc; a reverse arc cancels one.
+		pending map[[3]int64]int64
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if b != nil {
+				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", line)
+			}
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, fmt.Errorf("dimacs: line %d: malformed problem line %q", line, text)
+			}
+			n, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad vertex count %q", line, fields[2])
+			}
+			m, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad arc count %q", line, fields[3])
+			}
+			declared = m
+			b = graph.NewBuilder(int(n))
+			pending = make(map[[3]int64]int64)
+		case "a":
+			if b == nil {
+				return nil, fmt.Errorf("dimacs: line %d: arc before problem line", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dimacs: line %d: malformed arc %q", line, text)
+			}
+			u, err1 := strconv.ParseInt(fields[1], 10, 32)
+			v, err2 := strconv.ParseInt(fields[2], 10, 32)
+			w, err3 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dimacs: line %d: malformed arc %q", line, text)
+			}
+			if u < 1 || v < 1 {
+				return nil, fmt.Errorf("dimacs: line %d: vertex ids are 1-based, got %d %d", line, u, v)
+			}
+			if w < 1 || w > int64(graph.MaxWeight) {
+				return nil, fmt.Errorf("dimacs: line %d: weight %d out of [1,%d]", line, w, graph.MaxWeight)
+			}
+			seen++
+			lo, hi := u-1, v-1
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := [3]int64{lo, hi, w}
+			if pending[key] > 0 && lo != hi {
+				// Reverse of an arc we already have: same undirected edge.
+				pending[key]--
+				continue
+			}
+			pending[key]++
+			if err := b.AddEdge(int32(u-1), int32(v-1), uint32(w)); err != nil {
+				return nil, fmt.Errorf("dimacs: line %d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("dimacs: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs: read: %v", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("dimacs: no problem line")
+	}
+	if declared != 0 && seen != declared {
+		return nil, fmt.Errorf("dimacs: problem line declares %d arcs, file has %d", declared, seen)
+	}
+	g := b.Build()
+	return g, nil
+}
+
+// WriteGraph emits g as a .gr file using the Challenge convention of two arcs
+// per undirected edge (one for self-loops).
+func WriteGraph(w io.Writer, g *graph.Graph, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, l := range strings.Split(comment, "\n") {
+			fmt.Fprintf(bw, "c %s\n", l)
+		}
+	}
+	fmt.Fprintf(bw, "p sp %d %d\n", g.NumVertices(), g.NumArcs())
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		ts, ws := g.Neighbors(v)
+		for i, u := range ts {
+			fmt.Fprintf(bw, "a %d %d %d\n", v+1, u+1, ws[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSources parses a .ss auxiliary file listing SSSP source vertices.
+func ReadSources(r io.Reader) ([]int32, error) {
+	sc := bufio.NewScanner(r)
+	var out []int32
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' || text[0] == 'p' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] != "s" || len(fields) != 2 {
+			return nil, fmt.Errorf("dimacs: line %d: malformed source line %q", line, text)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("dimacs: line %d: bad source %q", line, fields[1])
+		}
+		out = append(out, int32(v-1))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteSources emits a .ss file.
+func WriteSources(w io.Writer, sources []int32) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p aux sp ss %d\n", len(sources))
+	for _, s := range sources {
+		fmt.Fprintf(bw, "s %d\n", s+1)
+	}
+	return bw.Flush()
+}

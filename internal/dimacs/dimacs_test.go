@@ -1,0 +1,140 @@
+package dimacs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+)
+
+func TestReadSimpleGraph(t *testing.T) {
+	in := `c tiny test graph
+p sp 3 4
+a 1 2 5
+a 2 1 5
+a 2 3 7
+a 3 2 7
+`
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	d := dijkstra.SSSP(g, 0)
+	if d[2] != 12 {
+		t.Fatalf("d[2] = %d", d[2])
+	}
+}
+
+func TestReadSingleArcPerEdge(t *testing.T) {
+	in := "p sp 2 1\na 1 2 3\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatalf("bad graph: %v", g)
+	}
+}
+
+func TestReadParallelEdgesPreserved(t *testing.T) {
+	// Two distinct parallel undirected edges, each listed as two arcs.
+	in := "p sp 2 4\na 1 2 3\na 2 1 3\na 1 2 3\na 2 1 3\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m=%d, want 2 parallel edges", g.NumEdges())
+	}
+}
+
+func TestReadSelfLoop(t *testing.T) {
+	in := "p sp 1 1\na 1 1 9\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem line":    "a 1 2 3\n",
+		"duplicate p":        "p sp 2 0\np sp 2 0\n",
+		"bad record":         "p sp 2 1\nx 1 2 3\n",
+		"zero weight":        "p sp 2 1\na 1 2 0\n",
+		"negative weight":    "p sp 2 1\na 1 2 -4\n",
+		"zero-based vertex":  "p sp 2 1\na 0 1 3\n",
+		"out-of-range":       "p sp 2 1\na 1 3 3\n",
+		"arc count mismatch": "p sp 2 2\na 1 2 3\n",
+		"malformed arc":      "p sp 2 1\na 1 2\n",
+		"not sp":             "p max 2 1\n",
+		"empty":              "",
+	}
+	for name, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := gen.Random(200, 800, 1<<10, gen.PWD, 5)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g, "round trip\nsecond comment line"); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %v vs %v", g2, g)
+	}
+	// Distances must be identical.
+	a, b := dijkstra.SSSP(g, 0), dijkstra.SSSP(g2, 0)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("distance changed at %d: %d vs %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestSourcesRoundTrip(t *testing.T) {
+	want := []int32{0, 5, 17, 123}
+	var buf bytes.Buffer
+	if err := WriteSources(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSources(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestReadSourcesErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"malformed": "s\n",
+		"zero":      "s 0\n",
+		"garbage":   "s abc\n",
+	} {
+		if _, err := ReadSources(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package dimacs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph checks that the reader never panics on arbitrary input and
+// that anything it accepts is a structurally valid graph that survives a
+// write/read round trip.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("p sp 3 4\na 1 2 5\na 2 1 5\na 2 3 7\na 3 2 7\n")
+	f.Add("c comment\np sp 1 1\na 1 1 9\n")
+	f.Add("p sp 2 1\na 1 2 3\n")
+	f.Add("p sp 0 0\n")
+	f.Add("")
+	f.Add("p sp 2 2\na 1 2 1000000000\na 2 1 1000000000\n")
+	f.Add("a 1 2 3\np sp 2 1\n")
+	f.Add("p sp 2 1\na 1 2 -1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGraph(strings.NewReader(in))
+		if err != nil {
+			return // rejected: fine, as long as no panic
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted invalid graph: %v\ninput: %q", verr, in)
+		}
+		var buf bytes.Buffer
+		if werr := WriteGraph(&buf, g, ""); werr != nil {
+			t.Fatalf("write: %v", werr)
+		}
+		g2, rerr := ReadGraph(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v", rerr)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+		}
+	})
+}
+
+// FuzzReadSources checks the .ss parser never panics and bounds its output.
+func FuzzReadSources(f *testing.F) {
+	f.Add("p aux sp ss 2\ns 1\ns 7\n")
+	f.Add("s 0\n")
+	f.Add("c\n\n\ns 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		sources, err := ReadSources(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, s := range sources {
+			if s < 0 {
+				t.Fatalf("negative source %d accepted from %q", s, in)
+			}
+		}
+	})
+}

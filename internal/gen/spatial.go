@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Geometric generates a random geometric graph: n points uniform in the unit
+// square, an edge between every pair within distance radius, with the edge
+// weight proportional to the Euclidean distance (scaled so the longest
+// possible edge weighs c). This is a closer road-network surrogate than the
+// grid — low degree, high diameter, spatially correlated weights — and
+// serves the paper's §6 future-work scenario alongside GridGraph.
+//
+// Neighbour search uses a uniform cell grid, so generation is O(n) expected
+// for constant expected degree.
+func Geometric(n int, radius float64, c uint32, seed uint64) *graph.Graph {
+	if n < 1 {
+		panic("gen: Geometric requires n >= 1")
+	}
+	if radius <= 0 || radius > 1 {
+		panic("gen: Geometric requires 0 < radius <= 1")
+	}
+	if c < 1 {
+		c = 1
+	}
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	// Bucket points into cells of side >= radius.
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	side := 1.0 / float64(cells)
+	cellOf := func(x, y float64) (int, int) {
+		cx := int(x / side)
+		cy := int(y / side)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	grid := make([][]int32, cells*cells)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(xs[i], ys[i])
+		grid[cy*cells+cx] = append(grid[cy*cells+cx], int32(i))
+	}
+
+	b := graph.NewBuilder(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(xs[i], ys[i])
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				for _, j := range grid[ny*cells+nx] {
+					if j <= int32(i) {
+						continue // each pair once
+					}
+					ddx := xs[i] - xs[j]
+					ddy := ys[i] - ys[j]
+					d2 := ddx*ddx + ddy*ddy
+					if d2 > r2 {
+						continue
+					}
+					w := uint32(math.Sqrt(d2) / radius * float64(c))
+					if w < 1 {
+						w = 1
+					}
+					b.MustAddEdge(int32(i), j, w)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SmallWorld generates a Watts–Strogatz-style small-world graph: a ring
+// lattice where each vertex connects to its k nearest neighbours on each
+// side, with each lattice edge rewired to a uniform random endpoint with
+// probability p. Weights follow dist over [1, c]. Small p interpolates
+// between the high-diameter lattice (road-like) and an expander — useful for
+// studying where delta-stepping's bucket count collapses.
+func SmallWorld(n, k int, p float64, c uint32, dist WeightDist, seed uint64) *graph.Graph {
+	if n < 3 || k < 1 || 2*k >= n {
+		panic("gen: SmallWorld requires n >= 3 and 1 <= k < n/2")
+	}
+	if p < 0 || p > 1 {
+		panic("gen: SmallWorld requires 0 <= p <= 1")
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			u := (v + j) % n
+			if r.Float64() < p {
+				u = r.Intn(n)
+			}
+			b.MustAddEdge(int32(v), int32(u), sampleWeight(r, c, dist))
+		}
+	}
+	return b.Build()
+}

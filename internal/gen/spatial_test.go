@@ -1,0 +1,135 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestGeometricBasics(t *testing.T) {
+	g := Geometric(2000, 0.05, 64, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	// Expected degree ~ n*pi*r^2 ~ 15.7; allow wide slack.
+	if mean := g.Degrees().Mean; mean < 5 || mean > 40 {
+		t.Fatalf("mean degree %.1f implausible", mean)
+	}
+	if g.MaxWeight() > 64 || (g.NumEdges() > 0 && g.MinWeight() < 1) {
+		t.Fatalf("weights [%d,%d]", g.MinWeight(), g.MaxWeight())
+	}
+}
+
+func TestGeometricDeterministic(t *testing.T) {
+	a := Geometric(500, 0.08, 32, 9)
+	b := Geometric(500, 0.08, 32, 9)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("nondeterministic")
+	}
+}
+
+func TestGeometricNoFarEdges(t *testing.T) {
+	// All weights must be <= c (edges only within the radius).
+	g := Geometric(1000, 0.1, 100, 3)
+	for _, e := range g.Edges() {
+		if e.W > 100 {
+			t.Fatalf("weight %d exceeds scale", e.W)
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Geometric(0, 0.1, 10, 1) },
+		func() { Geometric(10, 0, 10, 1) },
+		func() { Geometric(10, 1.5, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSmallWorldBasics(t *testing.T) {
+	g := SmallWorld(1000, 3, 0.1, 64, UWD, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3000 {
+		t.Fatalf("m=%d, want nk", g.NumEdges())
+	}
+	if !isConnected(g) {
+		// The base lattice is connected; rewiring rarely disconnects at
+		// p=0.1 with k=3, but it is possible — only warn via retry seed.
+		t.Log("small-world instance disconnected (acceptable, rare)")
+	}
+}
+
+func TestSmallWorldLatticeAtPZero(t *testing.T) {
+	g := SmallWorld(100, 2, 0, 16, UWD, 3)
+	// Pure ring lattice: every vertex has degree exactly 2k.
+	st := g.Degrees()
+	if st.Min != 4 || st.Max != 4 {
+		t.Fatalf("lattice degrees [%d,%d], want exactly 4", st.Min, st.Max)
+	}
+}
+
+func TestSmallWorldShrinkingDiameter(t *testing.T) {
+	// Rewiring must cut the (hop) diameter dramatically versus the lattice.
+	ecc := func(p float64) int {
+		g := SmallWorld(2000, 2, p, 1, UWD, 7)
+		// BFS from 0 inline (unit weights).
+		n := g.NumVertices()
+		level := make([]int, n)
+		for i := range level {
+			level[i] = -1
+		}
+		level[0] = 0
+		frontier := []int32{0}
+		max := 0
+		for len(frontier) > 0 {
+			var next []int32
+			for _, v := range frontier {
+				ts, _ := g.Neighbors(v)
+				for _, u := range ts {
+					if level[u] < 0 {
+						level[u] = level[v] + 1
+						if level[u] > max {
+							max = level[u]
+						}
+						next = append(next, u)
+					}
+				}
+			}
+			frontier = next
+		}
+		return max
+	}
+	lattice, rewired := ecc(0), ecc(0.2)
+	if rewired*4 > lattice {
+		t.Fatalf("rewiring did not shrink eccentricity: %d vs %d", rewired, lattice)
+	}
+}
+
+func TestSmallWorldPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { SmallWorld(2, 1, 0, 1, UWD, 1) },
+		func() { SmallWorld(10, 5, 0, 1, UWD, 1) },
+		func() { SmallWorld(10, 1, 1.5, 1, UWD, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mustBuild(t *testing.T, n int, edges [][3]int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(int32(e[0]), int32(e[1]), uint32(e[2])); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d arcs=%d", g.NumVertices(), g.NumEdges(), g.NumArcs())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleVertexNoEdges(t *testing.T) {
+	g := mustBuild(t, 1, nil)
+	if g.Degree(0) != 0 {
+		t.Fatalf("degree = %d", g.Degree(0))
+	}
+	if g.MaxWeight() != 0 || g.MinWeight() != 0 {
+		t.Fatalf("weights of edgeless graph: [%d,%d]", g.MinWeight(), g.MaxWeight())
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	g := mustBuild(t, 3, [][3]int{{0, 1, 5}, {1, 2, 7}, {2, 0, 9}})
+	if g.NumEdges() != 3 || g.NumArcs() != 6 {
+		t.Fatalf("m=%d arcs=%d", g.NumEdges(), g.NumArcs())
+	}
+	for v := int32(0); v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("degree(%d)=%d", v, g.Degree(v))
+		}
+	}
+	if g.MinWeight() != 5 || g.MaxWeight() != 9 {
+		t.Fatalf("weight range [%d,%d]", g.MinWeight(), g.MaxWeight())
+	}
+	ts, ws := g.Neighbors(1)
+	sum := uint32(0)
+	for i := range ts {
+		sum += ws[i]
+	}
+	if sum != 12 {
+		t.Fatalf("vertex 1 incident weight sum = %d, want 12", sum)
+	}
+}
+
+func TestSelfLoopStoredOnce(t *testing.T) {
+	g := mustBuild(t, 2, [][3]int{{0, 0, 3}, {0, 1, 1}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+	if g.Degree(0) != 2 { // one arc for the loop + one for (0,1)
+		t.Fatalf("degree(0)=%d", g.Degree(0))
+	}
+	if g.NumArcs() != 3 {
+		t.Fatalf("arcs=%d", g.NumArcs())
+	}
+}
+
+func TestParallelEdgesKept(t *testing.T) {
+	g := mustBuild(t, 2, [][3]int{{0, 1, 4}, {0, 1, 2}, {1, 0, 6}})
+	if g.NumEdges() != 3 || g.Degree(0) != 3 || g.Degree(1) != 3 {
+		t.Fatalf("parallel edges mishandled: m=%d deg0=%d deg1=%d", g.NumEdges(), g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestDropSelfLoops(t *testing.T) {
+	b := NewBuilder(2).DropSelfLoops()
+	b.MustAddEdge(0, 0, 3)
+	b.MustAddEdge(0, 1, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("m=%d, want 1", g.NumEdges())
+	}
+}
+
+func TestDropParallelKeepsLightest(t *testing.T) {
+	b := NewBuilder(3).DropParallelEdges()
+	b.MustAddEdge(0, 1, 4)
+	b.MustAddEdge(1, 0, 2)
+	b.MustAddEdge(0, 1, 6)
+	b.MustAddEdge(1, 2, 9)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("m=%d, want 2", g.NumEdges())
+	}
+	ts, ws := g.Neighbors(0)
+	if len(ts) != 1 || ts[0] != 1 || ws[0] != 2 {
+		t.Fatalf("kept edge (%v,%v); want (1, w=2)", ts, ws)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 2, 1); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := b.AddEdge(-1, 0, 1); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := b.AddEdge(0, 1, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := b.AddEdge(0, 1, MaxWeight+1); err == nil {
+		t.Error("oversized weight accepted")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := [][3]int{{0, 1, 5}, {1, 2, 7}, {2, 0, 9}, {3, 3, 2}, {1, 3, 1}}
+	g := mustBuild(t, 4, in)
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("Edges() returned %d edges, want %d", len(out), len(in))
+	}
+	g2 := FromEdges(4, out)
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumArcs() != g.NumArcs() {
+		t.Fatalf("round trip changed sizes: %v vs %v", g2, g)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// Path 0-1-2-3 plus chord (0,3) and loop at 2.
+	g := mustBuild(t, 4, [][3]int{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {0, 3, 4}, {2, 2, 5}})
+	sub, new2old := g.InducedSubgraph([]int32{1, 2, 3})
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 {
+		t.Fatalf("n=%d", sub.NumVertices())
+	}
+	// Edges kept: (1,2), (2,3), loop at 2 => 3 edges.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("m=%d, want 3", sub.NumEdges())
+	}
+	if new2old[0] != 1 || new2old[1] != 2 || new2old[2] != 3 {
+		t.Fatalf("mapping %v", new2old)
+	}
+}
+
+func TestContract(t *testing.T) {
+	// Two triangles joined by one heavy edge; contract each triangle.
+	g := mustBuild(t, 6, [][3]int{
+		{0, 1, 1}, {1, 2, 1}, {2, 0, 1},
+		{3, 4, 1}, {4, 5, 1}, {5, 3, 1},
+		{2, 3, 10},
+	})
+	label := []int32{0, 0, 0, 1, 1, 1}
+	c := g.Contract(label, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVertices() != 2 || c.NumEdges() != 1 {
+		t.Fatalf("contracted: %v", c)
+	}
+	ts, ws := c.Neighbors(0)
+	if len(ts) != 1 || ts[0] != 1 || ws[0] != 10 {
+		t.Fatalf("contracted edge wrong: %v %v", ts, ws)
+	}
+}
+
+func TestContractKeepsMultiplicity(t *testing.T) {
+	g := mustBuild(t, 4, [][3]int{{0, 2, 1}, {1, 3, 2}, {0, 1, 3}})
+	label := []int32{0, 0, 1, 1}
+	c := g.Contract(label, 2)
+	// Edges (0,2) and (1,3) both become (0,1); the (0,1) edge disappears.
+	if c.NumEdges() != 2 {
+		t.Fatalf("m=%d, want 2 (multiplicity preserved)", c.NumEdges())
+	}
+}
+
+func TestContractZeroEdges(t *testing.T) {
+	// 0 -0- 1 -5- 2 -0- 3, plus 0 -7- 3
+	edges := []Edge{
+		{0, 1, 0}, {1, 2, 5}, {2, 3, 0}, {0, 3, 7},
+	}
+	g, label := ContractZeroEdges(4, edges)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 {
+		t.Fatalf("n=%d, want 2", g.NumVertices())
+	}
+	if label[0] != label[1] || label[2] != label[3] || label[0] == label[2] {
+		t.Fatalf("labels %v", label)
+	}
+	// Both positive edges survive ({0,1}-{2,3} twice: w=5 and w=7).
+	if g.NumEdges() != 2 {
+		t.Fatalf("m=%d, want 2", g.NumEdges())
+	}
+}
+
+func TestContractZeroEdgesDropsInternal(t *testing.T) {
+	// Positive edge inside a zero-component is dropped.
+	edges := []Edge{{0, 1, 0}, {0, 1, 9}, {1, 2, 4}}
+	g, _ := ContractZeroEdges(3, edges)
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestContractZeroEdgesNoZeros(t *testing.T) {
+	edges := []Edge{{0, 1, 2}, {1, 2, 3}}
+	g, label := ContractZeroEdges(3, edges)
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %v", g)
+	}
+	for v, l := range label {
+		if int32(v) != l {
+			t.Fatalf("label[%d]=%d", v, l)
+		}
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := mustBuild(t, 4, [][3]int{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}})
+	st := g.Degrees()
+	if st.Min != 1 || st.Max != 3 || st.Mean != 1.5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	g := mustBuild(t, 3, [][3]int{{0, 1, 1}})
+	if g.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := mustBuild(t, 3, [][3]int{{0, 1, 1}, {1, 2, 2}})
+	g.targets[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range target")
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := mustBuild(t, 3, [][3]int{{0, 1, 1}})
+	g.weights[0] = 7 // one direction only
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric arcs")
+	}
+}
+
+// Property: for random edge lists, CSR degrees sum to arc count and Edges()
+// reproduces the same multiset of edges.
+func TestQuickCSRConsistency(t *testing.T) {
+	r := rng.New(321)
+	f := func(seed uint32) bool {
+		n := int(seed%50) + 1
+		m := int(seed % 200)
+		b := NewBuilder(n)
+		for i := 0; i < m; i++ {
+			b.MustAddEdge(int32(r.Intn(n)), int32(r.Intn(n)), uint32(r.Intn(100)+1))
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		total := 0
+		for v := int32(0); v < int32(n); v++ {
+			total += g.Degree(v)
+		}
+		if int64(total) != g.NumArcs() {
+			return false
+		}
+		return len(g.Edges()) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: contracting by the identity labelling only removes self-loops.
+func TestQuickContractIdentity(t *testing.T) {
+	r := rng.New(654)
+	f := func(seed uint32) bool {
+		n := int(seed%40) + 2
+		b := NewBuilder(n)
+		loops := 0
+		for i := 0; i < 3*n; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v {
+				loops++
+			}
+			b.MustAddEdge(u, v, uint32(r.Intn(9)+1))
+		}
+		g := b.Build()
+		id := make([]int32, n)
+		for i := range id {
+			id[i] = int32(i)
+		}
+		c := g.Contract(id, n)
+		return c.NumEdges() == g.NumEdges()-int64(loops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderReuseAfterBuild(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1, 2)
+	g1 := b.Build()
+	b.MustAddEdge(1, 2, 3)
+	g2 := b.Build()
+	if g1.NumEdges() != 1 || g2.NumEdges() != 2 {
+		t.Fatalf("builder reuse broken: %d, %d", g1.NumEdges(), g2.NumEdges())
+	}
+	if b.NumPendingEdges() != 2 {
+		t.Fatalf("pending %d", b.NumPendingEdges())
+	}
+}
+
+func TestNewBuilderPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBuilder(-1) did not panic")
+		}
+	}()
+	NewBuilder(-1)
+}
+
+func TestNeighborsAliasImmutable(t *testing.T) {
+	g := mustBuild(t, 3, [][3]int{{0, 1, 5}, {1, 2, 7}})
+	ts1, ws1 := g.Neighbors(1)
+	ts2, ws2 := g.Neighbors(1)
+	if &ts1[0] != &ts2[0] || &ws1[0] != &ws2[0] {
+		t.Fatal("Neighbors should alias the same storage (zero-copy)")
+	}
+}

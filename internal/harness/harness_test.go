@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns a config small enough for unit tests.
+func tiny() Config {
+	c := DefaultConfig()
+	c.LogN = 9
+	c.ProcSweep = []int{1, 8, 40}
+	c.SourceCounts = []int{1, 4, 8}
+	c.Verify = true
+	return c
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Note:   "a note",
+		Header: []string{"A", "LongHeader"},
+	}
+	tb.AddRow("x", 3.14159)
+	tb.AddRow("yyyy", "z")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "3.14") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	var csv bytes.Buffer
+	if err := tb.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 || lines[0] != "A,LongHeader" {
+		t.Fatalf("bad csv:\n%s", csv.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{Header: []string{"x"}}
+	tb.AddRow(`a,"b"`)
+	var csv bytes.Buffer
+	if err := tb.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), `"a,""b"""`) {
+		t.Fatalf("bad escaping: %s", csv.String())
+	}
+}
+
+func TestFamiliesMatchPaper(t *testing.T) {
+	c := tiny()
+	fams := c.Families()
+	if len(fams) != 6 {
+		t.Fatalf("%d families", len(fams))
+	}
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name()
+	}
+	want := []string{
+		"Rand-UWD-2^9-2^9", "Rand-PWD-2^9-2^9", "Rand-UWD-2^9-2^2",
+		"RMAT-UWD-2^9-2^9", "RMAT-PWD-2^9-2^9", "RMAT-UWD-2^9-2^2",
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("family %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	c := tiny()
+	for _, name := range Order {
+		fn, ok := Experiments[name]
+		if !ok {
+			t.Fatalf("experiment %s missing from map", name)
+		}
+		tb, err := fn(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", name)
+		}
+		if len(tb.Header) == 0 {
+			t.Errorf("%s has no header", name)
+		}
+		for ri, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("%s row %d has %d cells, header has %d", name, ri, len(row), len(tb.Header))
+			}
+		}
+	}
+}
+
+func parseSpeedup(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestTable3SpeedupsAboveOne(t *testing.T) {
+	c := tiny()
+	c.LogN = 15 // CH construction needs real work to amortise loop forks
+	tb, err := c.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if s := parseSpeedup(t, row[2]); s <= 1 {
+			t.Errorf("%s: CH speedup %v not above 1", row[0], s)
+		}
+	}
+}
+
+func TestTable4SpeedupsAboveOne(t *testing.T) {
+	c := tiny()
+	c.LogN = 13 // needs enough parallel work to beat fork costs
+	tb, err := c.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if s := parseSpeedup(t, row[2]); s <= 1 {
+			t.Errorf("%s: Thorup speedup %v not above 1", row[0], s)
+		}
+	}
+}
+
+func TestTable6SelectiveWins(t *testing.T) {
+	c := tiny()
+	c.LogN = 11
+	tb, err := c.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if ratio := parseSpeedup(t, row[3]); ratio <= 1 {
+			t.Errorf("%s: Thorup A/B ratio %v not above 1", row[0], ratio)
+		}
+	}
+}
+
+func TestFigure5SharedCHBeatsSequentialThorup(t *testing.T) {
+	c := tiny()
+	c.LogN = 12
+	c.SourceCounts = []int{1, 8}
+	tb, err := c.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return v
+	}
+	// At the largest source count, simultaneous shared-CH runs must beat the
+	// sequential Thorup baseline (the paper's headline Figure 5 claim).
+	for _, row := range tb.Rows {
+		if row[1] != "8" {
+			continue
+		}
+		baseline := parse(row[2])
+		simul := parse(row[4])
+		if simul >= baseline {
+			t.Errorf("%s k=8: simul %v not below sequential baseline %v", row[0], simul, baseline)
+		}
+	}
+}
+
+func TestPropagationExperimentShape(t *testing.T) {
+	c := tiny()
+	tb, err := c.Propagation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		hops, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad hops cell %q", row[2])
+		}
+		height, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad height cell %q", row[3])
+		}
+		if hops <= 0 || hops > height {
+			t.Errorf("%s: hops %v vs height %v", row[0], hops, height)
+		}
+	}
+}
+
+func TestAnomalyExperimentInflatesSpeedup(t *testing.T) {
+	c := tiny()
+	c.LogN = 12
+	tb, err := c.Anomaly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := parseSpeedup(t, tb.Rows[0][1])
+	anomalous := parseSpeedup(t, tb.Rows[0][2])
+	if anomalous <= honest {
+		t.Fatalf("anomalous %v not above honest %v", anomalous, honest)
+	}
+}

@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// RenderASCII draws the series as a log-y scatter plot in plain text, the
+// terminal equivalent of the paper's Figures 4 and 5. Each series gets a
+// distinct marker; overlapping points show the later series' marker.
+func RenderASCII(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue // log scale: skip non-positive
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + "\n(no data)\n"
+	}
+	logMin, logMax := math.Log(minY), math.Log(maxY)
+	if logMax-logMin < 1e-9 {
+		logMax = logMin + 1
+	}
+	if maxX-minX < 1e-9 {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := int((math.Log(s.Y[i]) - logMin) / (logMax - logMin) * float64(height-1))
+			grid[height-1-row][col] = m
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	topLabel := formatTick(maxY)
+	botLabel := formatTick(minY)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%s  %-*s%s\n", strings.Repeat(" ", labelW), width-len(formatTick(maxX)), formatTick(minX), formatTick(maxX))
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// PlotFromTable converts a table with (series, x, y) columns into an ASCII
+// plot. yParse extracts the numeric y value from the cell (e.g. stripping a
+// trailing "s").
+func PlotFromTable(t *Table, seriesCol, xCol, yCol int, width, height int) string {
+	bySeries := map[string]*Series{}
+	var order []string
+	for _, row := range t.Rows {
+		name := row[seriesCol]
+		x, errX := strconv.ParseFloat(strings.TrimSuffix(row[xCol], "s"), 64)
+		y, errY := strconv.ParseFloat(strings.TrimSuffix(row[yCol], "s"), 64)
+		if errX != nil || errY != nil {
+			continue
+		}
+		s, ok := bySeries[name]
+		if !ok {
+			s = &Series{Name: name}
+			bySeries[name] = s
+			order = append(order, name)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	sort.Strings(order)
+	series := make([]Series, 0, len(order))
+	for _, name := range order {
+		series = append(series, *bySeries[name])
+	}
+	return RenderASCII(t.Title+" (log y)", series, width, height)
+}

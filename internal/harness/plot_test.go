@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderASCIIBasics(t *testing.T) {
+	out := RenderASCII("demo", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 10, 100}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{100, 10, 1}},
+	}, 40, 10)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("no markers:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	out := RenderASCII("empty", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("got %q", out)
+	}
+	// Non-positive ys are skipped on the log scale.
+	out2 := RenderASCII("zeros", []Series{{Name: "z", X: []float64{1}, Y: []float64{0}}}, 40, 10)
+	if !strings.Contains(out2, "no data") {
+		t.Fatalf("got %q", out2)
+	}
+}
+
+func TestRenderASCIIConstantSeries(t *testing.T) {
+	out := RenderASCII("flat", []Series{{Name: "c", X: []float64{5}, Y: []float64{7}}}, 30, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant point missing:\n%s", out)
+	}
+}
+
+func TestPlotFromTable(t *testing.T) {
+	tb := &Table{Header: []string{"Series", "X", "Y"}, Title: "fig"}
+	tb.AddRow("th", "1", "0.01s")
+	tb.AddRow("th", "2", "0.005s")
+	tb.AddRow("ch", "1", "0.02s")
+	tb.AddRow("ch", "2", "0.01s")
+	tb.AddRow("junk", "x", "y") // unparsable: skipped
+	out := PlotFromTable(tb, 0, 1, 2, 40, 8)
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "th") || !strings.Contains(out, "ch") {
+		t.Fatalf("plot:\n%s", out)
+	}
+}
+
+func TestFigure4Plots(t *testing.T) {
+	c := tiny()
+	c.LogN = 10
+	tb, err := c.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PlotFromTable(tb, 0, 1, 2, 60, 12)
+	if !strings.Contains(out, "ch-Rand-UWD") {
+		t.Fatalf("figure4 plot missing series:\n%s", out)
+	}
+}

@@ -1,0 +1,112 @@
+// Package harness defines and runs the paper's experiments: one function per
+// table and figure of the evaluation section (Tables 1–6, Figures 4–5), plus
+// the ablations DESIGN.md calls out. Each experiment returns a Table that
+// prints in the paper's layout and can also be emitted as CSV for plotting.
+//
+// Times come in two flavours, reported side by side where relevant:
+//
+//   - wall-clock seconds on the host (meaningful for serial comparisons such
+//     as Table 1);
+//   - simulated MTA-2 seconds, i.e. modelled cycles / 220 MHz, for everything
+//     that depends on the 40-processor machine (Tables 3–6, Figures 4–5).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title  string
+	Note   string // one-line caption detail (scale, substitutions)
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// Fprint writes the aligned table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "(%s)\n", t.Note)
+	}
+	line := strings.Repeat("-", total)
+	fmt.Fprintln(w, line)
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(t.Header)
+	fmt.Fprintln(w, line)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+// WriteCSV emits the table as CSV (header + rows) for plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

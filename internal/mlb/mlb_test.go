@@ -1,0 +1,135 @@
+package mlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func sameDists(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPath(t *testing.T) {
+	g := gen.Path(8, 5)
+	d := SSSP(g, 0)
+	for v := 0; v < 8; v++ {
+		if d[v] != int64(5*v) {
+			t.Fatalf("d[%d] = %d", v, d[v])
+		}
+	}
+}
+
+func TestUnreachableAndTrivial(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 2)
+	g := b.Build()
+	d := SSSP(g, 0)
+	if d[2] != graph.Inf || d[1] != 2 || d[0] != 0 {
+		t.Fatalf("d = %v", d)
+	}
+	if d := SSSP(graph.NewBuilder(1).Build(), 0); d[0] != 0 {
+		t.Fatalf("singleton: %v", d)
+	}
+	if d := SSSP(graph.NewBuilder(0).Build(), 0); len(d) != 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestLargeWeightSpread(t *testing.T) {
+	// Exercise many radix-heap redistributions: weights spanning 1..2^30.
+	b := graph.NewBuilder(5)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(1, 2, 1<<30)
+	b.MustAddEdge(2, 3, 1)
+	b.MustAddEdge(0, 4, 1<<29)
+	g := b.Build()
+	want := dijkstra.SSSP(g, 0)
+	if got := SSSP(g, 0); !sameDists(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if got := SSSPNoCaliber(g, 0); !sameDists(got, want) {
+		t.Fatalf("no-caliber: got %v want %v", got, want)
+	}
+}
+
+func TestAgainstDijkstraOnFamilies(t *testing.T) {
+	gs := []*graph.Graph{
+		gen.Random(1000, 4000, 1<<20, gen.UWD, 1),
+		gen.Random(1000, 4000, 1<<20, gen.PWD, 2),
+		gen.Random(1000, 4000, 4, gen.UWD, 3),
+		gen.RMATGraph(1024, 4096, 1<<10, gen.UWD, 4),
+		gen.GridGraph(30, 30, 64, gen.UWD, 5),
+		gen.Star(100, 7),
+		gen.Cycle(101, 3),
+	}
+	for gi, g := range gs {
+		for _, src := range []int32{0, int32(g.NumVertices() / 2)} {
+			want := dijkstra.SSSP(g, src)
+			if got := SSSP(g, src); !sameDists(got, want) {
+				t.Errorf("graph %d src %d: caliber MLB != Dijkstra", gi, src)
+			}
+			if got := SSSPNoCaliber(g, src); !sameDists(got, want) {
+				t.Errorf("graph %d src %d: plain MLB != Dijkstra", gi, src)
+			}
+		}
+	}
+}
+
+// Property: MLB (both variants) matches Dijkstra on random multigraphs.
+func TestQuickMatchesDijkstra(t *testing.T) {
+	f := func(seed uint32, pwd, smallC bool) bool {
+		n := int(seed%120) + 1
+		dist := gen.UWD
+		if pwd {
+			dist = gen.PWD
+		}
+		c := uint32(1 << 16)
+		if smallC {
+			c = 4
+		}
+		g := gen.Random(n, 4*n, c, dist, uint64(seed))
+		src := int32(seed % uint32(n))
+		want := dijkstra.SSSP(g, src)
+		return sameDists(SSSP(g, src), want) && sameDists(SSSPNoCaliber(g, src), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaliberSkipsBucketWork(t *testing.T) {
+	// On a uniform random graph the caliber variant must produce identical
+	// results; this is a smoke test that both paths execute.
+	g := gen.Random(5000, 20000, 1<<20, gen.UWD, 99)
+	if !sameDists(SSSP(g, 0), SSSPNoCaliber(g, 0)) {
+		t.Fatal("caliber changed distances")
+	}
+}
+
+func BenchmarkMLBCaliber(b *testing.B) {
+	g := gen.Random(1<<14, 1<<16, 1<<14, gen.UWD, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SSSP(g, 0)
+	}
+}
+
+func BenchmarkMLBNoCaliber(b *testing.B) {
+	g := gen.Random(1<<14, 1<<16, 1<<14, gen.UWD, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SSSPNoCaliber(g, 0)
+	}
+}

@@ -1,0 +1,58 @@
+package mlb
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Simulate monotone usage: pop min, then insert/decrease keys >= popped.
+func TestRadixHeapStress(t *testing.T) {
+	r := rng.New(99)
+	h := newRadixHeap(5000)
+	live := map[int32]int64{}
+	next := int32(0)
+	// seed
+	h.insertOrDecrease(next, 0)
+	live[next] = 0
+	next++
+	lastPop := int64(-1)
+	for ops := 0; ops < 200000 && h.size > 0; ops++ {
+		v, ok := h.popMin()
+		if !ok {
+			break
+		}
+		k := h.key[v]
+		// verify v was min among live
+		for u, ku := range live {
+			if ku < k {
+				t.Fatalf("op %d: popped key %d (v=%d) but %d has key %d", ops, k, v, u, ku)
+			}
+		}
+		if k < lastPop {
+			t.Fatalf("op %d: non-monotone pop %d after %d", ops, k, lastPop)
+		}
+		lastPop = k
+		delete(live, v)
+		// random relaxations: insert new or decrease existing, keys > k
+		for j := 0; j < 3; j++ {
+			if r.Intn(2) == 0 && int(next) < 5000 {
+				nk := k + 1 + int64(r.Intn(1<<16))
+				h.insertOrDecrease(next, nk)
+				live[next] = nk
+				next++
+			} else {
+				// decrease a random live vertex toward k+1
+				for u, ku := range live {
+					nk := k + 1 + int64(r.Intn(1<<8))
+					if nk < ku {
+						h.insertOrDecrease(u, nk)
+						live[u] = nk
+					}
+					break
+				}
+			}
+		}
+	}
+	_ = next
+}

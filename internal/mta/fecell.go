@@ -1,0 +1,99 @@
+package mta
+
+import "sync"
+
+// FECell emulates an MTA full/empty-bit synchronized memory word. Every
+// memory word on the MTA-2 carries a full/empty tag bit; synchronized loads
+// (readfe) block until the word is full and leave it empty, synchronized
+// stores (writeef) block until the word is empty and leave it full. These
+// primitives are the machine's native fine-grained synchronization and the
+// basis of MTGL's lock-free-looking kernels.
+//
+// The zero value is an empty cell holding 0.
+type FECell struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	val  int64
+	full bool
+}
+
+// NewFull returns a cell that starts full with the given value.
+func NewFull(v int64) *FECell {
+	c := &FECell{val: v, full: true}
+	return c
+}
+
+func (c *FECell) lockInit() {
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+}
+
+// ReadFE blocks until the cell is full, returns its value, and leaves the
+// cell empty (the MTA readfe operation).
+func (c *FECell) ReadFE() int64 {
+	c.mu.Lock()
+	c.lockInit()
+	for !c.full {
+		c.cond.Wait()
+	}
+	c.full = false
+	v := c.val
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return v
+}
+
+// WriteEF blocks until the cell is empty, stores v, and leaves the cell full
+// (the MTA writeef operation).
+func (c *FECell) WriteEF(v int64) {
+	c.mu.Lock()
+	c.lockInit()
+	for c.full {
+		c.cond.Wait()
+	}
+	c.val = v
+	c.full = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// ReadFF blocks until the cell is full and returns its value, leaving it full
+// (the MTA readff operation).
+func (c *FECell) ReadFF() int64 {
+	c.mu.Lock()
+	c.lockInit()
+	for !c.full {
+		c.cond.Wait()
+	}
+	v := c.val
+	c.mu.Unlock()
+	return v
+}
+
+// WriteXF stores v and marks the cell full regardless of its previous state
+// (the MTA unconditional tagged store).
+func (c *FECell) WriteXF(v int64) {
+	c.mu.Lock()
+	c.lockInit()
+	c.val = v
+	c.full = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// IntFetchAdd atomically adds delta to a full cell and returns the previous
+// value (the MTA int_fetch_add primitive, the machine's workhorse for
+// parallel reductions and queue indices). It blocks until the cell is full.
+func (c *FECell) IntFetchAdd(delta int64) int64 {
+	c.mu.Lock()
+	c.lockInit()
+	for !c.full {
+		c.cond.Wait()
+	}
+	v := c.val
+	c.val += delta
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return v
+}

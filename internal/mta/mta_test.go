@@ -1,0 +1,236 @@
+package mta
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLanes(t *testing.T) {
+	m := MTA2(40)
+	if m.Lanes(Serial) != 1 {
+		t.Errorf("serial lanes = %d", m.Lanes(Serial))
+	}
+	if m.Lanes(SinglePar) != 100 {
+		t.Errorf("single-proc lanes = %d", m.Lanes(SinglePar))
+	}
+	if m.Lanes(MultiPar) != 4000 {
+		t.Errorf("multi-proc lanes = %d", m.Lanes(MultiPar))
+	}
+}
+
+func TestForkCostOrdering(t *testing.T) {
+	m := MTA2(4)
+	if !(m.ForkCost(Serial) < m.ForkCost(SinglePar) && m.ForkCost(SinglePar) < m.ForkCost(MultiPar)) {
+		t.Fatalf("fork costs not ordered: %d %d %d",
+			m.ForkCost(Serial), m.ForkCost(SinglePar), m.ForkCost(MultiPar))
+	}
+}
+
+func TestInvalidProcsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MTA2(0) did not panic")
+		}
+	}()
+	MTA2(0)
+}
+
+func TestSeconds(t *testing.T) {
+	m := MTA2(1)
+	if got := m.Seconds(220e6); got != 1.0 {
+		t.Fatalf("220e6 cycles = %v s, want 1", got)
+	}
+}
+
+func TestMakespanBrent(t *testing.T) {
+	c := Cost{Work: 1000, Span: 10}
+	if got := c.Makespan(1); got != 1010 {
+		t.Errorf("1 lane: %d", got)
+	}
+	if got := c.Makespan(100); got != 20 {
+		t.Errorf("100 lanes: %d", got)
+	}
+	if got := c.Makespan(0); got != 1010 {
+		t.Errorf("0 lanes should clamp to 1: %d", got)
+	}
+}
+
+func TestParallelLoopSerialHasNoFork(t *testing.T) {
+	m := MTA2(40)
+	c := m.ParallelLoop(Serial, 100, 100, 5)
+	if c.Work != 100 {
+		t.Errorf("serial loop work = %d", c.Work)
+	}
+	if c.Span != 100 {
+		t.Errorf("serial loop span = %d (want sumSpan)", c.Span)
+	}
+}
+
+func TestParallelLoopMultiSpeedsUp(t *testing.T) {
+	m := MTA2(40)
+	big := m.ParallelLoop(MultiPar, 1e9, 1e9, 100)
+	ser := m.ParallelLoop(Serial, 1e9, 1e9, 100)
+	if big.Span >= ser.Span {
+		t.Fatalf("multi-proc span %d not below serial span %d for large loop", big.Span, ser.Span)
+	}
+	// For a tiny loop the fork cost must dominate, making MultiPar worse.
+	smallM := m.ParallelLoop(MultiPar, 10, 10, 5)
+	smallS := m.ParallelLoop(Serial, 10, 10, 5)
+	if smallM.Span <= smallS.Span {
+		t.Fatalf("multi-proc span %d not above serial span %d for tiny loop", smallM.Span, smallS.Span)
+	}
+}
+
+func TestCoScheduleSpanBound(t *testing.T) {
+	m := MTA2(40)
+	jobs := []Cost{{Work: 100, Span: 1000}, {Work: 100, Span: 10}}
+	if got := m.CoSchedule(jobs); got != 1000 {
+		t.Fatalf("co-schedule = %d, want span bound 1000", got)
+	}
+}
+
+func TestCoScheduleWorkBound(t *testing.T) {
+	m := MTA2(1) // 100 lanes
+	jobs := []Cost{{Work: 100000, Span: 10}, {Work: 100000, Span: 10}}
+	if got := m.CoSchedule(jobs); got != 2000 {
+		t.Fatalf("co-schedule = %d, want work bound 2000", got)
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	c := Cost{Work: 1, Span: 2}
+	c.Add(Cost{Work: 10, Span: 20})
+	if c.Work != 11 || c.Span != 22 {
+		t.Fatalf("Add gave %+v", c)
+	}
+}
+
+// Property: makespan is monotone non-increasing in lanes and never below
+// span or work/lanes.
+func TestQuickMakespanBounds(t *testing.T) {
+	f := func(w, s uint32, lanes uint16) bool {
+		c := Cost{Work: int64(w), Span: int64(s)}
+		l := int64(lanes%512) + 1
+		ms := c.Makespan(l)
+		return ms >= c.Span && ms >= c.Work/l && ms <= c.Makespan(1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFECellHandoff(t *testing.T) {
+	c := &FECell{} // empty
+	done := make(chan int64)
+	go func() { done <- c.ReadFE() }()
+	c.WriteEF(42)
+	if v := <-done; v != 42 {
+		t.Fatalf("handoff got %d", v)
+	}
+	// Cell is now empty again; WriteEF must succeed immediately.
+	c.WriteEF(7)
+	if v := c.ReadFF(); v != 7 {
+		t.Fatalf("ReadFF got %d", v)
+	}
+	if v := c.ReadFF(); v != 7 {
+		t.Fatalf("ReadFF should leave full; second read got %d", v)
+	}
+}
+
+func TestFECellNewFull(t *testing.T) {
+	c := NewFull(9)
+	if v := c.ReadFE(); v != 9 {
+		t.Fatalf("got %d", v)
+	}
+	// Now empty: WriteXF forces full regardless.
+	c.WriteXF(11)
+	if v := c.ReadFF(); v != 11 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestIntFetchAddConcurrent(t *testing.T) {
+	c := NewFull(0)
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.IntFetchAdd(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := c.ReadFF(); v != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", v, workers*perWorker)
+	}
+}
+
+func TestFECellPingPong(t *testing.T) {
+	// Producer/consumer strict alternation through full/empty bits.
+	c := &FECell{}
+	const rounds = 200
+	var sum int64
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < rounds; i++ {
+			sum += c.ReadFE()
+		}
+		close(done)
+	}()
+	for i := 1; i <= rounds; i++ {
+		c.WriteEF(int64(i))
+	}
+	<-done
+	if want := int64(rounds * (rounds + 1) / 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestLoopModeString(t *testing.T) {
+	if Serial.String() != "serial" || SinglePar.String() != "single-proc" || MultiPar.String() != "multi-proc" {
+		t.Fatal("LoopMode strings wrong")
+	}
+	if LoopMode(9).String() == "" {
+		t.Fatal("unknown mode should still format")
+	}
+}
+
+func TestSingleProcAnomaly(t *testing.T) {
+	plain := MTA2(1)
+	anom := MTA2Anomalous(1)
+	if anom.Lanes(MultiPar) >= plain.Lanes(MultiPar) {
+		t.Fatalf("anomaly did not starve team loops: %d vs %d",
+			anom.Lanes(MultiPar), plain.Lanes(MultiPar))
+	}
+	// Only p=1 is affected.
+	if MTA2Anomalous(2).Lanes(MultiPar) != MTA2(2).Lanes(MultiPar) {
+		t.Fatal("anomaly leaked to p=2")
+	}
+	// SinglePar loops unaffected (they are not team-forked).
+	if anom.Lanes(SinglePar) != plain.Lanes(SinglePar) {
+		t.Fatal("anomaly affected single-processor loops")
+	}
+}
+
+func TestCoScheduleEmpty(t *testing.T) {
+	if MTA2(4).CoSchedule(nil) != 0 {
+		t.Fatal("empty job set should cost 0")
+	}
+}
+
+func TestFuturesLanesAndCost(t *testing.T) {
+	m := MTA2(40)
+	if m.Lanes(Futures) != m.Lanes(MultiPar) {
+		t.Fatal("futures should span the whole machine")
+	}
+	if m.ForkCost(Futures) >= m.ForkCost(SinglePar) {
+		t.Fatal("futures spawn should be cheaper than a team fork")
+	}
+	if Futures.String() != "futures" {
+		t.Fatal("string")
+	}
+}

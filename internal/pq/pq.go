@@ -1,0 +1,216 @@
+// Package pq provides the monotone priority queues used and compared by the
+// sequential shortest-path solvers: a pairing heap (comparison-based,
+// decrease-key in O(1) amortised) and Dial's bucket queue (one bucket per
+// distance value, the degenerate single-level version of the multi-level
+// buckets in internal/mlb).
+//
+// Both implement the same vertex-keyed interface as the heaps embedded in
+// internal/dijkstra, so the bench suite can attribute constant factors to the
+// queue choice — the axis along which the paper's Table 1 comparison
+// (Thorup vs bucket-based reference solver) differs.
+package pq
+
+import "fmt"
+
+// VertexQueue is a monotone priority queue over dense int32 vertex ids with
+// int64 keys. Keys passed to DecreaseKey must not be below the last popped
+// key (Dijkstra's monotonicity).
+type VertexQueue interface {
+	// InsertOrDecrease inserts v with the key, or lowers v's key if already
+	// queued (higher keys are ignored).
+	InsertOrDecrease(v int32, key int64)
+	// PopMin removes and returns a vertex with minimal key; ok is false when
+	// the queue is empty.
+	PopMin() (v int32, key int64, ok bool)
+	// Len returns the number of queued vertices.
+	Len() int
+}
+
+// --- Pairing heap ---
+
+// PairingHeap is a classic pairing heap with an auxiliary node index per
+// vertex for decrease-key.
+type PairingHeap struct {
+	root  *pairNode
+	nodes []*pairNode // vertex -> node, nil if absent
+	size  int
+}
+
+type pairNode struct {
+	v                    int32
+	key                  int64
+	child, sibling, prev *pairNode // prev: parent if first child, else left sibling
+}
+
+// NewPairingHeap returns a pairing heap for vertices in [0, n).
+func NewPairingHeap(n int) *PairingHeap {
+	return &PairingHeap{nodes: make([]*pairNode, n)}
+}
+
+// Len returns the number of queued vertices.
+func (h *PairingHeap) Len() int { return h.size }
+
+func meld(a, b *pairNode) *pairNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.key < a.key {
+		a, b = b, a
+	}
+	// b becomes the first child of a.
+	b.prev = a
+	b.sibling = a.child
+	if a.child != nil {
+		a.child.prev = b
+	}
+	a.child = b
+	a.sibling = nil
+	return a
+}
+
+// InsertOrDecrease implements VertexQueue.
+func (h *PairingHeap) InsertOrDecrease(v int32, key int64) {
+	if n := h.nodes[v]; n != nil {
+		if key >= n.key {
+			return
+		}
+		n.key = key
+		if n == h.root {
+			return
+		}
+		// Detach n from its parent/sibling chain and meld with the root.
+		if n.prev.child == n { // n is the first child of its parent
+			n.prev.child = n.sibling
+		} else {
+			n.prev.sibling = n.sibling
+		}
+		if n.sibling != nil {
+			n.sibling.prev = n.prev
+		}
+		n.sibling, n.prev = nil, nil
+		h.root = meld(h.root, n)
+		return
+	}
+	n := &pairNode{v: v, key: key}
+	h.nodes[v] = n
+	h.root = meld(h.root, n)
+	h.size++
+}
+
+// PopMin implements VertexQueue with two-pass pairing.
+func (h *PairingHeap) PopMin() (int32, int64, bool) {
+	if h.root == nil {
+		return -1, 0, false
+	}
+	min := h.root
+	h.nodes[min.v] = nil
+	h.size--
+
+	// First pass: meld children pairwise left to right.
+	var pairs []*pairNode
+	c := min.child
+	for c != nil {
+		next := c.sibling
+		c.sibling, c.prev = nil, nil
+		var d *pairNode
+		if next != nil {
+			d = next
+			next = next.sibling
+			d.sibling, d.prev = nil, nil
+		}
+		pairs = append(pairs, meld(c, d))
+		c = next
+	}
+	// Second pass: meld right to left.
+	var root *pairNode
+	for i := len(pairs) - 1; i >= 0; i-- {
+		root = meld(root, pairs[i])
+	}
+	h.root = root
+	return min.v, min.key, true
+}
+
+// --- Dial's bucket queue ---
+
+// BucketQueue is Dial's queue: an array of buckets indexed by key, scanned
+// monotonically. It needs keys bounded by maxKey and is only sensible when
+// the key range is modest (the multi-level structure in internal/mlb removes
+// that restriction).
+type BucketQueue struct {
+	buckets [][]int32
+	pos     []int32 // vertex -> index within its bucket, -1 if absent
+	key     []int64
+	cur     int64 // scan finger (no key below cur is live)
+	size    int
+}
+
+// NewBucketQueue returns a bucket queue for vertices in [0, n) and keys in
+// [0, maxKey].
+func NewBucketQueue(n int, maxKey int64) *BucketQueue {
+	if maxKey < 0 {
+		panic(fmt.Sprintf("pq: negative maxKey %d", maxKey))
+	}
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &BucketQueue{
+		buckets: make([][]int32, maxKey+1),
+		pos:     pos,
+		key:     make([]int64, n),
+	}
+}
+
+// Len returns the number of queued vertices.
+func (q *BucketQueue) Len() int { return q.size }
+
+// InsertOrDecrease implements VertexQueue.
+func (q *BucketQueue) InsertOrDecrease(v int32, key int64) {
+	if key < 0 || key >= int64(len(q.buckets)) {
+		panic(fmt.Sprintf("pq: key %d out of range [0,%d]", key, len(q.buckets)-1))
+	}
+	if q.pos[v] >= 0 {
+		if key >= q.key[v] {
+			return
+		}
+		q.remove(v)
+	}
+	q.key[v] = key
+	q.pos[v] = int32(len(q.buckets[key]))
+	q.buckets[key] = append(q.buckets[key], v)
+	q.size++
+}
+
+func (q *BucketQueue) remove(v int32) {
+	k := q.key[v]
+	lst := q.buckets[k]
+	i := q.pos[v]
+	last := int32(len(lst)) - 1
+	if i != last {
+		moved := lst[last]
+		lst[i] = moved
+		q.pos[moved] = i
+	}
+	q.buckets[k] = lst[:last]
+	q.pos[v] = -1
+	q.size--
+}
+
+// PopMin implements VertexQueue.
+func (q *BucketQueue) PopMin() (int32, int64, bool) {
+	if q.size == 0 {
+		return -1, 0, false
+	}
+	for len(q.buckets[q.cur]) == 0 {
+		q.cur++
+	}
+	lst := q.buckets[q.cur]
+	v := lst[len(lst)-1]
+	q.buckets[q.cur] = lst[:len(lst)-1]
+	q.pos[v] = -1
+	q.size--
+	return v, q.cur, true
+}

@@ -1,0 +1,205 @@
+package pq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func queues(n int, maxKey int64) map[string]VertexQueue {
+	return map[string]VertexQueue{
+		"pairing": NewPairingHeap(n),
+		"bucket":  NewBucketQueue(n, maxKey),
+	}
+}
+
+func TestBasicOrdering(t *testing.T) {
+	for name, q := range queues(10, 100) {
+		q.InsertOrDecrease(3, 30)
+		q.InsertOrDecrease(1, 10)
+		q.InsertOrDecrease(2, 20)
+		if q.Len() != 3 {
+			t.Fatalf("%s: len %d", name, q.Len())
+		}
+		for want := int64(10); want <= 30; want += 10 {
+			v, k, ok := q.PopMin()
+			if !ok || k != want || int64(v)*10 != want {
+				t.Fatalf("%s: popped (%d,%d,%v), want key %d", name, v, k, ok, want)
+			}
+		}
+		if _, _, ok := q.PopMin(); ok {
+			t.Fatalf("%s: pop from empty succeeded", name)
+		}
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	for name, q := range queues(5, 100) {
+		q.InsertOrDecrease(0, 50)
+		q.InsertOrDecrease(1, 40)
+		q.InsertOrDecrease(0, 10) // decrease below 1
+		q.InsertOrDecrease(1, 60) // increase attempt: ignored
+		v, k, _ := q.PopMin()
+		if v != 0 || k != 10 {
+			t.Fatalf("%s: popped (%d,%d), want (0,10)", name, v, k)
+		}
+		v, k, _ = q.PopMin()
+		if v != 1 || k != 40 {
+			t.Fatalf("%s: popped (%d,%d), want (1,40)", name, v, k)
+		}
+	}
+}
+
+func TestDuplicateInsertIsDecrease(t *testing.T) {
+	for name, q := range queues(3, 50) {
+		q.InsertOrDecrease(2, 30)
+		q.InsertOrDecrease(2, 30)
+		q.InsertOrDecrease(2, 25)
+		if q.Len() != 1 {
+			t.Fatalf("%s: len %d after duplicate inserts", name, q.Len())
+		}
+		_, k, _ := q.PopMin()
+		if k != 25 {
+			t.Fatalf("%s: key %d", name, k)
+		}
+	}
+}
+
+func TestTiesAllowed(t *testing.T) {
+	for name, q := range queues(4, 10) {
+		for v := int32(0); v < 4; v++ {
+			q.InsertOrDecrease(v, 5)
+		}
+		seen := map[int32]bool{}
+		for i := 0; i < 4; i++ {
+			v, k, ok := q.PopMin()
+			if !ok || k != 5 || seen[v] {
+				t.Fatalf("%s: bad tie pop (%d,%d,%v)", name, v, k, ok)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBucketQueuePanics(t *testing.T) {
+	q := NewBucketQueue(2, 10)
+	for _, f := range []func(){
+		func() { q.InsertOrDecrease(0, 11) },
+		func() { q.InsertOrDecrease(0, -1) },
+		func() { NewBucketQueue(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Monotone stress: mirrors Dijkstra usage — pop, then insert/decrease keys
+// >= the popped key; both queues must emit an identical sorted key sequence.
+func TestMonotoneStressAgree(t *testing.T) {
+	const n = 2000
+	r := rng.New(99)
+	type op struct {
+		v int32
+		k int64
+	}
+	// Generate a monotone trace.
+	var ops [][]op
+	base := int64(0)
+	for round := 0; round < 500; round++ {
+		var batch []op
+		for j := 0; j < 1+r.Intn(5); j++ {
+			batch = append(batch, op{v: int32(r.Intn(n)), k: base + int64(r.Intn(50))})
+		}
+		ops = append(ops, batch)
+		base += int64(r.Intn(3))
+	}
+	run := func(q VertexQueue) []int64 {
+		var popped []int64
+		var floor int64 // last popped key: monotone queues require keys >= floor
+		q.InsertOrDecrease(0, 0)
+		for _, batch := range ops {
+			v, k, ok := q.PopMin()
+			if !ok {
+				kk := batch[0].k
+				if kk < floor {
+					kk = floor
+				}
+				q.InsertOrDecrease(batch[0].v, kk)
+				continue
+			}
+			_ = v
+			popped = append(popped, k)
+			floor = k
+			for _, o := range batch {
+				if o.k >= k {
+					q.InsertOrDecrease(o.v, o.k)
+				}
+			}
+		}
+		for {
+			_, k, ok := q.PopMin()
+			if !ok {
+				break
+			}
+			popped = append(popped, k)
+		}
+		return popped
+	}
+	a := run(NewPairingHeap(n))
+	b := run(NewBucketQueue(n, 1<<20))
+	if len(a) != len(b) {
+		t.Fatalf("pop counts differ: %d vs %d", len(a), len(b))
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] }) {
+		t.Fatal("pairing heap pops not sorted")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pop %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: inserting distinct keys pops them in sorted order.
+func TestQuickSortedPops(t *testing.T) {
+	f := func(keysRaw []uint16) bool {
+		if len(keysRaw) == 0 || len(keysRaw) > 300 {
+			return true
+		}
+		seen := map[int64]bool{}
+		var keys []int64
+		for _, k := range keysRaw {
+			if !seen[int64(k)] {
+				seen[int64(k)] = true
+				keys = append(keys, int64(k))
+			}
+		}
+		h := NewPairingHeap(len(keys))
+		b := NewBucketQueue(len(keys), 1<<16)
+		for i, k := range keys {
+			h.InsertOrDecrease(int32(i), k)
+			b.InsertOrDecrease(int32(i), k)
+		}
+		sorted := append([]int64(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, want := range sorted {
+			_, hk, hok := h.PopMin()
+			_, bk, bok := b.PopMin()
+			if !hok || !bok || hk != want || bk != want {
+				return false
+			}
+		}
+		return h.Len() == 0 && b.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used by the graph generators, the experiment harness, and the
+// property-based tests.
+//
+// Two generators are provided:
+//
+//   - SplitMix64: a tiny, stateless-stepping generator. It is primarily used
+//     to seed other generators and to derive independent streams from a single
+//     experiment seed.
+//   - Xoshiro256: xoshiro256** 1.0, the general-purpose generator used by the
+//     workload generators. It is seeded via SplitMix64 as recommended by its
+//     authors.
+//
+// All generators in this package are deterministic given their seed, so every
+// experiment in the repository is exactly reproducible. None of them are safe
+// for concurrent use; derive one stream per goroutine with NewStream.
+package rng
+
+import "math/bits"
+
+// SplitMix64 is the 64-bit SplitMix generator of Steele, Lea and Flood.
+// The zero value is a valid generator (seeded with 0).
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 is the xoshiro256** 1.0 generator of Blackman and Vigna.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 generator seeded from seed via SplitMix64.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// xoshiro256** must not start in the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway for belt and braces.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+// NewStream derives the i-th independent stream from seed. Streams with
+// distinct indices are seeded from well-separated SplitMix64 outputs.
+func NewStream(seed uint64, i int) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	base := sm.Next()
+	return New(base + uint64(i)*0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := bits.RotateLeft64(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	return result
+}
+
+// Uint32 returns 32 uniformly random bits.
+func (x *Xoshiro256) Uint32() uint32 {
+	return uint32(x.Uint64() >> 32)
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Int63 returns a uniformly random non-negative int64.
+func (x *Xoshiro256) Int63() int64 {
+	return int64(x.Uint64() >> 1)
+}
+
+// Uint64n returns a uniformly random uint64 in [0, n) using Lemire's
+// multiply-shift rejection method. It panics if n == 0.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Lemire's nearly-divisionless method.
+	hi, lo := bits.Mul64(x.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(x.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (x *Xoshiro256) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	x.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p uniformly at random (Fisher–Yates).
+func (x *Xoshiro256) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,195 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs for seed 1234567 from the canonical C implementation.
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("SplitMix64(1234567) output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64ZeroSeedDiffers(t *testing.T) {
+	a := NewSplitMix64(0)
+	b := NewSplitMix64(1)
+	if a.Next() == b.Next() {
+		t.Fatal("different seeds produced identical first outputs")
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("same-seed generators diverged at step %d: %#x vs %#x", i, x, y)
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 agree on %d of 100 outputs", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 0 and 1 agree on %d of 100 outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := New(99)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nUniformSmall(t *testing.T) {
+	// Chi-squared-ish sanity check on a small modulus.
+	x := New(2024)
+	const n, trials = 8, 80000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[x.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d: %d draws, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(5)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := New(11)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := x.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	x := New(7777)
+	f := func(n uint16) bool {
+		m := int(n)%1000 + 1
+		v := x.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUint64nInRange(t *testing.T) {
+	x := New(8888)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return x.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64()
+	}
+	_ = sink
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	x := New(31)
+	p := []int{5, 6, 7, 8, 9}
+	x.Shuffle(p)
+	seen := map[int]bool{}
+	for _, v := range p {
+		if v < 5 || v > 9 || seen[v] {
+			t.Fatalf("shuffle broke contents: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	x := New(17)
+	for i := 0; i < 1000; i++ {
+		if x.Int63() < 0 {
+			t.Fatal("negative Int63")
+		}
+	}
+}

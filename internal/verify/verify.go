@@ -1,0 +1,167 @@
+// Package verify certifies single-source (and multi-source) shortest path
+// results in linear time, without re-running a solver.
+//
+// A distance labelling d is THE shortest-path distance function from a source
+// set S if and only if:
+//
+//  1. d(s) = 0 exactly for s in S (and nowhere else);
+//  2. feasibility: d(v) <= d(u) + w for every edge (u,v) with d(u) finite
+//     (in an undirected graph this also forces |d(u)-d(v)| <= w and that no
+//     finite vertex neighbours an infinite one);
+//  3. tightness: every vertex with 0 < d(v) < Inf has a neighbour u with
+//     d(u) + w(u,v) = d(v).
+//
+// Sufficiency: applying (2) edge by edge along any path from a source shows
+// d(v) <= delta(v). Conversely (3) plus positive integer weights makes every
+// finite d(v) the length of an actual path: follow tight edges downhill — d
+// strictly decreases by at least 1 per step, so the walk terminates at a
+// d = 0 vertex, which (1) forces to be a source — hence d(v) >= delta(v).
+// Infinite labels are correct because (2) forbids a finite/infinite
+// adjacency, so the infinite region is exactly the part not reachable from S.
+//
+// The checks cost one parallel sweep over the arcs. This is what
+// `cmd/sssp -certify` and the harness's verification mode use.
+package verify
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Error describes a certification failure.
+type Error struct {
+	Rule   string // which rule failed
+	Vertex int32
+	Detail string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("verify: %s at vertex %d: %s", e.Rule, e.Vertex, e.Detail)
+}
+
+// Distances certifies that dist is the exact shortest-path distance labelling
+// of g from the given source set. It returns nil on success and a *Error
+// describing the first violation found otherwise. The sweep runs on rt.
+func Distances(rt *par.Runtime, g *graph.Graph, sources []int32, dist []int64) error {
+	n := g.NumVertices()
+	if len(dist) != n {
+		return &Error{Rule: "shape", Vertex: -1,
+			Detail: fmt.Sprintf("%d distances for %d vertices", len(dist), n)}
+	}
+	if len(sources) == 0 && n > 0 {
+		return &Error{Rule: "sources", Vertex: -1, Detail: "empty source set"}
+	}
+	isSource := make([]bool, n)
+	for _, s := range sources {
+		if s < 0 || int(s) >= n {
+			return &Error{Rule: "sources", Vertex: s, Detail: "source out of range"}
+		}
+		isSource[s] = true
+	}
+
+	var failure atomic.Pointer[Error]
+	fail := func(e *Error) { failure.CompareAndSwap(nil, e) }
+
+	rt.For(n, func(vi int) {
+		if failure.Load() != nil {
+			return
+		}
+		v := int32(vi)
+		dv := dist[v]
+		switch {
+		case dv < 0:
+			fail(&Error{Rule: "range", Vertex: v, Detail: fmt.Sprintf("negative distance %d", dv)})
+			return
+		case dv == 0 && !isSource[v]:
+			fail(&Error{Rule: "zero", Vertex: v, Detail: "distance 0 at a non-source"})
+			return
+		case dv != 0 && isSource[v]:
+			fail(&Error{Rule: "zero", Vertex: v, Detail: fmt.Sprintf("source with distance %d", dv)})
+			return
+		}
+		ts, ws := g.Neighbors(v)
+		rt.Charge(int64(len(ts)))
+		tight := dv == 0 || dv == graph.Inf
+		for i, u := range ts {
+			if u == v {
+				continue
+			}
+			w := int64(ws[i])
+			du := dist[u]
+			if du != graph.Inf && dv > du+w {
+				fail(&Error{Rule: "feasibility", Vertex: v,
+					Detail: fmt.Sprintf("d=%d but neighbour %d offers %d+%d", dv, u, du, w)})
+				return
+			}
+			if !tight && du != graph.Inf && du+w == dv {
+				tight = true
+			}
+		}
+		if !tight {
+			fail(&Error{Rule: "tightness", Vertex: v,
+				Detail: fmt.Sprintf("finite distance %d has no tight incoming edge", dv)})
+		}
+	})
+	if e := failure.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// Tree certifies that parent is a valid shortest-path tree for dist: parents
+// are -1 exactly at sources and unreachable vertices, and every other parent
+// edge is tight. Distances must already be certified (or trusted).
+func Tree(g *graph.Graph, sources []int32, dist []int64, parent []int32) error {
+	n := g.NumVertices()
+	if len(parent) != n || len(dist) != n {
+		return &Error{Rule: "shape", Vertex: -1, Detail: "length mismatch"}
+	}
+	isSource := make([]bool, n)
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	for v := int32(0); v < int32(n); v++ {
+		p := parent[v]
+		if isSource[v] || dist[v] == graph.Inf {
+			if p != -1 {
+				return &Error{Rule: "tree", Vertex: v, Detail: "source/unreachable vertex has a parent"}
+			}
+			continue
+		}
+		if p < 0 || int(p) >= n {
+			return &Error{Rule: "tree", Vertex: v, Detail: fmt.Sprintf("invalid parent %d", p)}
+		}
+		ts, ws := g.Neighbors(p)
+		ok := false
+		for i, u := range ts {
+			if u == v && dist[p]+int64(ws[i]) == dist[v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return &Error{Rule: "tree", Vertex: v, Detail: fmt.Sprintf("parent edge (%d,%d) not tight", p, v)}
+		}
+	}
+	return nil
+}
+
+// Path reconstructs the shortest path from the source set to v using a
+// certified parent array, returned as source-to-v vertex sequence. It returns
+// nil if v is unreachable.
+func Path(dist []int64, parent []int32, v int32) []int32 {
+	if dist[v] == graph.Inf {
+		return nil
+	}
+	var rev []int32
+	for x := v; x >= 0; x = parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
