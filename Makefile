@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz experiments examples clean
+.PHONY: all build vet test race bench check fuzz experiments examples clean
 
 all: build vet test
 
@@ -19,10 +19,17 @@ test:
 # The concurrency-sensitive packages under the race detector.
 race:
 	$(GO) test -race ./internal/core ./internal/cc ./internal/deltastep \
-		./internal/par ./internal/bfs ./internal/mta ./internal/digraph ./cmd/ssspd .
+		./internal/par ./internal/bfs ./internal/mta ./internal/digraph \
+		./internal/obs ./cmd/ssspd .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast pre-merge gate: static checks plus the race detector over the
+# concurrent traversal core and the daemon middleware.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/... ./cmd/ssspd/...
 
 # Short fuzzing passes over the format parsers and the solver cross-check.
 fuzz:

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	ssspd -gen rand -logn 16 -addr :8080
-//	ssspd -graph city.gr -ch city.chb -workers 8
+//	ssspd -graph city.gr -ch city.chb -workers 8 -max-inflight 64 -timeout 10s
 //
 // Endpoints (all return JSON):
 //
@@ -17,38 +17,54 @@
 //	GET /st?s=17&t=99             one s-t distance (bidirectional Dijkstra)
 //	GET /table?src=1,2&dst=3,4    many-to-many distance table
 //	GET /stats                    instance and hierarchy statistics
+//	GET /metrics                  per-endpoint metrics + Thorup trace counters
 //	GET /healthz                  liveness
+//
+// Query endpoints sit behind an admission controller: at most -max-inflight
+// queries execute at once and excess load is shed with 503 + Retry-After.
+// Each request carries a -timeout context deadline (exceeded queries answer
+// 504). SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/ch"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dijkstra"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
 func main() {
 	var (
-		graphFile = flag.String("graph", "", "DIMACS .gr input file")
-		genClass  = flag.String("gen", "rand", "generator: rand, rmat, grid, geometric, smallworld")
-		logN      = flag.Int("logn", 14, "generated size: n = 2^logn")
-		logC      = flag.Int("logc", 14, "generated weights: C = 2^logc")
-		seed      = flag.Uint64("seed", 1, "generator seed")
-		workers   = flag.Int("workers", 4, "query workers")
-		addr      = flag.String("addr", ":8080", "listen address")
-		chFile    = flag.String("ch", "", "component hierarchy cache file")
+		graphFile   = flag.String("graph", "", "DIMACS .gr input file")
+		genClass    = flag.String("gen", "rand", "generator: rand, rmat, grid, geometric, smallworld")
+		logN        = flag.Int("logn", 14, "generated size: n = 2^logn")
+		logC        = flag.Int("logc", 14, "generated weights: C = 2^logc")
+		seed        = flag.Uint64("seed", 1, "generator seed")
+		workers     = flag.Int("workers", 4, "query workers")
+		addr        = flag.String("addr", ":8080", "listen address")
+		chFile      = flag.String("ch", "", "component hierarchy cache file")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline for query endpoints (0 disables)")
+		maxInflight = flag.Int("max-inflight", 64, "concurrent query admission limit; excess load is shed with 503")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	)
 	flag.Parse()
 
@@ -57,11 +73,59 @@ func main() {
 		log.Fatalf("ssspd: %v", err)
 	}
 	h := loadOrBuild(g, *chFile)
-	srv := newServer(g, h, name, *workers)
+	srv := newServer(g, h, name, *workers, *maxInflight, *timeout)
 
-	log.Printf("ssspd: serving %s (n=%d m=%d, CH %d nodes) on %s",
-		name, g.NumVertices(), g.NumEdges(), h.NumNodes(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		// The write timeout must outlive the slowest admitted query plus the
+		// serialisation of a full=1 distance vector.
+		WriteTimeout: writeTimeout(*timeout),
+		IdleTimeout:  2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("ssspd: serving %s (n=%d m=%d, CH %d nodes) on %s (workers=%d max-inflight=%d timeout=%s)",
+		name, g.NumVertices(), g.NumEdges(), h.NumNodes(), *addr, *workers, *maxInflight, *timeout)
+	if err := serve(ctx, hs, *drain); err != nil {
+		log.Fatalf("ssspd: %v", err)
+	}
+	log.Printf("ssspd: drained, bye")
+}
+
+// serve runs the HTTP server until ctx is cancelled, then shuts it down
+// gracefully, giving in-flight requests up to drain to complete.
+func serve(ctx context.Context, hs *http.Server, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		return err // listen failed before any shutdown signal
+	case <-ctx.Done():
+	}
+	log.Printf("ssspd: shutdown signal, draining in-flight requests (budget %s)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return <-errc
+}
+
+func writeTimeout(queryTimeout time.Duration) time.Duration {
+	if queryTimeout <= 0 {
+		return 0 // unlimited queries: let Shutdown/drain bound them instead
+	}
+	return queryTimeout + 30*time.Second
 }
 
 func loadOrBuild(g *graph.Graph, chFile string) *ch.Hierarchy {
@@ -77,14 +141,38 @@ func loadOrBuild(g *graph.Graph, chFile string) *ch.Hierarchy {
 	}
 	h := ch.BuildKruskal(g)
 	if chFile != "" {
-		if f, err := os.Create(chFile); err == nil {
-			if _, werr := h.WriteTo(f); werr != nil {
-				log.Printf("ssspd: cache write: %v", werr)
-			}
-			f.Close()
+		if err := writeCache(h, chFile); err != nil {
+			log.Printf("ssspd: cache write: %v", err)
 		}
 	}
 	return h
+}
+
+// writeCache persists the hierarchy atomically: serialise to a temp file in
+// the destination directory, fsync-close it, then rename into place. A crash
+// mid-write leaves the old cache (or nothing) — never a truncated file that
+// the next start would have to detect.
+func writeCache(h *ch.Hierarchy, chFile string) error {
+	dir := filepath.Dir(chFile)
+	f, err := os.CreateTemp(dir, filepath.Base(chFile)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := h.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, chFile); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // server holds the shared immutable state plus a pool of reusable query
@@ -95,35 +183,182 @@ type server struct {
 	name   string
 	solver *core.Solver
 	pool   sync.Pool
+
+	metrics *obs.Registry
+	sem     chan struct{} // admission: one token per in-flight query
+	timeout time.Duration
+
+	queries  obs.Counter // Thorup runs folded into traceAgg
+	traceAgg core.Trace  // aggregate of all per-query traces
 }
 
-func newServer(g *graph.Graph, h *ch.Hierarchy, name string, workers int) *server {
-	s := &server{
-		g:      g,
-		h:      h,
-		name:   name,
-		solver: core.NewSolver(h, par.NewExec(workers)),
+func newServer(g *graph.Graph, h *ch.Hierarchy, name string, workers, maxInflight int, timeout time.Duration) *server {
+	if maxInflight < 1 {
+		maxInflight = 1
 	}
-	s.pool.New = func() any { return s.solver.Query() }
+	s := &server{
+		g:       g,
+		h:       h,
+		name:    name,
+		solver:  core.NewSolver(h, par.NewExec(workers)),
+		metrics: obs.NewRegistry("healthz", "stats", "metrics", "sssp", "dist", "st", "table"),
+		sem:     make(chan struct{}, maxInflight),
+		timeout: timeout,
+	}
+	s.pool.New = func() any {
+		q := s.solver.Query()
+		q.EnableTrace()
+		return q
+	}
 	return s
 }
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	m.HandleFunc("GET /healthz", s.instrument("healthz", false, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok"})
-	})
-	m.HandleFunc("GET /stats", s.handleStats)
-	m.HandleFunc("GET /sssp", s.handleSSSP)
-	m.HandleFunc("GET /dist", s.handleDist)
-	m.HandleFunc("GET /st", s.handleST)
-	m.HandleFunc("GET /table", s.handleTable)
+	}))
+	m.HandleFunc("GET /stats", s.instrument("stats", false, s.handleStats))
+	m.HandleFunc("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	m.HandleFunc("GET /sssp", s.instrument("sssp", true, s.handleSSSP))
+	m.HandleFunc("GET /dist", s.instrument("dist", true, s.handleDist))
+	m.HandleFunc("GET /st", s.instrument("st", true, s.handleST))
+	m.HandleFunc("GET /table", s.instrument("table", true, s.handleTable))
 	return m
+}
+
+// instrument wraps a handler with the daemon's middleware: in-flight gauge,
+// request counting, latency histogram, status classing, structured access
+// logging, and — for query endpoints (admit=true) — semaphore admission
+// control and the per-request context deadline.
+func (s *server) instrument(name string, admit bool, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.metrics.Endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ep.InFlight.Inc()
+		defer ep.InFlight.Dec()
+		rw := &statusWriter{ResponseWriter: w}
+
+		if admit {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				// Saturated: shed instead of queueing unboundedly. The client
+				// is told when to come back; a well-behaved one backs off.
+				ep.Shed.Inc()
+				rw.Header().Set("Retry-After", "1")
+				httpError(rw, http.StatusServiceUnavailable, "overloaded: query admission limit reached")
+				s.finish(name, ep, rw, r, start)
+				return
+			}
+			if s.timeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		h(rw, r)
+		s.finish(name, ep, rw, r, start)
+	}
+}
+
+// finish records the completed request in the endpoint metrics and emits one
+// structured access-log line.
+func (s *server) finish(name string, ep *obs.Endpoint, rw *statusWriter, r *http.Request, start time.Time) {
+	d := time.Since(start)
+	ep.Requests.Inc()
+	ep.Latency.Observe(d)
+	ep.RecordStatus(rw.Status())
+	if rw.Status() == http.StatusGatewayTimeout {
+		ep.Timeout.Inc()
+	}
+	log.Printf("ssspd: access endpoint=%s method=%s path=%q status=%d bytes=%d dur=%s remote=%s",
+		name, r.Method, truncate(r.URL.RequestURI(), 256), rw.Status(), rw.bytes, d.Round(time.Microsecond), r.RemoteAddr)
+}
+
+// truncate caps a logged string: a /table request can carry a multi-kilobyte
+// query string, which would make the access log unreadable.
+func truncate(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + fmt.Sprintf("...(%d bytes)", len(s))
+}
+
+// statusWriter captures the status code and body size of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// runWithDeadline executes fn and writes its result as JSON, answering 504
+// if the request's deadline expires first. A Thorup traversal cannot be
+// cancelled mid-flight, so on timeout fn keeps running in the background
+// (releasing whatever it holds when it finishes) while the client is
+// unblocked immediately.
+func runWithDeadline(w http.ResponseWriter, r *http.Request, fn func() any) {
+	if err := r.Context().Err(); err != nil {
+		httpError(w, http.StatusGatewayTimeout, "deadline exceeded before query start")
+		return
+	}
+	done := make(chan any, 1)
+	go func() { done <- fn() }()
+	select {
+	case resp := <-done:
+		writeJSON(w, resp)
+	case <-r.Context().Done():
+		httpError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+	}
+}
+
+// withQuery runs fn on a pooled query instance under the request's deadline.
+// fn must build its entire response value before returning (results alias
+// query-internal state that is recycled afterwards).
+func (s *server) withQuery(w http.ResponseWriter, r *http.Request, fn func(q *core.Query) any) {
+	runWithDeadline(w, r, func() any {
+		q := s.pool.Get().(*core.Query)
+		defer s.pool.Put(q)
+		resp := fn(q)
+		s.recordTrace(q)
+		return resp
+	})
+}
+
+// recordTrace folds the query's per-run trace into the server aggregate.
+func (s *server) recordTrace(q *core.Query) {
+	if tr := q.Trace(); tr != nil {
+		s.traceAgg.Merge(tr.Snapshot())
+		s.queries.Inc()
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.h.ComputeStats()
-	q := s.solver.Query()
 	writeJSON(w, map[string]any{
 		"instance":      s.name,
 		"vertices":      s.g.NumVertices(),
@@ -133,7 +368,30 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"chHeight":      st.Height,
 		"chAvgChildren": st.AvgChildren,
 		"chBytes":       st.CHBytes,
-		"instanceBytes": q.InstanceBytes(),
+		// Arithmetic from the hierarchy's dimensions — no query allocation.
+		"instanceBytes": s.solver.InstanceBytes(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	agg := s.traceAgg.Snapshot()
+	writeJSON(w, map[string]any{
+		"instance":       s.name,
+		"uptime_seconds": s.metrics.UptimeSeconds(),
+		"inflight_limit": cap(s.sem),
+		"endpoints":      s.metrics.Snapshot(),
+		"thorup": map[string]any{
+			"queries":             s.queries.Value(),
+			"settled":             agg.Settled,
+			"relaxations":         agg.Relaxations,
+			"propagation_hops":    agg.PropagationHops,
+			"hops_per_relaxation": agg.HopsPerRelaxation(),
+			"gathers":             agg.Gathers,
+			"gather_scanned":      agg.GatherScanned,
+			"gather_taken":        agg.GatherTaken,
+			"bucket_advances":     agg.BucketAdvances,
+			"max_tovisit":         agg.MaxTovisit,
+		},
 	})
 }
 
@@ -142,27 +400,24 @@ func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	q := s.pool.Get().(*core.Query)
-	defer s.pool.Put(q)
-	dist := q.Run(src)
-	resp := map[string]any{
-		"src":          src,
-		"reached":      q.Reached(),
-		"eccentricity": q.Eccentricity(),
-	}
-	if r.URL.Query().Get("full") == "1" {
-		// Inf is not JSON-friendly; report unreachable as -1.
-		out := make([]int64, len(dist))
-		for i, d := range dist {
-			if d == graph.Inf {
-				out[i] = -1
-			} else {
-				out[i] = d
-			}
+	full := r.URL.Query().Get("full") == "1"
+	s.withQuery(w, r, func(q *core.Query) any {
+		dist := q.Run(src)
+		resp := map[string]any{
+			"src":          src,
+			"reached":      q.Reached(),
+			"eccentricity": q.Eccentricity(),
 		}
-		resp["dist"] = out
-	}
-	writeJSON(w, resp)
+		if full {
+			// Inf is not JSON-friendly; report unreachable as -1.
+			out := make([]int64, len(dist))
+			for i, d := range dist {
+				out[i] = jsonDist(d)
+			}
+			resp["dist"] = out
+		}
+		return resp
+	})
 }
 
 func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
@@ -174,10 +429,10 @@ func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	q := s.pool.Get().(*core.Query)
-	defer s.pool.Put(q)
-	d := q.Run(src)[dst]
-	writeJSON(w, map[string]any{"src": src, "dst": dst, "dist": jsonDist(d), "reachable": d < graph.Inf})
+	s.withQuery(w, r, func(q *core.Query) any {
+		d := q.Run(src)[dst]
+		return map[string]any{"src": src, "dst": dst, "dist": jsonDist(d), "reachable": d < graph.Inf}
+	})
 }
 
 func (s *server) handleST(w http.ResponseWriter, r *http.Request) {
@@ -189,8 +444,10 @@ func (s *server) handleST(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	d := dijkstra.STDistance(s.g, src, dst)
-	writeJSON(w, map[string]any{"s": src, "t": dst, "dist": jsonDist(d), "reachable": d < graph.Inf})
+	runWithDeadline(w, r, func() any {
+		d := dijkstra.STDistance(s.g, src, dst)
+		return map[string]any{"s": src, "t": dst, "dist": jsonDist(d), "reachable": d < graph.Inf}
+	})
 }
 
 func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
@@ -206,15 +463,17 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "table too large")
 		return
 	}
-	table := s.solver.DistanceTable(sources, targets)
-	out := make([][]int64, len(table))
-	for i, row := range table {
-		out[i] = make([]int64, len(row))
-		for j, d := range row {
-			out[i][j] = jsonDist(d)
+	runWithDeadline(w, r, func() any {
+		table := s.solver.DistanceTable(sources, targets)
+		out := make([][]int64, len(table))
+		for i, row := range table {
+			out[i] = make([]int64, len(row))
+			for j, d := range row {
+				out[i][j] = jsonDist(d)
+			}
 		}
-	}
-	writeJSON(w, map[string]any{"src": sources, "dst": targets, "dist": out})
+		return map[string]any{"src": sources, "dst": targets, "dist": out}
+	})
 }
 
 func (s *server) vertexParam(w http.ResponseWriter, r *http.Request, name string) (int32, bool) {

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/ch"
 	"repro/internal/dijkstra"
@@ -14,13 +19,23 @@ import (
 	"repro/internal/graph"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *graph.Graph) {
-	t.Helper()
+func testGraph() (*graph.Graph, *ch.Hierarchy) {
 	g := gen.Random(500, 2000, 1<<10, gen.UWD, 7)
-	h := ch.BuildKruskal(g)
-	srv := newServer(g, h, "test-instance", 4)
+	return g, ch.BuildKruskal(g)
+}
+
+func testServerOpts(t *testing.T, maxInflight int, timeout time.Duration) (*httptest.Server, *server, *graph.Graph) {
+	t.Helper()
+	g, h := testGraph()
+	srv := newServer(g, h, "test-instance", 4, maxInflight, timeout)
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
+	return ts, srv, g
+}
+
+func testServer(t *testing.T) (*httptest.Server, *graph.Graph) {
+	t.Helper()
+	ts, _, g := testServerOpts(t, 64, 30*time.Second)
 	return ts, g
 }
 
@@ -53,6 +68,24 @@ func TestHealthAndStats(t *testing.T) {
 	if stats["chNodes"].(float64) <= float64(g.NumVertices()) {
 		t.Fatalf("chNodes %v", stats["chNodes"])
 	}
+	if stats["instanceBytes"].(float64) <= 0 {
+		t.Fatalf("instanceBytes %v", stats["instanceBytes"])
+	}
+}
+
+// /stats must report the same instance footprint as an allocated query would,
+// without allocating one.
+func TestStatsInstanceBytesMatchesQuery(t *testing.T) {
+	ts, srv, _ := testServerOpts(t, 8, time.Minute)
+	var stats struct {
+		InstanceBytes int64 `json:"instanceBytes"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if want := srv.solver.Query().InstanceBytes(); stats.InstanceBytes != want {
+		t.Fatalf("instanceBytes %d, want %d", stats.InstanceBytes, want)
+	}
 }
 
 func TestSSSPEndpoint(t *testing.T) {
@@ -78,6 +111,28 @@ func TestSSSPEndpoint(t *testing.T) {
 		if resp.Dist[v] != w {
 			t.Fatalf("dist[%d]=%d want %d", v, resp.Dist[v], w)
 		}
+	}
+}
+
+// full=1 must report unreachable vertices as -1, not Inf.
+func TestSSSPFullUnreachableIsMinusOne(t *testing.T) {
+	// Two-vertex graph with a single self-loop: vertex 1 is unreachable.
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 0, W: 5}})
+	srv := newServer(g, ch.BuildKruskal(g), "disconnected", 2, 8, time.Minute)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+	var resp struct {
+		Reached int     `json:"reached"`
+		Dist    []int64 `json:"dist"`
+	}
+	if code := getJSON(t, ts.URL+"/sssp?src=0&full=1", &resp); code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if resp.Reached != 1 {
+		t.Fatalf("reached %d, want 1", resp.Reached)
+	}
+	if len(resp.Dist) != 2 || resp.Dist[0] != 0 || resp.Dist[1] != -1 {
+		t.Fatalf("dist %v, want [0 -1]", resp.Dist)
 	}
 }
 
@@ -128,6 +183,171 @@ func TestBadRequests(t *testing.T) {
 		if code := getJSON(t, ts.URL+path, &e); code != http.StatusBadRequest {
 			t.Errorf("%s: code %d, want 400", path, code)
 		}
+		if e["error"] == "" {
+			t.Errorf("%s: missing error message", path)
+		}
+	}
+}
+
+// A src×dst product beyond the limit must be rejected before any work runs.
+func TestTableTooLarge(t *testing.T) {
+	g := gen.Random(500, 2000, 1<<10, gen.UWD, 7)
+	srv := newServer(g, ch.BuildKruskal(g), "big-table", 2, 8, time.Minute)
+	// 500 sources x 500 targets = 250000 <= 1<<20 is fine; force the limit
+	// down by hitting the real one: build a 1049-long src list crossing a
+	// 1000-long dst list (1049*1000 > 1<<20) from in-range vertices.
+	src, dst := "", ""
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			src += ","
+			dst += ","
+		}
+		src += fmt.Sprint(i % 500)
+		dst += fmt.Sprint(i % 500)
+	}
+	// 500*500 = 250k: allowed. Repeat src 5x -> 2500*500 = 1.25M > 1<<20.
+	bigSrc := src + "," + src + "," + src + "," + src + "," + src
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/table?src="+bigSrc+"&dst="+dst, &e); code != http.StatusBadRequest {
+		t.Fatalf("code %d, want 400", code)
+	}
+	if e["error"] != "table too large" {
+		t.Fatalf("error %q", e["error"])
+	}
+}
+
+// With the admission semaphore saturated, query endpoints shed with 503 +
+// Retry-After while health and metrics stay available.
+func TestLoadSheddingWhenSaturated(t *testing.T) {
+	ts, srv, _ := testServerOpts(t, 2, time.Minute)
+	srv.sem <- struct{}{} // occupy both slots, as two stuck queries would
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem; <-srv.sem }()
+
+	for _, path := range []string{"/sssp?src=1", "/dist?src=0&dst=1", "/st?s=0&t=1", "/table?src=0&dst=1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s: code %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s: missing Retry-After", path)
+		}
+		if e["error"] == "" {
+			t.Fatalf("%s: missing error body", path)
+		}
+	}
+	// Non-query endpoints are not subject to admission control.
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz sheddable: %d", code)
+	}
+	var m struct {
+		Endpoints map[string]struct {
+			Shed int64 `json:"shed"`
+		} `json:"endpoints"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics sheddable: %d", code)
+	}
+	if m.Endpoints["sssp"].Shed != 1 || m.Endpoints["table"].Shed != 1 {
+		t.Fatalf("shed counters not recorded: %+v", m.Endpoints)
+	}
+}
+
+// An expired per-request deadline answers 504 on every query endpoint and
+// counts as a timeout in the metrics.
+func TestQueryTimeout(t *testing.T) {
+	ts, _, _ := testServerOpts(t, 8, time.Nanosecond)
+	for _, path := range []string{"/sssp?src=1", "/dist?src=0&dst=1", "/st?s=0&t=1", "/table?src=0&dst=1"} {
+		var e map[string]string
+		if code := getJSON(t, ts.URL+path, &e); code != http.StatusGatewayTimeout {
+			t.Fatalf("%s: code %d, want 504", path, code)
+		}
+	}
+	var m struct {
+		Endpoints map[string]struct {
+			Timeout int64 `json:"timeout"`
+		} `json:"endpoints"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, ep := range []string{"sssp", "dist", "st", "table"} {
+		if m.Endpoints[ep].Timeout != 1 {
+			t.Fatalf("%s timeout counter %d, want 1", ep, m.Endpoints[ep].Timeout)
+		}
+	}
+}
+
+// /metrics reflects per-endpoint requests, status classes, latency
+// histograms, and the aggregated Thorup trace of completed queries.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, g := testServerOpts(t, 8, time.Minute)
+	for i := 0; i < 3; i++ {
+		var r map[string]any
+		if code := getJSON(t, ts.URL+"/sssp?src=0", &r); code != 200 {
+			t.Fatalf("sssp: %d", code)
+		}
+	}
+	var bad map[string]string
+	getJSON(t, ts.URL+"/sssp?src=banana", &bad)
+
+	var m struct {
+		Instance      string  `json:"instance"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		InflightLimit int     `json:"inflight_limit"`
+		Endpoints     map[string]struct {
+			Requests int64            `json:"requests"`
+			InFlight int64            `json:"in_flight"`
+			Status   map[string]int64 `json:"status"`
+			Latency  struct {
+				Count   int64 `json:"count"`
+				Buckets []struct {
+					LEMillis float64 `json:"le_ms"`
+					Count    int64   `json:"count"`
+				} `json:"buckets"`
+			} `json:"latency"`
+		} `json:"endpoints"`
+		Thorup struct {
+			Queries           int64   `json:"queries"`
+			Settled           int64   `json:"settled"`
+			Relaxations       int64   `json:"relaxations"`
+			PropagationHops   int64   `json:"propagation_hops"`
+			HopsPerRelaxation float64 `json:"hops_per_relaxation"`
+			Gathers           int64   `json:"gathers"`
+			BucketAdvances    int64   `json:"bucket_advances"`
+			MaxTovisit        int64   `json:"max_tovisit"`
+		} `json:"thorup"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	if m.Instance != "test-instance" || m.InflightLimit != 8 {
+		t.Fatalf("identity fields: %+v", m)
+	}
+	ep := m.Endpoints["sssp"]
+	if ep.Requests != 4 || ep.Status["2xx"] != 3 || ep.Status["4xx"] != 1 {
+		t.Fatalf("sssp endpoint metrics: %+v", ep)
+	}
+	if ep.Latency.Count != 4 || len(ep.Latency.Buckets) == 0 {
+		t.Fatalf("latency histogram: %+v", ep.Latency)
+	}
+	// 3 successful queries over a connected 500-vertex graph.
+	if m.Thorup.Queries != 3 || m.Thorup.Settled != int64(3*g.NumVertices()) {
+		t.Fatalf("thorup aggregate: %+v", m.Thorup)
+	}
+	if m.Thorup.Relaxations == 0 || m.Thorup.Gathers == 0 || m.Thorup.HopsPerRelaxation <= 0 {
+		t.Fatalf("thorup counters empty: %+v", m.Thorup)
 	}
 }
 
@@ -167,5 +387,163 @@ func TestConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// The CH cache must be written atomically (temp + rename, no stray files)
+// and load back identically.
+func TestCacheAtomicWriteAndReload(t *testing.T) {
+	g, h := testGraph()
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "test.chb")
+
+	h1 := loadOrBuild(g, cache) // builds and writes
+	if h1.NumNodes() != h.NumNodes() {
+		t.Fatalf("built hierarchy differs: %d vs %d nodes", h1.NumNodes(), h.NumNodes())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "test.chb" {
+		t.Fatalf("cache dir should hold exactly test.chb, got %v", entries)
+	}
+
+	h2 := loadOrBuild(g, cache) // loads from cache
+	if h2.NumNodes() != h1.NumNodes() || h2.Root() != h1.Root() {
+		t.Fatalf("reloaded hierarchy differs")
+	}
+
+	// A corrupt (truncated) cache is ignored and rebuilt, not fatal.
+	if err := os.WriteFile(cache, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h3 := loadOrBuild(g, cache)
+	if h3.NumNodes() != h1.NumNodes() {
+		t.Fatalf("rebuild after corruption differs")
+	}
+}
+
+// writeCache must not leave a temp file behind when serialisation fails.
+func TestWriteCacheCleansUpOnError(t *testing.T) {
+	g, h := testGraph()
+	dir := t.TempDir()
+	// Writing into a path whose parent is a file forces CreateTemp to fail.
+	if err := writeCache(h, filepath.Join(dir, "missing", "x.chb")); err == nil {
+		t.Fatal("expected error for unwritable directory")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("stray files: %v", entries)
+	}
+	_ = g
+}
+
+// Shutdown must drain in-flight requests: a request that is mid-handler when
+// the stop signal arrives still completes with 200.
+func TestGracefulShutdownDrains(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		w.WriteHeader(200)
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: mux}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	serveErr := make(chan error, 1)
+	go func() {
+		errc := make(chan error, 1)
+		go func() { errc <- hs.Serve(ln) }()
+		select {
+		case err := <-errc:
+			serveErr <- err
+			return
+		case <-ctx.Done():
+		}
+		sctx, c := context.WithTimeout(context.Background(), 5*time.Second)
+		defer c()
+		if err := hs.Shutdown(sctx); err != nil {
+			serveErr <- err
+			return
+		}
+		serveErr <- nil
+	}()
+
+	reqErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			reqErr <- fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		reqErr <- nil
+	}()
+
+	<-started // request is in-flight
+	cancel()  // shutdown begins while the handler is blocked
+	time.Sleep(50 * time.Millisecond)
+	close(release) // handler finishes during the drain window
+
+	if err := <-reqErr; err != nil {
+		t.Fatalf("in-flight request not drained: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// The production serve() helper: clean drain returns nil.
+func TestServeHelperShutsDownCleanly(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, h := testGraph()
+	srv := newServer(g, h, "drain-test", 2, 8, time.Minute)
+	// serve() uses hs.ListenAndServe; grab a free port for it.
+	addr := ln.Addr().String()
+	ln.Close()
+	hs := &http.Server{Addr: addr, Handler: srv.mux()}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, hs, 5*time.Second)
+	}()
+	// Wait until the server answers, proving ListenAndServe is up.
+	url := "http://" + hs.Addr + "/healthz"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after cancel")
 	}
 }

@@ -100,6 +100,19 @@ func (h *Hierarchy) Children(x int32) []int32 {
 // VertexCount returns the number of vertices (leaves) under node x.
 func (h *Hierarchy) VertexCount(x int32) int32 { return h.vertexCount[x] }
 
+// NumChildLinks returns the total number of parent→child links, i.e. the
+// combined length of every node's Children slice.
+func (h *Hierarchy) NumChildLinks() int { return len(h.children) }
+
+// ChildOffset returns the start of node x's children within the flattened
+// child array, so [ChildOffset(x), ChildOffset(x)+len(Children(x))) is a
+// range unique to x: ranges of distinct nodes never overlap. Callers use it
+// to address per-node regions of flat scratch buffers sized NumChildLinks.
+// x must be an internal node.
+func (h *Hierarchy) ChildOffset(x int32) int32 {
+	return h.childStart[x-int32(h.g.NumVertices())]
+}
+
 // Shift returns the bucket granularity exponent of node x: children of x are
 // bucketed by minD >> Shift(x), i.e. into buckets of width 2^(level-1).
 func (h *Hierarchy) Shift(x int32) uint {

@@ -113,6 +113,7 @@ type Query struct {
 	dist      []int64 // per vertex, atomic
 	minD      []int64 // per CH node, atomic
 	unsettled []int32 // per CH node: unsettled vertices in subtree, atomic
+	scratch   []int32 // per child link: toVisit build space, one region per node
 	trace     *Trace  // optional event counters, nil unless EnableTrace
 }
 
@@ -124,13 +125,22 @@ func (s *Solver) Query() *Query {
 		dist:      make([]int64, s.h.NumLeaves()),
 		minD:      make([]int64, nodes),
 		unsettled: make([]int32, nodes),
+		scratch:   make([]int32, s.h.NumChildLinks()),
 	}
 }
 
 // InstanceBytes is the memory footprint of one query instance — the paper's
-// Table 2 "instance" column.
+// Table 2 "instance" column. It is a pure function of the hierarchy's
+// dimensions, so callers reporting it need not allocate a Query.
+func (s *Solver) InstanceBytes() int64 {
+	nodes := int64(s.h.NumNodes())
+	return int64(s.h.NumLeaves())*8 + nodes*8 + nodes*4 + int64(s.h.NumChildLinks())*4
+}
+
+// InstanceBytes is the memory footprint of this query instance.
 func (q *Query) InstanceBytes() int64 {
-	return int64(len(q.dist))*8 + int64(len(q.minD))*8 + int64(len(q.unsettled))*4
+	return int64(len(q.dist))*8 + int64(len(q.minD))*8 +
+		int64(len(q.unsettled))*4 + int64(len(q.scratch))*4
 }
 
 // SSSP is a convenience one-shot: build a query, run it, return distances.
@@ -145,6 +155,10 @@ func (q *Query) EnableTrace() *Trace {
 	q.trace = &Trace{}
 	return q.trace
 }
+
+// Trace returns the counter block installed by EnableTrace, or nil when
+// tracing is off.
+func (q *Query) Trace() *Trace { return q.trace }
 
 // Run computes shortest path distances from src. The returned slice aliases
 // the query's internal state and is valid until the next Run.
@@ -252,7 +266,7 @@ func (q *Query) visit(c int32, bound int64) {
 
 		// Build the toVisit set: all children (virtually) in bucket j — the
 		// paper's Figure 3 loop, run with the configured strategy.
-		toVisit := q.gather(children, j, shift)
+		toVisit := q.gather(c, children, j, shift)
 		if q.trace != nil {
 			q.trace.addGather(len(children), len(toVisit))
 		}
@@ -340,9 +354,14 @@ func (q *Query) propagate(leaf int32, nd int64) {
 
 // gather collects the children currently in bucket j (minD >> shift == j and
 // not fully settled) using the solver's strategy — the selective
-// parallelization of the paper's §3.3.
-func (q *Query) gather(children []int32, j int64, shift uint) []int32 {
-	out := make([]int32, len(children))
+// parallelization of the paper's §3.3. The toVisit set is built in node c's
+// region of the query's flat scratch buffer instead of a fresh allocation:
+// the region is private to c (ChildOffset ranges are disjoint) and c's
+// gathers never overlap in time (a node is visited by one goroutine, and its
+// bucket loop is sequential), so the returned slice stays valid until c's
+// next gather — after its consumers have finished.
+func (q *Query) gather(c int32, children []int32, j int64, shift uint) []int32 {
+	out := q.scratch[q.s.h.ChildOffset(c):][:len(children)]
 	var cursor int64
 	q.forStrategy(len(children), func(i int) {
 		k := children[i]

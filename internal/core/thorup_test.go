@@ -301,6 +301,16 @@ func BenchmarkThorupParallelExec(b *testing.B) {
 	}
 }
 
+// Solver.InstanceBytes (hierarchy arithmetic, what /stats reports) must agree
+// with the footprint of an actually-allocated Query.
+func TestInstanceBytesArithmetic(t *testing.T) {
+	g := gen.Random(700, 2800, 1<<10, gen.UWD, 17)
+	s := NewSolver(ch.BuildKruskal(g), par.NewExec(2))
+	if got, want := s.InstanceBytes(), s.Query().InstanceBytes(); got != want {
+		t.Fatalf("Solver.InstanceBytes=%d, Query.InstanceBytes=%d", got, want)
+	}
+}
+
 // The solver must work over any of the three hierarchy constructions.
 func TestSolverOverAllConstructions(t *testing.T) {
 	g := gen.Random(500, 2000, 1<<10, gen.PWD, 21)

@@ -45,6 +45,35 @@ func (t Trace) String() string {
 		t.Settled, t.Relaxations, t.HopsPerRelaxation(), t.Gathers, t.BucketAdvances, t.MaxTovisit)
 }
 
+// Snapshot returns a copy of the counters taken with atomic loads. Each
+// field is individually coherent; a snapshot of a finished Run is exact.
+func (t *Trace) Snapshot() Trace {
+	return Trace{
+		Settled:         atomic.LoadInt64(&t.Settled),
+		Relaxations:     atomic.LoadInt64(&t.Relaxations),
+		PropagationHops: atomic.LoadInt64(&t.PropagationHops),
+		Gathers:         atomic.LoadInt64(&t.Gathers),
+		GatherScanned:   atomic.LoadInt64(&t.GatherScanned),
+		GatherTaken:     atomic.LoadInt64(&t.GatherTaken),
+		BucketAdvances:  atomic.LoadInt64(&t.BucketAdvances),
+		MaxTovisit:      atomic.LoadInt64(&t.MaxTovisit),
+	}
+}
+
+// Merge folds a snapshot into t atomically: counters add, MaxTovisit takes
+// the maximum. It lets a long-running server accumulate per-query traces
+// into one aggregate that many goroutines update concurrently.
+func (t *Trace) Merge(s Trace) {
+	atomic.AddInt64(&t.Settled, s.Settled)
+	atomic.AddInt64(&t.Relaxations, s.Relaxations)
+	atomic.AddInt64(&t.PropagationHops, s.PropagationHops)
+	atomic.AddInt64(&t.Gathers, s.Gathers)
+	atomic.AddInt64(&t.GatherScanned, s.GatherScanned)
+	atomic.AddInt64(&t.GatherTaken, s.GatherTaken)
+	atomic.AddInt64(&t.BucketAdvances, s.BucketAdvances)
+	atomicMax(&t.MaxTovisit, s.MaxTovisit)
+}
+
 // add merges event counts atomically (queries may run on many goroutines).
 func (t *Trace) addSettled() { atomic.AddInt64(&t.Settled, 1) }
 
@@ -57,15 +86,16 @@ func (t *Trace) addGather(scanned, taken int) {
 	atomic.AddInt64(&t.Gathers, 1)
 	atomic.AddInt64(&t.GatherScanned, int64(scanned))
 	atomic.AddInt64(&t.GatherTaken, int64(taken))
+	atomicMax(&t.MaxTovisit, int64(taken))
+}
+
+func (t *Trace) addAdvance() { atomic.AddInt64(&t.BucketAdvances, 1) }
+
+func atomicMax(addr *int64, v int64) {
 	for {
-		cur := atomic.LoadInt64(&t.MaxTovisit)
-		if int64(taken) <= cur {
-			return
-		}
-		if atomic.CompareAndSwapInt64(&t.MaxTovisit, cur, int64(taken)) {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
 			return
 		}
 	}
 }
-
-func (t *Trace) addAdvance() { atomic.AddInt64(&t.BucketAdvances, 1) }

@@ -69,6 +69,38 @@ func TestPropagationLocality(t *testing.T) {
 	}
 }
 
+func TestTraceSnapshotAndMerge(t *testing.T) {
+	g := gen.Random(600, 2400, 1<<10, gen.UWD, 11)
+	h := ch.BuildKruskal(g)
+	q := NewSolver(h, par.NewExec(4)).Query()
+	tr := q.EnableTrace()
+	if q.Trace() != tr {
+		t.Fatal("Trace() accessor disagrees with EnableTrace")
+	}
+	q.Run(0)
+	snap := tr.Snapshot()
+	if snap != *tr {
+		t.Fatalf("snapshot of a finished run differs: %+v vs %+v", snap, *tr)
+	}
+
+	var agg Trace
+	agg.Merge(snap)
+	agg.Merge(snap)
+	if agg.Settled != 2*snap.Settled || agg.Relaxations != 2*snap.Relaxations ||
+		agg.PropagationHops != 2*snap.PropagationHops || agg.Gathers != 2*snap.Gathers ||
+		agg.GatherScanned != 2*snap.GatherScanned || agg.GatherTaken != 2*snap.GatherTaken ||
+		agg.BucketAdvances != 2*snap.BucketAdvances {
+		t.Fatalf("merge should add counters: %+v vs %+v", agg, snap)
+	}
+	if agg.MaxTovisit != snap.MaxTovisit {
+		t.Fatalf("merge should max MaxTovisit: %d vs %d", agg.MaxTovisit, snap.MaxTovisit)
+	}
+	agg.Merge(Trace{MaxTovisit: snap.MaxTovisit + 7})
+	if agg.MaxTovisit != snap.MaxTovisit+7 {
+		t.Fatalf("merge did not raise MaxTovisit: %d", agg.MaxTovisit)
+	}
+}
+
 func TestHopsPerRelaxationZero(t *testing.T) {
 	var tr Trace
 	if tr.HopsPerRelaxation() != 0 {

@@ -1,0 +1,240 @@
+// Package obs provides the observability primitives of the query daemon:
+// atomic counters and gauges, fixed-bucket latency histograms, and a
+// per-endpoint registry whose snapshots serialise directly to JSON for a
+// /metrics endpoint. Everything is stdlib-only and lock-free on the hot
+// path — recording a request is a handful of atomic adds, cheap enough to
+// sit in front of sub-millisecond shortest-path queries.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can move both ways (e.g. in-flight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets spans 100µs to ~26s in powers of four — wide enough
+// for both a cache-warm /healthz and a full-table query on a large graph.
+var DefaultLatencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	400 * time.Microsecond,
+	1600 * time.Microsecond,
+	6400 * time.Microsecond,
+	25600 * time.Microsecond,
+	102400 * time.Microsecond,
+	409600 * time.Microsecond,
+	1638400 * time.Microsecond,
+	6553600 * time.Microsecond,
+	26214400 * time.Microsecond,
+}
+
+// Histogram is a fixed-bucket duration histogram. Bounds are set at
+// construction; observations are atomic adds, snapshots are atomic loads.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; the last bucket is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram creates a histogram over the given ascending bucket upper
+// bounds. Nil bounds select DefaultLatencyBuckets.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, shaped for JSON.
+// Buckets are cumulative (Prometheus-style): Buckets[i].Count is the number
+// of observations <= Buckets[i].LEMillis, and Count is the +Inf bucket.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	SumMs   float64       `json:"sum_ms"`
+	MeanMs  float64       `json:"mean_ms"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	LEMillis float64 `json:"le_ms"`
+	Count    int64   `json:"count"`
+}
+
+// Snapshot copies the histogram. Concurrent observations may land between
+// field loads; each field is individually coherent and the skew is at most
+// the handful of requests in flight during the call.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumMs:   float64(h.sum.Load()) / 1e6,
+		Buckets: make([]BucketCount, len(h.bounds)),
+	}
+	if s.Count > 0 {
+		s.MeanMs = s.SumMs / float64(s.Count)
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = BucketCount{LEMillis: float64(b) / 1e6, Count: cum}
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in milliseconds by linear
+// interpolation within the containing bucket; observations beyond the last
+// bound report that bound. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var prevCum int64
+	lo := 0.0
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			width := b.LEMillis - lo
+			inBucket := float64(b.Count - prevCum)
+			if inBucket == 0 {
+				return b.LEMillis
+			}
+			return lo + width*(rank-float64(prevCum))/inBucket
+		}
+		prevCum = b.Count
+		lo = b.LEMillis
+	}
+	return lo // beyond the last finite bound
+}
+
+// Endpoint holds the per-endpoint metrics the daemon's middleware records.
+type Endpoint struct {
+	Requests Counter    // completed requests
+	InFlight Gauge      // currently executing requests
+	Shed     Counter    // requests rejected by admission control (503)
+	Timeout  Counter    // requests that hit their context deadline (504)
+	Latency  *Histogram // completed-request latency
+	status   [6]Counter // responses by status class; index = status/100
+}
+
+// RecordStatus counts one response with the given HTTP status code.
+func (e *Endpoint) RecordStatus(code int) {
+	i := code / 100
+	if i < 0 || i >= len(e.status) {
+		i = 0 // bucket malformed codes as class 0 rather than dropping them
+	}
+	e.status[i].Inc()
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's metrics.
+type EndpointSnapshot struct {
+	Requests int64             `json:"requests"`
+	InFlight int64             `json:"in_flight"`
+	Shed     int64             `json:"shed,omitempty"`
+	Timeout  int64             `json:"timeout,omitempty"`
+	Status   map[string]int64  `json:"status"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot copies the endpoint's metrics.
+func (e *Endpoint) Snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{
+		Requests: e.Requests.Value(),
+		InFlight: e.InFlight.Value(),
+		Shed:     e.Shed.Value(),
+		Timeout:  e.Timeout.Value(),
+		Status:   make(map[string]int64),
+		Latency:  e.Latency.Snapshot(),
+	}
+	for i := range e.status {
+		if v := e.status[i].Value(); v > 0 {
+			s.Status[statusClass(i)] = v
+		}
+	}
+	return s
+}
+
+func statusClass(i int) string {
+	return string([]byte{byte('0' + i), 'x', 'x'})
+}
+
+// Registry is a fixed set of named endpoints. The set is established at
+// construction so lookups on the request path are map reads with no locking.
+type Registry struct {
+	endpoints map[string]*Endpoint
+	start     time.Time
+}
+
+// NewRegistry creates a registry with one Endpoint per name, all using the
+// default latency buckets.
+func NewRegistry(names ...string) *Registry {
+	r := &Registry{endpoints: make(map[string]*Endpoint, len(names)), start: time.Now()}
+	for _, n := range names {
+		r.endpoints[n] = &Endpoint{Latency: NewHistogram(nil)}
+	}
+	return r
+}
+
+// Endpoint returns the named endpoint's metrics. Unknown names panic: the
+// middleware wires names at startup, so a miss is a programming error.
+func (r *Registry) Endpoint(name string) *Endpoint {
+	e, ok := r.endpoints[name]
+	if !ok {
+		panic("obs: unknown endpoint " + name)
+	}
+	return e
+}
+
+// UptimeSeconds returns the seconds since the registry was created.
+func (r *Registry) UptimeSeconds() float64 { return time.Since(r.start).Seconds() }
+
+// Snapshot copies every endpoint's metrics, keyed by name.
+func (r *Registry) Snapshot() map[string]EndpointSnapshot {
+	out := make(map[string]EndpointSnapshot, len(r.endpoints))
+	for name, e := range r.endpoints {
+		out[name] = e.Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge %d, want 0", g.Value())
+	}
+	c.Add(5)
+	if c.Value() != 8005 {
+		t.Fatalf("counter %d after Add", c.Value())
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (le is inclusive)
+	h.Observe(2 * time.Millisecond)   // bucket 1
+	h.Observe(time.Minute)            // overflow
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Buckets[0].Count != 2 || s.Buckets[1].Count != 3 {
+		t.Fatalf("cumulative buckets wrong: %+v", s.Buckets)
+	}
+	wantSum := 0.5 + 1 + 2 + 60000
+	if s.SumMs != wantSum {
+		t.Fatalf("sum %v, want %v", s.SumMs, wantSum)
+	}
+	if s.MeanMs != wantSum/4 {
+		t.Fatalf("mean %v", s.MeanMs)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(200 * time.Microsecond) // all in the (0.1ms, 0.4ms] bucket
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0.1 || p50 > 0.4 {
+		t.Fatalf("p50 %v outside containing bucket", p50)
+	}
+	h2 := NewHistogram([]time.Duration{time.Millisecond})
+	h2.Observe(time.Second) // beyond the last bound
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile %v, want last bound 1ms", got)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]time.Duration{time.Second, time.Millisecond})
+}
+
+func TestEndpointStatusClasses(t *testing.T) {
+	e := &Endpoint{Latency: NewHistogram(nil)}
+	e.RecordStatus(200)
+	e.RecordStatus(204)
+	e.RecordStatus(400)
+	e.RecordStatus(503)
+	s := e.Snapshot()
+	if s.Status["2xx"] != 2 || s.Status["4xx"] != 1 || s.Status["5xx"] != 1 {
+		t.Fatalf("status classes %v", s.Status)
+	}
+	if _, ok := s.Status["3xx"]; ok {
+		t.Fatal("empty class should be omitted")
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry("sssp", "dist")
+	ep := r.Endpoint("sssp")
+	ep.Requests.Inc()
+	ep.RecordStatus(200)
+	ep.Latency.Observe(3 * time.Millisecond)
+	ep.Shed.Inc()
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 endpoints, got %d", len(snap))
+	}
+	if snap["sssp"].Requests != 1 || snap["sssp"].Shed != 1 {
+		t.Fatalf("sssp snapshot %+v", snap["sssp"])
+	}
+	if snap["dist"].Requests != 0 {
+		t.Fatalf("dist snapshot %+v", snap["dist"])
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]EndpointSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["sssp"].Latency.Count != 1 {
+		t.Fatalf("latency did not round-trip: %+v", back["sssp"].Latency)
+	}
+	if r.UptimeSeconds() < 0 {
+		t.Fatal("negative uptime")
+	}
+}
+
+func TestRegistryUnknownEndpointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown endpoint did not panic")
+		}
+	}()
+	NewRegistry("a").Endpoint("b")
+}
