@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check fuzz experiments examples clean
+.PHONY: all build vet test race bench check stress fuzz experiments examples clean
 
 all: build vet test
 
@@ -25,17 +25,31 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fast pre-merge gate: static checks plus the race detector over the
-# concurrent traversal core and the daemon middleware.
+# Fast pre-merge gate: static checks, the race detector over the concurrent
+# traversal core and the daemon middleware, and the seeded stress sweep.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./cmd/ssspd/...
+	$(MAKE) stress
 
-# Short fuzzing passes over the format parsers and the solver cross-check.
+# Deterministic differential/metamorphic stress sweep, race-enabled: every
+# graph family x every solver, cross-checked pairwise, certified, transformed,
+# and hammered with concurrent queries. Also replays the regression corpus in
+# testdata/stress. Reproduce any reported failure with the printed
+# `-replay` command.
+STRESS_SEED ?= 1
+stress:
+	$(GO) test -race -count=1 ./internal/stress ./internal/solver
+	$(GO) run -race ./cmd/stress -seed $(STRESS_SEED) -rounds 2 -max-n 192 -quiet
+
+# Short fuzzing passes over the format parsers and the solver cross-checks
+# (~10s per target).
 fuzz:
-	$(GO) test -fuzz FuzzReadGraph -fuzztime 30s ./internal/dimacs
-	$(GO) test -fuzz FuzzReadSources -fuzztime 15s ./internal/dimacs
-	$(GO) test -fuzz FuzzThorupVsDijkstra -fuzztime 30s ./internal/core
+	$(GO) test -fuzz FuzzReadGraph -fuzztime 10s ./internal/dimacs
+	$(GO) test -fuzz FuzzReadSources -fuzztime 10s ./internal/dimacs
+	$(GO) test -fuzz FuzzThorupVsDijkstra -fuzztime 10s ./internal/core
+	$(GO) test -fuzz FuzzDeltaStepVsDijkstra -fuzztime 10s ./internal/core
+	$(GO) test -fuzz FuzzMLBVsDijkstra -fuzztime 10s ./internal/core
 
 # Regenerate every table and figure of the paper at the default scale.
 experiments:

@@ -1,0 +1,95 @@
+// Command stress is the differential/metamorphic stress-testing driver for
+// every SSSP solver in the repository (internal/stress).
+//
+// A run is a pure function of -seed: it sweeps generated instances across all
+// graph families, runs every registered solver on each, and cross-checks the
+// results pairwise, against the linear-time certifier, under metamorphic
+// transformations, against Component Hierarchy invariants, and under
+// concurrent queries. Build with -race to make the concurrency stage
+// meaningful (`make stress` does).
+//
+// On failure the witness is minimized by the built-in shrinker and written as
+// a DIMACS .gr/.ss pair under -out; replay it later with -replay:
+//
+//	stress -seed 12345            # sweep; exit 1 + repro files on failure
+//	stress -replay repro/x.gr     # re-run the full oracle stack on one repro
+//	stress -replay testdata/stress  # replay a whole corpus directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/par"
+	"repro/internal/stress"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "base seed; the entire run derives from it")
+		rounds  = flag.Int("rounds", 1, "sweep rounds (each round re-seeds every family)")
+		maxN    = flag.Int("max-n", 256, "vertex-count ceiling for generated instances")
+		workers = flag.Int("workers", 4, "worker goroutines for the parallel solvers")
+		targets = flag.Int("targets", 4, "sampled s-t pairs per instance for point-to-point checks")
+		out     = flag.String("out", "stress-repro", "directory for minimized repro files")
+		replay  = flag.String("replay", "", "replay a repro .gr file or a directory of them instead of sweeping")
+		quiet   = flag.Bool("quiet", false, "suppress per-instance progress")
+	)
+	flag.Parse()
+
+	cfg := stress.Config{
+		Seed:    *seed,
+		Rounds:  *rounds,
+		MaxN:    *maxN,
+		Workers: *workers,
+		Targets: *targets,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var f *stress.Failure
+	if *replay != "" {
+		rt := par.NewExec(*workers)
+		info, err := os.Stat(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		if info.IsDir() {
+			f, err = stress.ReplayDir(cfg, rt, *replay)
+		} else {
+			f, err = stress.ReplayFile(cfg, rt, *replay)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if f == nil {
+			fmt.Println("stress: replay clean")
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%v\n", f)
+		os.Exit(1)
+	}
+
+	f = stress.Run(cfg)
+	if f == nil {
+		fmt.Printf("stress: clean (%d round(s), seed %d)\n", max(1, *rounds), *seed)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%v\n", f)
+	path, err := f.WriteRepro(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stress: writing repro: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "stress: minimized repro written; replay with:\n  go run -race ./cmd/stress -replay %s\n", path)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "stress: %v\n", err)
+	os.Exit(1)
+}

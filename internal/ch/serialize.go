@@ -204,7 +204,7 @@ func (h *Hierarchy) sampleEdgeCheck(limit int) error {
 			if u == int32(v) {
 				continue
 			}
-			if err := h.checkEdge(int32(v), u, ws[k]); err != nil {
+			if err := h.CheckEdge(int32(v), u, ws[k]); err != nil {
 				return err
 			}
 			checked++

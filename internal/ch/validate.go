@@ -50,7 +50,7 @@ func (h *Hierarchy) Validate() error {
 			if u == v {
 				continue
 			}
-			if err := h.checkEdge(v, u, ws[k]); err != nil {
+			if err := h.CheckEdge(v, u, ws[k]); err != nil {
 				return err
 			}
 		}
@@ -58,9 +58,11 @@ func (h *Hierarchy) Validate() error {
 	return nil
 }
 
-// checkEdge verifies the separation property for one edge: the endpoints'
-// LCA must sit at a level consistent with the edge weight.
-func (h *Hierarchy) checkEdge(v, u int32, w uint32) error {
+// CheckEdge verifies the separation property for one edge: the endpoints'
+// LCA must sit at a level consistent with the edge weight. It is exported as
+// an invariant hook for external harnesses (internal/stress) that spot-check
+// edges without paying for a full Validate.
+func (h *Hierarchy) CheckEdge(v, u int32, w uint32) error {
 	l := h.lcaOrNeg(v, u)
 	if l < 0 {
 		return fmt.Errorf("ch: edge (%d,%d) connects vertices the hierarchy keeps in separate components", v, u)

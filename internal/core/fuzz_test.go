@@ -4,10 +4,29 @@ import (
 	"testing"
 
 	"repro/internal/ch"
+	"repro/internal/deltastep"
 	"repro/internal/dijkstra"
 	"repro/internal/graph"
+	"repro/internal/mlb"
 	"repro/internal/par"
 )
+
+// decodeGraph turns arbitrary fuzz bytes into a small multigraph: first byte
+// picks n in [1,30], then each (u, v, w) triple adds one edge. Shared by the
+// differential fuzz targets so their corpora cross-pollinate.
+func decodeGraph(data []byte) (*graph.Graph, []byte) {
+	n := int(data[0])%30 + 1
+	data = data[1:]
+	b := graph.NewBuilder(n)
+	for len(data) >= 3 {
+		u := int32(int(data[0]) % n)
+		v := int32(int(data[1]) % n)
+		w := uint32(data[2])%255 + 1
+		b.MustAddEdge(u, v, w)
+		data = data[3:]
+	}
+	return b.Build(), data
+}
 
 // FuzzThorupVsDijkstra decodes arbitrary bytes into a small multigraph and
 // cross-checks every Thorup variant against Dijkstra. This hunts for CH or
@@ -21,17 +40,8 @@ func FuzzThorupVsDijkstra(f *testing.F) {
 		if len(data) == 0 {
 			return
 		}
-		n := int(data[0])%30 + 1
-		data = data[1:]
-		b := graph.NewBuilder(n)
-		for len(data) >= 3 {
-			u := int32(int(data[0]) % n)
-			v := int32(int(data[1]) % n)
-			w := uint32(data[2])%255 + 1
-			b.MustAddEdge(u, v, w)
-			data = data[3:]
-		}
-		g := b.Build()
+		g, _ := decodeGraph(data)
+		n := g.NumVertices()
 		h := ch.BuildKruskal(g)
 		if err := h.Validate(); err != nil {
 			t.Fatalf("hierarchy invalid: %v", err)
@@ -47,6 +57,57 @@ func FuzzThorupVsDijkstra(f *testing.F) {
 				if got[v] != want[v] {
 					t.Fatalf("%s: d[%d]=%d, dijkstra %d (n=%d)", name, v, got[v], want[v], n)
 				}
+			}
+		}
+	})
+}
+
+// FuzzDeltaStepVsDijkstra cross-checks delta-stepping against Dijkstra on
+// fuzz-decoded multigraphs. The byte after the edge triples (when present)
+// picks the bucket width, so the fuzzer also explores degenerate deltas —
+// width 1 (pure Dijkstra-like) through widths far above the weight range.
+func FuzzDeltaStepVsDijkstra(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 1, 2, 2, 2, 3, 4})
+	f.Add([]byte{2, 0, 0, 200, 7})
+	f.Add([]byte{10})
+	f.Add([]byte{7, 0, 1, 255, 1, 2, 1, 2, 0, 128, 3, 3, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		g, rest := decodeGraph(data)
+		delta := deltastep.DefaultDelta(g)
+		if len(rest) > 0 {
+			delta = int64(rest[0])%300 + 1
+		}
+		rt := par.NewExec(2)
+		want := dijkstra.SSSP(g, 0)
+		got := deltastep.SSSP(rt, g, 0, delta)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("delta=%d: d[%d]=%d, dijkstra %d (n=%d)", delta, v, got[v], want[v], g.NumVertices())
+			}
+		}
+	})
+}
+
+// FuzzMLBVsDijkstra cross-checks the multi-level bucket solver against
+// Dijkstra on fuzz-decoded multigraphs.
+func FuzzMLBVsDijkstra(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 1, 2, 2, 2, 3, 4})
+	f.Add([]byte{2, 0, 0, 200})
+	f.Add([]byte{10})
+	f.Add([]byte{7, 0, 1, 255, 1, 2, 1, 2, 0, 128, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		g, _ := decodeGraph(data)
+		want := dijkstra.SSSP(g, 0)
+		got := mlb.SSSP(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("mlb: d[%d]=%d, dijkstra %d (n=%d)", v, got[v], want[v], g.NumVertices())
 			}
 		}
 	})

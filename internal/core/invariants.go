@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CheckInvariants verifies the query's internal state against the Component
+// Hierarchy after a completed Run/RunFromSources. It is an invariant hook for
+// differential harnesses (internal/stress): a traversal bug that happens to
+// produce plausible distances still tends to leave the bookkeeping arrays
+// inconsistent, and this check catches it without a reference solver.
+//
+// Checked post-run invariants:
+//
+//  1. Distances are in [0, Inf] and every leaf's settled flag matches its
+//     distance: unsettled == 0 iff the vertex was reached (dist < Inf).
+//  2. Every leaf's minD is parked at Inf — settling stores Inf, and a leaf
+//     that was never reached was never lowered.
+//  3. For every internal node, unsettled equals the number of unreachable
+//     leaves in its subtree (the counters drained exactly once per settle).
+//  4. Components settle all-or-nothing: a real (non-virtual-root) CH node is
+//     internally connected, so after a run its unsettled count is either 0
+//     or its full vertex count. A node that was never touched (fully
+//     unreachable) must still have minD == Inf.
+//
+// minD of settled internal nodes is deliberately unconstrained: the visit
+// loop exits on unsettled == 0 without a final refresh, so a stale finite
+// value there is normal.
+func (q *Query) CheckInvariants() error {
+	h := q.s.h
+	n := h.NumLeaves()
+	if n == 0 {
+		return nil
+	}
+	nodes := h.NumNodes()
+	infUnder := make([]int32, nodes)
+	for v := 0; v < n; v++ {
+		d := q.dist[v]
+		if d < 0 || d > graph.Inf {
+			return fmt.Errorf("core: invariant: dist[%d] = %d out of [0, Inf]", v, d)
+		}
+		settled := q.unsettled[v] == 0
+		if settled == (d == graph.Inf) {
+			return fmt.Errorf("core: invariant: leaf %d has dist %d but unsettled %d", v, d, q.unsettled[v])
+		}
+		if q.minD[v] != graph.Inf {
+			return fmt.Errorf("core: invariant: leaf %d minD %d not parked at Inf", v, q.minD[v])
+		}
+		if d == graph.Inf {
+			for x := int32(v); x >= 0; x = h.Parent(x) {
+				infUnder[x]++
+			}
+		}
+	}
+	for x := int32(0); x < int32(nodes); x++ {
+		if h.IsLeaf(x) {
+			continue
+		}
+		us := q.unsettled[x]
+		if us != infUnder[x] {
+			return fmt.Errorf("core: invariant: node %d unsettled %d, but %d unreachable leaves beneath it",
+				x, us, infUnder[x])
+		}
+		virtual := h.HasVirtualRoot() && x == h.Root()
+		if !virtual && us != 0 && us != h.VertexCount(x) {
+			return fmt.Errorf("core: invariant: component %d settled partially (%d of %d unsettled)",
+				x, us, h.VertexCount(x))
+		}
+		if us == h.VertexCount(x) && q.minD[x] != graph.Inf {
+			return fmt.Errorf("core: invariant: untouched node %d has minD %d", x, q.minD[x])
+		}
+	}
+	return nil
+}

@@ -29,6 +29,7 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	var (
 		b        *graph.Builder
+		nVerts   int64
 		declared int64
 		seen     int64
 		line     int
@@ -58,6 +59,7 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 			if err != nil || m < 0 {
 				return nil, fmt.Errorf("dimacs: line %d: bad arc count %q", line, fields[3])
 			}
+			nVerts = n
 			declared = m
 			b = graph.NewBuilder(int(n))
 			pending = make(map[[3]int64]int64)
@@ -74,8 +76,15 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 			if err1 != nil || err2 != nil || err3 != nil {
 				return nil, fmt.Errorf("dimacs: line %d: malformed arc %q", line, text)
 			}
+			// Explicit 1-based range check, phrased in the file's own
+			// coordinates. Vertex 0 and ids past the problem line's count are
+			// the classic off-by-one corruptions; without this guard the
+			// builder's 0-based error message would misreport them.
 			if u < 1 || v < 1 {
 				return nil, fmt.Errorf("dimacs: line %d: vertex ids are 1-based, got %d %d", line, u, v)
+			}
+			if u > nVerts || v > nVerts {
+				return nil, fmt.Errorf("dimacs: line %d: arc (%d,%d) references a vertex beyond the declared count %d", line, u, v, nVerts)
 			}
 			if w < 1 || w > int64(graph.MaxWeight) {
 				return nil, fmt.Errorf("dimacs: line %d: weight %d out of [1,%d]", line, w, graph.MaxWeight)

@@ -72,7 +72,10 @@ func TestReadErrors(t *testing.T) {
 		"zero weight":        "p sp 2 1\na 1 2 0\n",
 		"negative weight":    "p sp 2 1\na 1 2 -4\n",
 		"zero-based vertex":  "p sp 2 1\na 0 1 3\n",
+		"zero-based target":  "p sp 2 1\na 1 0 3\n",
 		"out-of-range":       "p sp 2 1\na 1 3 3\n",
+		"out-of-range src":   "p sp 2 1\na 3 1 3\n",
+		"arc in empty graph": "p sp 0 1\na 1 1 1\n",
 		"arc count mismatch": "p sp 2 2\na 1 2 3\n",
 		"malformed arc":      "p sp 2 1\na 1 2\n",
 		"not sp":             "p max 2 1\n",
@@ -136,5 +139,19 @@ func TestReadSourcesErrors(t *testing.T) {
 		if _, err := ReadSources(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestVertexRangeErrorsAreDescriptive: out-of-range arcs must produce errors
+// phrased in the file's 1-based coordinates with the offending line number,
+// not the in-memory 0-based builder message.
+func TestVertexRangeErrorsAreDescriptive(t *testing.T) {
+	_, err := ReadGraph(strings.NewReader("p sp 2 1\na 0 1 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "1-based") || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("vertex-0 error not descriptive: %v", err)
+	}
+	_, err = ReadGraph(strings.NewReader("p sp 2 1\na 1 5 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "declared count 2") || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("beyond-count error not descriptive: %v", err)
 	}
 }

@@ -18,6 +18,13 @@ func FuzzReadGraph(f *testing.F) {
 	f.Add("p sp 2 2\na 1 2 1000000000\na 2 1 1000000000\n")
 	f.Add("a 1 2 3\np sp 2 1\n")
 	f.Add("p sp 2 1\na 1 2 -1\n")
+	// Regression: arcs referencing vertex 0 / vertices beyond the declared
+	// count must be rejected with a parse error, never a panic.
+	f.Add("p sp 2 1\na 0 1 3\n")
+	f.Add("p sp 2 1\na 1 0 3\n")
+	f.Add("p sp 2 1\na 1 5 3\n")
+	f.Add("p sp 2 1\na 3 1 3\n")
+	f.Add("p sp 0 1\na 1 1 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadGraph(strings.NewReader(in))
 		if err != nil {

@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+func TestRegistryNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if s.Name == "" {
+			t.Fatal("solver with empty name")
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate solver name %q", s.Name)
+		}
+		seen[s.Name] = true
+		got, ok := ByName(s.Name)
+		if !ok || got.Name != s.Name {
+			t.Fatalf("ByName(%q) = %v, %v", s.Name, got.Name, ok)
+		}
+	}
+	if _, ok := ByName("no-such-solver"); ok {
+		t.Fatal("ByName accepted an unknown name")
+	}
+	if len(Names()) != len(All()) {
+		t.Fatalf("Names() has %d entries, All() has %d", len(Names()), len(All()))
+	}
+	want := 6 // thorup, thorup-serial, dijkstra, delta, mlb, bfs
+	if len(All()) != want {
+		t.Fatalf("registry has %d solvers, want %d", len(All()), want)
+	}
+}
+
+func TestApplicable(t *testing.T) {
+	weighted := gen.Random(32, 96, 8, gen.UWD, 1)
+	unit := gen.Random(32, 96, 1, gen.UWD, 1)
+	empty := graph.NewBuilder(4).Build()
+	for _, s := range All() {
+		if !s.Applicable(weighted) && !s.UnitWeightsOnly {
+			t.Errorf("%s not applicable to a weighted graph", s.Name)
+		}
+		if s.UnitWeightsOnly && s.Applicable(weighted) {
+			t.Errorf("%s (unit-only) applicable to a weighted graph", s.Name)
+		}
+		if !s.Applicable(unit) {
+			t.Errorf("%s not applicable to a unit-weight graph", s.Name)
+		}
+		if !s.Applicable(empty) {
+			t.Errorf("%s not applicable to an edgeless graph", s.Name)
+		}
+	}
+}
+
+func TestAllSolversAgree(t *testing.T) {
+	rt := par.NewExec(2)
+	for _, tc := range []struct {
+		name    string
+		g       *graph.Graph
+		sources []int32
+	}{
+		{"weighted", gen.Random(64, 256, 32, gen.UWD, 7), []int32{3, 40}},
+		{"unit", gen.Random(64, 256, 1, gen.UWD, 8), []int32{0}},
+		{"single-vertex", graph.NewBuilder(1).Build(), []int32{0}},
+	} {
+		in := NewInstance(tc.g, rt)
+		want := dijkstra.SSSP(tc.g, tc.sources[0])
+		for _, s := range tc.sources[1:] {
+			for v, dv := range dijkstra.SSSP(tc.g, s) {
+				if dv < want[v] {
+					want[v] = dv
+				}
+			}
+		}
+		for _, s := range All() {
+			if !s.Applicable(tc.g) {
+				continue
+			}
+			got := s.Solve(in, tc.sources)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Errorf("%s/%s: d[%d] = %d, want %d", tc.name, s.Name, v, got[v], want[v])
+					break
+				}
+			}
+		}
+		for _, pp := range PointToPoints() {
+			tgt := int32(tc.g.NumVertices() - 1)
+			ref := dijkstra.SSSP(tc.g, tc.sources[0])
+			if got := pp.Dist(in, tc.sources[0], tgt); got != ref[tgt] {
+				t.Errorf("%s/%s: st = %d, want %d", tc.name, pp.Name, got, ref[tgt])
+			}
+		}
+	}
+}
+
+func TestInstanceHierarchyLazyAndCached(t *testing.T) {
+	g := gen.Random(32, 96, 8, gen.UWD, 2)
+	in := NewInstance(g, par.NewExec(1))
+	h1 := in.Hierarchy()
+	if h1 == nil {
+		t.Fatal("nil hierarchy")
+	}
+	if h2 := in.Hierarchy(); h2 != h1 {
+		t.Fatal("Hierarchy not cached")
+	}
+}

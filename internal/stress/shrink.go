@@ -1,0 +1,201 @@
+package stress
+
+import (
+	"repro/internal/graph"
+)
+
+// Property reports whether the failure of interest still reproduces on the
+// candidate instance. Shrink only commits candidates the property accepts.
+type Property func(g *graph.Graph, sources []int32) bool
+
+// shrinkBudget caps the number of property evaluations per Shrink call; each
+// evaluation re-runs the full (race-disabled) oracle stack, so the budget
+// bounds worst-case shrink time on stubborn failures.
+const shrinkBudget = 400
+
+// Shrink minimizes a failing instance with a delta-debugging loop: halve the
+// vertex set while the discrepancy reproduces, then drop edge chunks, then
+// simplify weights and sources, then compact away isolated vertices. The
+// result is the smallest witness found (never worse than the input) and is
+// what WriteRepro persists.
+func Shrink(g *graph.Graph, sources []int32, keep Property) (*graph.Graph, []int32) {
+	s := &shrinker{keep: keep, budget: shrinkBudget, g: g, sources: sources}
+	for changed := true; changed && s.budget > 0; {
+		changed = false
+		changed = s.halveVertices() || changed
+		changed = s.reduceEdges() || changed
+		changed = s.simplifyWeights() || changed
+		changed = s.simplifySources() || changed
+		changed = s.compact() || changed
+	}
+	return s.g, s.sources
+}
+
+type shrinker struct {
+	keep    Property
+	budget  int
+	g       *graph.Graph
+	sources []int32
+}
+
+// try commits the candidate if the property still holds on it.
+func (s *shrinker) try(g *graph.Graph, sources []int32) bool {
+	if s.budget <= 0 || len(sources) == 0 || g.NumVertices() == 0 {
+		return false
+	}
+	s.budget--
+	if !s.keep(g, sources) {
+		return false
+	}
+	s.g, s.sources = g, sources
+	return true
+}
+
+// tryInduced restricts the instance to the given vertex set, remapping the
+// sources; sources outside the set are dropped.
+func (s *shrinker) tryInduced(vertices []int32) bool {
+	if len(vertices) == 0 || len(vertices) >= s.g.NumVertices() {
+		return false
+	}
+	sub, new2old := s.g.InducedSubgraph(vertices)
+	old2new := make(map[int32]int32, len(new2old))
+	for nv, ov := range new2old {
+		old2new[ov] = int32(nv)
+	}
+	var srcs []int32
+	for _, src := range s.sources {
+		if nv, ok := old2new[src]; ok {
+			srcs = append(srcs, nv)
+		}
+	}
+	if len(srcs) == 0 {
+		return false
+	}
+	return s.try(sub, srcs)
+}
+
+// halveVertices repeatedly tries to keep only the first or second half of
+// the vertex range.
+func (s *shrinker) halveVertices() bool {
+	any := false
+	for s.budget > 0 {
+		n := s.g.NumVertices()
+		if n < 2 {
+			return any
+		}
+		half := n / 2
+		lo := make([]int32, half)
+		hi := make([]int32, n-half)
+		for i := 0; i < half; i++ {
+			lo[i] = int32(i)
+		}
+		for i := half; i < n; i++ {
+			hi[i-half] = int32(i)
+		}
+		if s.tryInduced(lo) || s.tryInduced(hi) {
+			any = true
+			continue
+		}
+		return any
+	}
+	return any
+}
+
+// reduceEdges is ddmin over the edge list: remove chunks of shrinking size
+// while the failure reproduces.
+func (s *shrinker) reduceEdges() bool {
+	any := false
+	for chunks := 2; s.budget > 0; {
+		edges := s.g.Edges()
+		if len(edges) == 0 || chunks > len(edges) || chunks > 64 {
+			return any
+		}
+		size := (len(edges) + chunks - 1) / chunks
+		removed := false
+		for at := 0; at < len(edges); at += size {
+			end := at + size
+			if end > len(edges) {
+				end = len(edges)
+			}
+			rest := make([]graph.Edge, 0, len(edges)-(end-at))
+			rest = append(rest, edges[:at]...)
+			rest = append(rest, edges[end:]...)
+			if s.try(graph.FromEdges(s.g.NumVertices(), rest), s.sources) {
+				removed = true
+				any = true
+				break // edge list changed; restart at coarse granularity
+			}
+		}
+		if removed {
+			chunks = 2
+		} else {
+			chunks *= 2
+		}
+	}
+	return any
+}
+
+// simplifyWeights tries all-unit weights, then halved weights — smaller,
+// rounder weights make the emitted repro far easier to reason about.
+func (s *shrinker) simplifyWeights() bool {
+	edges := s.g.Edges()
+	if len(edges) == 0 {
+		return false
+	}
+	unit := make([]graph.Edge, len(edges))
+	allUnit := true
+	for i, e := range edges {
+		if e.W != 1 {
+			allUnit = false
+		}
+		unit[i] = graph.Edge{U: e.U, V: e.V, W: 1}
+	}
+	if !allUnit && s.try(graph.FromEdges(s.g.NumVertices(), unit), s.sources) {
+		return true
+	}
+	halved := make([]graph.Edge, len(edges))
+	anyHalved := false
+	for i, e := range edges {
+		w := e.W / 2
+		if w < 1 {
+			w = 1
+		}
+		if w != e.W {
+			anyHalved = true
+		}
+		halved[i] = graph.Edge{U: e.U, V: e.V, W: w}
+	}
+	return anyHalved && s.try(graph.FromEdges(s.g.NumVertices(), halved), s.sources)
+}
+
+// simplifySources tries a single source, preferring vertex 0.
+func (s *shrinker) simplifySources() bool {
+	any := false
+	if len(s.sources) > 1 && s.try(s.g, s.sources[:1]) {
+		any = true
+	}
+	if len(s.sources) == 1 && s.sources[0] != 0 && s.try(s.g, []int32{0}) {
+		any = true
+	}
+	return any
+}
+
+// compact drops isolated non-source vertices (edge reduction leaves them
+// behind), renumbering the survivors densely.
+func (s *shrinker) compact() bool {
+	n := s.g.NumVertices()
+	isSource := make(map[int32]bool, len(s.sources))
+	for _, src := range s.sources {
+		isSource[src] = true
+	}
+	var kept []int32
+	for v := int32(0); v < int32(n); v++ {
+		if s.g.Degree(v) > 0 || isSource[v] {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == n {
+		return false
+	}
+	return s.tryInduced(kept)
+}

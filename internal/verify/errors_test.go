@@ -1,0 +1,188 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+)
+
+// line returns the weighted path 0-1-2-3-4 with edge weights 2,3,4,5.
+func line() *graph.Graph {
+	b := graph.NewBuilder(5)
+	b.MustAddEdge(0, 1, 2)
+	b.MustAddEdge(1, 2, 3)
+	b.MustAddEdge(2, 3, 4)
+	b.MustAddEdge(3, 4, 5)
+	return b.Build()
+}
+
+// TestErrorPaths violates each certification rule individually and asserts
+// the certifier reports that rule (not merely "some error") at a sensible
+// vertex. Both entry points must agree on the verdict; DistancesSerial must
+// additionally report the lowest-vertex violation.
+func TestErrorPaths(t *testing.T) {
+	r := rt()
+	for _, tc := range []struct {
+		name     string
+		g        *graph.Graph
+		sources  []int32
+		dist     []int64
+		wantRule string
+		wantV    int32 // deterministic vertex expected from DistancesSerial; -1 = header error
+	}{
+		{
+			name: "shape-short", g: line(), sources: []int32{0},
+			dist: make([]int64, 3), wantRule: "shape", wantV: -1,
+		},
+		{
+			name: "shape-long", g: line(), sources: []int32{0},
+			dist: make([]int64, 9), wantRule: "shape", wantV: -1,
+		},
+		{
+			name: "sources-empty", g: line(), sources: nil,
+			dist: dijkstra.SSSP(line(), 0), wantRule: "sources", wantV: -1,
+		},
+		{
+			name: "sources-negative", g: line(), sources: []int32{-1},
+			dist: dijkstra.SSSP(line(), 0), wantRule: "sources", wantV: -1,
+		},
+		{
+			name: "sources-beyond-n", g: line(), sources: []int32{5},
+			dist: dijkstra.SSSP(line(), 0), wantRule: "sources", wantV: 5,
+		},
+		{
+			name: "range-negative", g: line(), sources: []int32{0},
+			dist: []int64{0, 2, -1, 9, 14}, wantRule: "range", wantV: 2,
+		},
+		{
+			name: "zero-at-non-source", g: line(), sources: []int32{0},
+			dist: []int64{0, 2, 0, 9, 14}, wantRule: "zero", wantV: 2,
+		},
+		{
+			name: "nonzero-at-source", g: line(), sources: []int32{0, 3},
+			dist: []int64{0, 2, 5, 9, 14}, wantRule: "zero", wantV: 3,
+		},
+		{
+			// d[2] exceeds d[1]+w(1,2): caught as feasibility at vertex 2.
+			name: "feasibility-too-large", g: line(), sources: []int32{0},
+			dist: []int64{0, 2, 6, 10, 15}, wantRule: "feasibility", wantV: 2,
+		},
+		{
+			// d[2] too small: vertex 2 loses its tight incoming edge (the
+			// serial sweep reaches it before neighbour 3's feasibility
+			// violation).
+			name: "tightness-too-small", g: line(), sources: []int32{0},
+			dist: []int64{0, 2, 3, 9, 14}, wantRule: "tightness", wantV: 2,
+		},
+		{
+			// Fake infinity next to a finite vertex: rule (2) forbids a
+			// finite/infinite adjacency, reported as feasibility at the Inf
+			// vertex (its finite neighbour offers a finite path).
+			name: "inf-adjacent-to-finite", g: line(), sources: []int32{0},
+			dist: []int64{0, 2, 5, graph.Inf, graph.Inf}, wantRule: "feasibility", wantV: 3,
+		},
+		{
+			// Finite label in an unreachable component: no path exists, so
+			// the label has no tight incoming edge.
+			name: "finite-at-unreachable", g: func() *graph.Graph {
+				b := graph.NewBuilder(3)
+				b.MustAddEdge(0, 1, 1)
+				return b.Build()
+			}(), sources: []int32{0},
+			dist: []int64{0, 1, 7}, wantRule: "tightness", wantV: 2,
+		},
+		{
+			// Self-loops must not count as tight incoming edges: vertex 1's
+			// only support is its own loop, which is not a path from 0.
+			name: "self-loop-not-tight", g: func() *graph.Graph {
+				b := graph.NewBuilder(2)
+				b.MustAddEdge(0, 1, 4)
+				b.MustAddEdge(1, 1, 1)
+				return b.Build()
+			}(), sources: []int32{0},
+			dist: []int64{0, 3}, wantRule: "tightness", wantV: 1,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// The serial sweep is deterministic: exact rule and vertex.
+			var e *Error
+			if err := DistancesSerial(tc.g, tc.sources, tc.dist); !errors.As(err, &e) {
+				t.Fatalf("serial: got %v, want *Error", err)
+			}
+			if e.Rule != tc.wantRule {
+				t.Errorf("serial: rule %q, want %q (%v)", e.Rule, tc.wantRule, e)
+			}
+			if e.Vertex != tc.wantV {
+				t.Errorf("serial: vertex %d, want %d (%v)", e.Vertex, tc.wantV, e)
+			}
+			// The parallel sweep reports whichever violating vertex wins the
+			// CAS, so only the reject verdict is asserted.
+			if err := Distances(r, tc.g, tc.sources, tc.dist); !errors.As(err, &e) {
+				t.Fatalf("parallel: got %v, want *Error", err)
+			}
+		})
+	}
+}
+
+// TestMultiSourceEdgeCases: accepted labellings that trip naive certifiers.
+func TestMultiSourceEdgeCases(t *testing.T) {
+	g := line()
+	min2 := func(sources ...int32) []int64 {
+		d := dijkstra.SSSP(g, sources[0])
+		for _, s := range sources[1:] {
+			for v, dv := range dijkstra.SSSP(g, s) {
+				if dv < d[v] {
+					d[v] = dv
+				}
+			}
+		}
+		return d
+	}
+	for _, tc := range []struct {
+		name    string
+		sources []int32
+		dist    []int64
+	}{
+		{"duplicate-sources", []int32{0, 0, 4, 4}, min2(0, 4)},
+		{"all-vertices-sources", []int32{0, 1, 2, 3, 4}, []int64{0, 0, 0, 0, 0}},
+		{"adjacent-sources", []int32{1, 2}, min2(1, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := DistancesSerial(g, tc.sources, tc.dist); err != nil {
+				t.Errorf("serial rejected: %v", err)
+			}
+			if err := Distances(rt(), g, tc.sources, tc.dist); err != nil {
+				t.Errorf("parallel rejected: %v", err)
+			}
+		})
+	}
+	// Empty graph with empty sources is the one legal empty-source case.
+	if err := DistancesSerial(graph.NewBuilder(0).Build(), nil, nil); err != nil {
+		t.Errorf("empty graph rejected: %v", err)
+	}
+}
+
+// TestSerialMatchesParallelVerdict: on a batch of corrupted labellings both
+// entry points must agree accept/reject (the stress harness relies on
+// DistancesSerial being exactly as strong as Distances).
+func TestSerialMatchesParallelVerdict(t *testing.T) {
+	g := line()
+	base := dijkstra.SSSP(g, 0)
+	r := rt()
+	for v := 0; v < len(base); v++ {
+		for _, delta := range []int64{-2, -1, 1, 2} {
+			d := append([]int64(nil), base...)
+			d[v] += delta
+			s := DistancesSerial(g, []int32{0}, d) != nil
+			p := Distances(r, g, []int32{0}, d) != nil
+			if s != p {
+				t.Errorf("v=%d delta=%d: serial reject=%v, parallel reject=%v", v, delta, s, p)
+			}
+			if !s {
+				t.Errorf("v=%d delta=%d: corruption accepted", v, delta)
+			}
+		}
+	}
+}

@@ -1,0 +1,4 @@
+c sources in both components
+p aux sp ss 2
+s 1
+s 5
