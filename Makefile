@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check stress fuzz experiments examples clean
+.PHONY: all build vet test race bench bench-engine check stress fuzz experiments examples clean
 
 all: build vet test
 
@@ -20,16 +20,23 @@ test:
 race:
 	$(GO) test -race ./internal/core ./internal/cc ./internal/deltastep \
 		./internal/par ./internal/bfs ./internal/mta ./internal/digraph \
-		./internal/obs ./cmd/ssspd .
+		./internal/obs ./internal/engine ./cmd/ssspd .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Query-engine comparison benchmarks (pooled vs cold, cache hit vs miss,
+# batch-64 vs 64 sequential HTTP queries), written to BENCH_engine.json.
+bench-engine:
+	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json \
+		$(GO) test -run TestWriteEngineBenchJSON -count=1 -v ./cmd/ssspd
+
 # Fast pre-merge gate: static checks, the race detector over the concurrent
-# traversal core and the daemon middleware, and the seeded stress sweep.
+# traversal core, the query engine, and the daemon middleware, and the seeded
+# stress sweep.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./cmd/ssspd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... ./cmd/ssspd/...
 	$(MAKE) stress
 
 # Deterministic differential/metamorphic stress sweep, race-enabled: every

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+)
+
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+type batchResp struct {
+	Results []struct {
+		Solver       string  `json:"solver"`
+		Via          string  `json:"via"`
+		Reached      int     `json:"reached"`
+		Eccentricity int64   `json:"eccentricity"`
+		Dist         []int64 `json:"dist"`
+		Error        string  `json:"error"`
+		Status       int     `json:"status"`
+	} `json:"results"`
+}
+
+// POST /batch answers every query, honours per-item and batch-level solver
+// selection, and returns full vectors when asked.
+func TestBatchEndpoint(t *testing.T) {
+	ts, g := testServer(t)
+	var resp batchResp
+	code := postJSON(t, ts.URL+"/batch",
+		`{"queries":[{"src":3},{"src":10,"solver":"dijkstra"},{"srcs":[3,10]}],"solver":"thorup","full":true}`,
+		&resp)
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Solver != "thorup" || resp.Results[1].Solver != "dijkstra" || resp.Results[2].Solver != "thorup" {
+		t.Fatalf("solver routing: %s %s %s",
+			resp.Results[0].Solver, resp.Results[1].Solver, resp.Results[2].Solver)
+	}
+	oracle3 := dijkstra.SSSP(g, 3)
+	oracle10 := dijkstra.SSSP(g, 10)
+	for v := range oracle3 {
+		want0, want10 := oracle3[v], oracle10[v]
+		multi := want0
+		if want10 < multi {
+			multi = want10
+		}
+		for i, want := range []int64{want0, want10, multi} {
+			if want == graph.Inf {
+				want = -1
+			}
+			if resp.Results[i].Dist[v] != want {
+				t.Fatalf("result %d dist[%d] = %d, want %d", i, v, resp.Results[i].Dist[v], want)
+			}
+		}
+	}
+}
+
+// A bad item reports its own error without failing the batch.
+func TestBatchPerItemError(t *testing.T) {
+	ts, _ := testServer(t)
+	var resp batchResp
+	code := postJSON(t, ts.URL+"/batch",
+		`{"queries":[{"src":1},{"src":99999},{"src":0,"solver":"nope"}]}`, &resp)
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Reached == 0 {
+		t.Fatalf("good item: %+v", resp.Results[0])
+	}
+	for i := 1; i < 3; i++ {
+		if resp.Results[i].Error == "" || resp.Results[i].Status != http.StatusBadRequest {
+			t.Fatalf("bad item %d: %+v", i, resp.Results[i])
+		}
+	}
+}
+
+// Malformed, empty, and oversized batches are rejected up front with 400.
+func TestBatchValidation(t *testing.T) {
+	ts, _ := testServer(t)
+	tooBig := `{"queries":[`
+	for i := 0; i <= maxBatchItems; i++ {
+		if i > 0 {
+			tooBig += ","
+		}
+		tooBig += `{"src":0}`
+	}
+	tooBig += `]}`
+	for _, body := range []string{
+		`not json`,
+		`{"queries":[]}`,
+		`{}`,
+		`{"queries":[{"src":0}],"bogus":1}`,
+		tooBig,
+	} {
+		var e map[string]string
+		if code := postJSON(t, ts.URL+"/batch", body, &e); code != http.StatusBadRequest {
+			t.Fatalf("body %.40q: code %d, want 400", body, code)
+		}
+		if e["error"] == "" {
+			t.Fatalf("body %.40q: missing error message", body)
+		}
+	}
+}
+
+// Identical queries are answered from the result cache: the second /sssp
+// reports via=cache, and full=1 streams the serialized vector without
+// re-marshaling (the bytes-from-cache counter moves).
+func TestSSSPCachedFullServing(t *testing.T) {
+	ts, g := testServer(t)
+	var first, second struct {
+		Via  string  `json:"via"`
+		Dist []int64 `json:"dist"`
+	}
+	if code := getJSON(t, ts.URL+"/sssp?src=42&full=1&solver=dijkstra", &first); code != 200 {
+		t.Fatalf("first: %d", code)
+	}
+	if first.Via != "solve" {
+		t.Fatalf("first via = %s, want solve", first.Via)
+	}
+	if code := getJSON(t, ts.URL+"/sssp?src=42&full=1&solver=dijkstra", &second); code != 200 {
+		t.Fatalf("second: %d", code)
+	}
+	if second.Via != "cache" {
+		t.Fatalf("second via = %s, want cache", second.Via)
+	}
+	want := dijkstra.SSSP(g, 42)
+	for v := range want {
+		w := want[v]
+		if w == graph.Inf {
+			w = -1
+		}
+		if first.Dist[v] != w || second.Dist[v] != w {
+			t.Fatalf("dist[%d] = %d/%d, want %d", v, first.Dist[v], second.Dist[v], w)
+		}
+	}
+	var m struct {
+		Engine struct {
+			CacheHits          int64 `json:"cache_hits"`
+			FullJSONBuilt      int64 `json:"full_json_built"`
+			FullBytesFromCache int64 `json:"full_bytes_from_cache"`
+		} `json:"engine"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	if m.Engine.CacheHits != 1 || m.Engine.FullJSONBuilt != 1 || m.Engine.FullBytesFromCache <= 0 {
+		t.Fatalf("cached serving counters: %+v", m.Engine)
+	}
+}

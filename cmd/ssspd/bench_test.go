@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/solver"
+)
+
+// The 64-query comparison workload: a small graph whose solves are cheap,
+// distinct sources, the serial solver, cache off on both sides — so the
+// measured difference is per-request overhead, which is exactly what /batch
+// amortizes (on this host the solvers share one CPU, so the win is overhead
+// elimination, not parallelism).
+const benchQueries = 64
+
+func benchServer(tb testing.TB) (*httptest.Server, func()) {
+	tb.Helper()
+	g := gen.Random(1<<7, 1<<9, 1<<10, gen.UWD, 99)
+	srv := newServer(g, ch.BuildKruskal(g), "bench", 2, 256, time.Minute,
+		engine.Config{CacheEntries: 0}) // uncached: both sides pay every solve
+	ts := httptest.NewServer(srv.mux())
+	old := log.Writer()
+	log.SetOutput(io.Discard) // access logging still formats; don't spam stderr
+	return ts, func() {
+		ts.Close()
+		log.SetOutput(old)
+	}
+}
+
+func sequential64(tb testing.TB, ts *httptest.Server, client *http.Client) {
+	for i := 0; i < benchQueries; i++ {
+		resp, err := client.Get(fmt.Sprintf("%s/sssp?src=%d&solver=dijkstra", ts.URL, i))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			tb.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+func batch64Body() string {
+	var b bytes.Buffer
+	b.WriteString(`{"solver":"dijkstra","queries":[`)
+	for i := 0; i < benchQueries; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"src":%d}`, i)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+func batch64(tb testing.TB, ts *httptest.Server, client *http.Client, body string) {
+	resp, err := client.Post(ts.URL+"/batch", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		tb.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// 64 individual HTTP queries, one round-trip each.
+func BenchmarkEngineSequential64(b *testing.B) {
+	ts, done := benchServer(b)
+	defer done()
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sequential64(b, ts, client)
+	}
+}
+
+// The same 64 queries in one POST /batch round-trip.
+func BenchmarkEngineBatch64(b *testing.B) {
+	ts, done := benchServer(b)
+	defer done()
+	client := ts.Client()
+	body := batch64Body()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch64(b, ts, client, body)
+	}
+}
+
+// engineBenchResult is one scenario's measurement in BENCH_engine.json.
+type engineBenchResult struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+func measure(f func(b *testing.B)) engineBenchResult {
+	r := testing.Benchmark(f)
+	return engineBenchResult{
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// TestWriteEngineBenchJSON emits BENCH_engine.json when BENCH_ENGINE_OUT is
+// set (see `make bench-engine`): the pooled-vs-cold, cache-hit-vs-miss, and
+// batch-vs-sequential comparisons with their speedup ratios.
+func TestWriteEngineBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_ENGINE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_ENGINE_OUT=path to write the engine benchmark JSON")
+	}
+
+	// Engine-level scenarios: a mid-size instance, pinned to the serial
+	// Dijkstra path where pooled scratch shows up cleanly in allocations.
+	g := gen.Random(1<<12, 1<<14, 1<<10, gen.UWD, 42)
+	in := solver.NewInstance(g, par.NewExec(2))
+	in.Hierarchy()
+	query := func(e *engine.Engine, src int32, name string) {
+		if _, _, err := e.Query(context.Background(), engine.Request{Sources: []int32{src}, Solver: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := engine.New(in, engine.Config{DisablePool: true})
+	pooled := engine.New(in, engine.Config{})
+	cached := engine.New(in, engine.Config{CacheEntries: 16})
+	query(cached, 17, "thorup") // warm the hot entry
+
+	results := map[string]engineBenchResult{
+		"engine_cold_query": measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query(cold, int32(i%g.NumVertices()), "dijkstra")
+			}
+		}),
+		"engine_pooled_query": measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query(pooled, int32(i%g.NumVertices()), "dijkstra")
+			}
+		}),
+		"engine_cache_miss": measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query(cached, int32(i%g.NumVertices()), "thorup")
+			}
+		}),
+		"engine_cache_hit": measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query(cached, 17, "thorup")
+			}
+		}),
+	}
+
+	ts, done := benchServer(t)
+	defer done()
+	client := ts.Client()
+	body := batch64Body()
+	results["http_sequential_64"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sequential64(b, ts, client)
+		}
+	})
+	results["http_batch_64"] = measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch64(b, ts, client, body)
+		}
+	})
+
+	ratio := func(num, den string) float64 {
+		return float64(results[num].NsPerOp) / float64(results[den].NsPerOp)
+	}
+	doc := map[string]any{
+		"queries_per_batch": benchQueries,
+		"results":           results,
+		"pooling_alloc_bytes_saved": results["engine_cold_query"].BytesPerOp -
+			results["engine_pooled_query"].BytesPerOp,
+		"cache_hit_speedup": ratio("engine_cache_miss", "engine_cache_hit"),
+		"batch_speedup":     ratio("http_sequential_64", "http_batch_64"),
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: cache_hit_speedup=%.1fx batch_speedup=%.2fx",
+		out, doc["cache_hit_speedup"], doc["batch_speedup"])
+	if s := doc["cache_hit_speedup"].(float64); s < 10 {
+		t.Errorf("cache hit speedup %.1fx, want >= 10x", s)
+	}
+	if s := doc["batch_speedup"].(float64); s < 2 {
+		t.Errorf("batch speedup %.2fx, want >= 2x", s)
+	}
+}

@@ -11,14 +11,21 @@
 //
 // Endpoints (all return JSON):
 //
-//	GET /sssp?src=17              distances summary + optional full vector
-//	GET /sssp?src=17&full=1       include the distance vector
-//	GET /dist?src=17&dst=99       one source-target distance (Thorup query)
-//	GET /st?s=17&t=99             one s-t distance (bidirectional Dijkstra)
-//	GET /table?src=1,2&dst=3,4    many-to-many distance table
-//	GET /stats                    instance and hierarchy statistics
-//	GET /metrics                  per-endpoint metrics + Thorup trace counters
-//	GET /healthz                  liveness
+//	GET  /sssp?src=17              distances summary + optional full vector
+//	GET  /sssp?src=17&full=1       include the distance vector
+//	GET  /sssp?src=17&solver=delta force a specific solver (default: policy)
+//	GET  /dist?src=17&dst=99       one source-target distance
+//	GET  /st?s=17&t=99             one s-t distance (bidirectional Dijkstra)
+//	GET  /table?src=1,2&dst=3,4    many-to-many distance table
+//	POST /batch                    many queries in one request (JSON body)
+//	GET  /stats                    instance, hierarchy, and cache statistics
+//	GET  /metrics                  per-endpoint + engine metrics, Thorup trace
+//	GET  /healthz                  liveness
+//
+// Query execution runs through the internal/engine query plane: pooled
+// solver state, singleflight deduplication of concurrent identical queries,
+// a bounded LRU result cache (-cache-entries / -cache-bytes), and a
+// policy-driven solver choice overridable with ?solver=.
 //
 // Query endpoints sit behind an admission controller: at most -max-inflight
 // queries execute at once and excess load is shed with 503 + Retry-After.
@@ -39,32 +46,34 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/ch"
 	"repro/internal/cli"
-	"repro/internal/core"
 	"repro/internal/dijkstra"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/solver"
 )
 
 func main() {
 	var (
-		graphFile   = flag.String("graph", "", "DIMACS .gr input file")
-		genClass    = flag.String("gen", "rand", "generator: rand, rmat, grid, geometric, smallworld")
-		logN        = flag.Int("logn", 14, "generated size: n = 2^logn")
-		logC        = flag.Int("logc", 14, "generated weights: C = 2^logc")
-		seed        = flag.Uint64("seed", 1, "generator seed")
-		workers     = flag.Int("workers", 4, "query workers")
-		addr        = flag.String("addr", ":8080", "listen address")
-		chFile      = flag.String("ch", "", "component hierarchy cache file")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline for query endpoints (0 disables)")
-		maxInflight = flag.Int("max-inflight", 64, "concurrent query admission limit; excess load is shed with 503")
-		drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		graphFile    = flag.String("graph", "", "DIMACS .gr input file")
+		genClass     = flag.String("gen", "rand", "generator: rand, rmat, grid, geometric, smallworld")
+		logN         = flag.Int("logn", 14, "generated size: n = 2^logn")
+		logC         = flag.Int("logc", 14, "generated weights: C = 2^logc")
+		seed         = flag.Uint64("seed", 1, "generator seed")
+		workers      = flag.Int("workers", 4, "query workers")
+		addr         = flag.String("addr", ":8080", "listen address")
+		chFile       = flag.String("ch", "", "component hierarchy cache file")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline for query endpoints (0 disables)")
+		maxInflight  = flag.Int("max-inflight", 64, "concurrent query admission limit; excess load is shed with 503")
+		drain        = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		cacheEntries = flag.Int("cache-entries", 256, "result cache capacity in distance vectors (0 disables)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte budget (0 = entry-bounded only)")
 	)
 	flag.Parse()
 
@@ -73,7 +82,8 @@ func main() {
 		log.Fatalf("ssspd: %v", err)
 	}
 	h := loadOrBuild(g, *chFile)
-	srv := newServer(g, h, name, *workers, *maxInflight, *timeout)
+	srv := newServer(g, h, name, *workers, *maxInflight, *timeout,
+		engine.Config{CacheEntries: *cacheEntries, CacheBytes: *cacheBytes})
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -88,8 +98,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("ssspd: serving %s (n=%d m=%d, CH %d nodes) on %s (workers=%d max-inflight=%d timeout=%s)",
-		name, g.NumVertices(), g.NumEdges(), h.NumNodes(), *addr, *workers, *maxInflight, *timeout)
+	log.Printf("ssspd: serving %s (n=%d m=%d, CH %d nodes) on %s (workers=%d max-inflight=%d timeout=%s cache=%d/%dB)",
+		name, g.NumVertices(), g.NumEdges(), h.NumNodes(), *addr, *workers, *maxInflight, *timeout, *cacheEntries, *cacheBytes)
 	if err := serve(ctx, hs, *drain); err != nil {
 		log.Fatalf("ssspd: %v", err)
 	}
@@ -175,42 +185,42 @@ func writeCache(h *ch.Hierarchy, chFile string) error {
 	return nil
 }
 
-// server holds the shared immutable state plus a pool of reusable query
-// instances (the paper's cheap per-query allocation, amortised to zero).
+// maxBatchItems caps one /batch request; larger workloads should paginate
+// rather than hold one connection (and its admission token) for minutes.
+const maxBatchItems = 4096
+
+// server holds the shared immutable state and the query-execution engine
+// (pooling, deduplication, caching, batching, solver policy).
 type server struct {
 	g      *graph.Graph
 	h      *ch.Hierarchy
 	name   string
-	solver *core.Solver
-	pool   sync.Pool
+	engine *engine.Engine
+	ecfg   engine.Config
 
 	metrics *obs.Registry
 	sem     chan struct{} // admission: one token per in-flight query
 	timeout time.Duration
-
-	queries  obs.Counter // Thorup runs folded into traceAgg
-	traceAgg core.Trace  // aggregate of all per-query traces
 }
 
-func newServer(g *graph.Graph, h *ch.Hierarchy, name string, workers, maxInflight int, timeout time.Duration) *server {
+func newServer(g *graph.Graph, h *ch.Hierarchy, name string, workers, maxInflight int, timeout time.Duration, ecfg engine.Config) *server {
 	if maxInflight < 1 {
 		maxInflight = 1
 	}
-	s := &server{
+	if ecfg.BatchWorkers == 0 {
+		ecfg.BatchWorkers = workers
+	}
+	in := solver.NewInstanceWithHierarchy(g, par.NewExec(workers), h)
+	return &server{
 		g:       g,
 		h:       h,
 		name:    name,
-		solver:  core.NewSolver(h, par.NewExec(workers)),
-		metrics: obs.NewRegistry("healthz", "stats", "metrics", "sssp", "dist", "st", "table"),
+		engine:  engine.New(in, ecfg),
+		ecfg:    ecfg,
+		metrics: obs.NewRegistry("healthz", "stats", "metrics", "sssp", "dist", "st", "table", "batch"),
 		sem:     make(chan struct{}, maxInflight),
 		timeout: timeout,
 	}
-	s.pool.New = func() any {
-		q := s.solver.Query()
-		q.EnableTrace()
-		return q
-	}
-	return s
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -224,6 +234,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /dist", s.instrument("dist", true, s.handleDist))
 	m.HandleFunc("GET /st", s.instrument("st", true, s.handleST))
 	m.HandleFunc("GET /table", s.instrument("table", true, s.handleTable))
+	m.HandleFunc("POST /batch", s.instrument("batch", true, s.handleBatch))
 	return m
 }
 
@@ -316,11 +327,31 @@ func (w *statusWriter) Status() int {
 	return w.status
 }
 
-// runWithDeadline executes fn and writes its result as JSON, answering 504
-// if the request's deadline expires first. A Thorup traversal cannot be
-// cancelled mid-flight, so on timeout fn keeps running in the background
-// (releasing whatever it holds when it finishes) while the client is
-// unblocked immediately.
+// queryError is a handler result that should be written as an HTTP error
+// instead of a 200 body.
+type queryError struct {
+	code int
+	msg  string
+}
+
+// errResp maps an engine error to its HTTP form: request mistakes are the
+// client's fault (400), expired contexts are a timeout (504).
+func errResp(err error) any {
+	switch {
+	case errors.Is(err, engine.ErrBadQuery):
+		return queryError{http.StatusBadRequest, err.Error()}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return queryError{http.StatusGatewayTimeout, "query deadline exceeded"}
+	default:
+		return queryError{http.StatusInternalServerError, err.Error()}
+	}
+}
+
+// runWithDeadline executes fn and writes its result as JSON (or as an HTTP
+// error for a queryError result), answering 504 if the request's deadline
+// expires first. A traversal cannot be cancelled mid-flight, so on timeout
+// fn keeps running in the background — its result still lands in the engine
+// cache — while the client is unblocked immediately.
 func runWithDeadline(w http.ResponseWriter, r *http.Request, fn func() any) {
 	if err := r.Context().Err(); err != nil {
 		httpError(w, http.StatusGatewayTimeout, "deadline exceeded before query start")
@@ -330,31 +361,26 @@ func runWithDeadline(w http.ResponseWriter, r *http.Request, fn func() any) {
 	go func() { done <- fn() }()
 	select {
 	case resp := <-done:
+		if qe, ok := resp.(queryError); ok {
+			httpError(w, qe.code, qe.msg)
+			return
+		}
 		writeJSON(w, resp)
 	case <-r.Context().Done():
 		httpError(w, http.StatusGatewayTimeout, "query deadline exceeded")
 	}
 }
 
-// withQuery runs fn on a pooled query instance under the request's deadline.
-// fn must build its entire response value before returning (results alias
-// query-internal state that is recycled afterwards).
-func (s *server) withQuery(w http.ResponseWriter, r *http.Request, fn func(q *core.Query) any) {
+// query runs one engine query under the request's deadline and shapes the
+// response with fn.
+func (s *server) query(w http.ResponseWriter, r *http.Request, req engine.Request, fn func(res *engine.Result, via engine.Via) any) {
 	runWithDeadline(w, r, func() any {
-		q := s.pool.Get().(*core.Query)
-		defer s.pool.Put(q)
-		resp := fn(q)
-		s.recordTrace(q)
-		return resp
+		res, via, err := s.engine.Query(r.Context(), req)
+		if err != nil {
+			return errResp(err)
+		}
+		return fn(res, via)
 	})
-}
-
-// recordTrace folds the query's per-run trace into the server aggregate.
-func (s *server) recordTrace(q *core.Query) {
-	if tr := q.Trace(); tr != nil {
-		s.traceAgg.Merge(tr.Snapshot())
-		s.queries.Inc()
-	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -369,19 +395,23 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"chAvgChildren": st.AvgChildren,
 		"chBytes":       st.CHBytes,
 		// Arithmetic from the hierarchy's dimensions — no query allocation.
-		"instanceBytes": s.solver.InstanceBytes(),
+		"instanceBytes":   s.engine.InstanceBytes(),
+		"cacheMaxEntries": s.ecfg.CacheEntries,
+		"cacheMaxBytes":   s.ecfg.CacheBytes,
+		"batchWorkers":    s.ecfg.BatchWorkers,
 	})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	agg := s.traceAgg.Snapshot()
+	agg, runs := s.engine.ThorupTrace()
 	writeJSON(w, map[string]any{
 		"instance":       s.name,
 		"uptime_seconds": s.metrics.UptimeSeconds(),
 		"inflight_limit": cap(s.sem),
 		"endpoints":      s.metrics.Snapshot(),
+		"engine":         s.engine.StatsSnapshot(),
 		"thorup": map[string]any{
-			"queries":             s.queries.Value(),
+			"queries":             runs,
 			"settled":             agg.Settled,
 			"relaxations":         agg.Relaxations,
 			"propagation_hops":    agg.PropagationHops,
@@ -395,26 +425,30 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// summary is the common response shape of one answered query.
+func summary(res *engine.Result, via engine.Via) map[string]any {
+	return map[string]any{
+		"solver":       res.Solver,
+		"via":          via.String(),
+		"reached":      res.Reached,
+		"eccentricity": res.Eccentricity,
+	}
+}
+
 func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	src, ok := s.vertexParam(w, r, "src")
 	if !ok {
 		return
 	}
 	full := r.URL.Query().Get("full") == "1"
-	s.withQuery(w, r, func(q *core.Query) any {
-		dist := q.Run(src)
-		resp := map[string]any{
-			"src":          src,
-			"reached":      q.Reached(),
-			"eccentricity": q.Eccentricity(),
-		}
+	req := engine.Request{Sources: []int32{src}, Solver: r.URL.Query().Get("solver")}
+	s.query(w, r, req, func(res *engine.Result, via engine.Via) any {
+		resp := summary(res, via)
+		resp["src"] = src
 		if full {
-			// Inf is not JSON-friendly; report unreachable as -1.
-			out := make([]int64, len(dist))
-			for i, d := range dist {
-				out[i] = jsonDist(d)
-			}
-			resp["dist"] = out
+			// The serialized vector (Inf as -1) is built once per result and
+			// streamed verbatim on every later hit — no re-marshal.
+			resp["dist"] = json.RawMessage(res.DistJSON())
 		}
 		return resp
 	})
@@ -429,9 +463,14 @@ func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.withQuery(w, r, func(q *core.Query) any {
-		d := q.Run(src)[dst]
-		return map[string]any{"src": src, "dst": dst, "dist": jsonDist(d), "reachable": d < graph.Inf}
+	req := engine.Request{Sources: []int32{src}, Solver: r.URL.Query().Get("solver")}
+	s.query(w, r, req, func(res *engine.Result, via engine.Via) any {
+		d := res.Dist[dst]
+		return map[string]any{
+			"src": src, "dst": dst,
+			"dist": jsonDist(d), "reachable": d < graph.Inf,
+			"solver": res.Solver, "via": via.String(),
+		}
 	})
 }
 
@@ -463,16 +502,89 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "table too large")
 		return
 	}
+	// One engine query per row: rows flow through the worker pool, the cache,
+	// and the deduplicator like any other query, so a hot row is free.
+	solverName := r.URL.Query().Get("solver")
+	reqs := make([]engine.Request, len(sources))
+	for i, src := range sources {
+		reqs[i] = engine.Request{Sources: []int32{src}, Solver: solverName}
+	}
 	runWithDeadline(w, r, func() any {
-		table := s.solver.DistanceTable(sources, targets)
-		out := make([][]int64, len(table))
-		for i, row := range table {
-			out[i] = make([]int64, len(row))
-			for j, d := range row {
-				out[i][j] = jsonDist(d)
+		results := s.engine.Batch(r.Context(), reqs)
+		out := make([][]int64, len(results))
+		for i, br := range results {
+			if br.Err != nil {
+				return errResp(br.Err)
+			}
+			out[i] = make([]int64, len(targets))
+			for j, t := range targets {
+				out[i][j] = jsonDist(br.Res.Dist[t])
 			}
 		}
 		return map[string]any{"src": sources, "dst": targets, "dist": out}
+	})
+}
+
+// batchItem is one query of a /batch request: src or srcs (multi-source),
+// plus an optional per-item solver override.
+type batchItem struct {
+	Src    *int32  `json:"src,omitempty"`
+	Srcs   []int32 `json:"srcs,omitempty"`
+	Solver string  `json:"solver,omitempty"`
+}
+
+// batchRequest is the /batch body. Solver and Full apply to every item
+// unless the item overrides the solver itself.
+type batchRequest struct {
+	Queries []batchItem `json:"queries"`
+	Solver  string      `json:"solver,omitempty"`
+	Full    bool        `json:"full,omitempty"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if len(breq.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "batch has no queries")
+		return
+	}
+	if len(breq.Queries) > maxBatchItems {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch too large: %d queries (max %d)", len(breq.Queries), maxBatchItems))
+		return
+	}
+	reqs := make([]engine.Request, len(breq.Queries))
+	for i, it := range breq.Queries {
+		srcs := it.Srcs
+		if it.Src != nil {
+			srcs = append(srcs, *it.Src)
+		}
+		name := it.Solver
+		if name == "" {
+			name = breq.Solver
+		}
+		reqs[i] = engine.Request{Sources: srcs, Solver: name}
+	}
+	runWithDeadline(w, r, func() any {
+		results := s.engine.Batch(r.Context(), reqs)
+		out := make([]map[string]any, len(results))
+		for i, br := range results {
+			if br.Err != nil {
+				qe := errResp(br.Err).(queryError)
+				out[i] = map[string]any{"error": qe.msg, "status": qe.code}
+				continue
+			}
+			item := summary(br.Res, br.Via)
+			if breq.Full {
+				item["dist"] = json.RawMessage(br.Res.DistJSON())
+			}
+			out[i] = item
+		}
+		return map[string]any{"results": out}
 	})
 }
 

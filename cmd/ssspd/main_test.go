@@ -13,10 +13,15 @@ import (
 	"testing"
 	"time"
 
+	"bytes"
+
 	"repro/internal/ch"
+	"repro/internal/core"
 	"repro/internal/dijkstra"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 func testGraph() (*graph.Graph, *ch.Hierarchy) {
@@ -27,7 +32,8 @@ func testGraph() (*graph.Graph, *ch.Hierarchy) {
 func testServerOpts(t *testing.T, maxInflight int, timeout time.Duration) (*httptest.Server, *server, *graph.Graph) {
 	t.Helper()
 	g, h := testGraph()
-	srv := newServer(g, h, "test-instance", 4, maxInflight, timeout)
+	srv := newServer(g, h, "test-instance", 4, maxInflight, timeout,
+		engine.Config{CacheEntries: 64, CacheBytes: 8 << 20})
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
 	return ts, srv, g
@@ -83,7 +89,7 @@ func TestStatsInstanceBytesMatchesQuery(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
 		t.Fatalf("stats: %d", code)
 	}
-	if want := srv.solver.Query().InstanceBytes(); stats.InstanceBytes != want {
+	if want := core.NewSolver(srv.h, par.NewExec(1)).Query().InstanceBytes(); stats.InstanceBytes != want {
 		t.Fatalf("instanceBytes %d, want %d", stats.InstanceBytes, want)
 	}
 }
@@ -118,7 +124,7 @@ func TestSSSPEndpoint(t *testing.T) {
 func TestSSSPFullUnreachableIsMinusOne(t *testing.T) {
 	// Two-vertex graph with a single self-loop: vertex 1 is unreachable.
 	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 0, W: 5}})
-	srv := newServer(g, ch.BuildKruskal(g), "disconnected", 2, 8, time.Minute)
+	srv := newServer(g, ch.BuildKruskal(g), "disconnected", 2, 8, time.Minute, engine.Config{})
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 	var resp struct {
@@ -192,7 +198,7 @@ func TestBadRequests(t *testing.T) {
 // A src×dst product beyond the limit must be rejected before any work runs.
 func TestTableTooLarge(t *testing.T) {
 	g := gen.Random(500, 2000, 1<<10, gen.UWD, 7)
-	srv := newServer(g, ch.BuildKruskal(g), "big-table", 2, 8, time.Minute)
+	srv := newServer(g, ch.BuildKruskal(g), "big-table", 2, 8, time.Minute, engine.Config{})
 	// 500 sources x 500 targets = 250000 <= 1<<20 is fine; force the limit
 	// down by hitting the real one: build a 1049-long src list crossing a
 	// 1000-long dst list (1049*1000 > 1<<20) from in-range vertices.
@@ -226,8 +232,15 @@ func TestLoadSheddingWhenSaturated(t *testing.T) {
 	srv.sem <- struct{}{}
 	defer func() { <-srv.sem; <-srv.sem }()
 
-	for _, path := range []string{"/sssp?src=1", "/dist?src=0&dst=1", "/st?s=0&t=1", "/table?src=0&dst=1"} {
-		resp, err := http.Get(ts.URL + path)
+	for _, path := range []string{"/sssp?src=1", "/dist?src=0&dst=1", "/st?s=0&t=1", "/table?src=0&dst=1", "/batch"} {
+		var resp *http.Response
+		var err error
+		if path == "/batch" {
+			resp, err = http.Post(ts.URL+path, "application/json",
+				bytes.NewBufferString(`{"queries":[{"src":1}]}`))
+		} else {
+			resp, err = http.Get(ts.URL + path)
+		}
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -259,7 +272,7 @@ func TestLoadSheddingWhenSaturated(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
 		t.Fatalf("metrics sheddable: %d", code)
 	}
-	if m.Endpoints["sssp"].Shed != 1 || m.Endpoints["table"].Shed != 1 {
+	if m.Endpoints["sssp"].Shed != 1 || m.Endpoints["table"].Shed != 1 || m.Endpoints["batch"].Shed != 1 {
 		t.Fatalf("shed counters not recorded: %+v", m.Endpoints)
 	}
 }
@@ -274,6 +287,15 @@ func TestQueryTimeout(t *testing.T) {
 			t.Fatalf("%s: code %d, want 504", path, code)
 		}
 	}
+	resp, err := http.Post(ts.URL+"/batch", "application/json",
+		bytes.NewBufferString(`{"queries":[{"src":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("/batch: code %d, want 504", resp.StatusCode)
+	}
 	var m struct {
 		Endpoints map[string]struct {
 			Timeout int64 `json:"timeout"`
@@ -282,7 +304,7 @@ func TestQueryTimeout(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
 		t.Fatalf("metrics: %d", code)
 	}
-	for _, ep := range []string{"sssp", "dist", "st", "table"} {
+	for _, ep := range []string{"sssp", "dist", "st", "table", "batch"} {
 		if m.Endpoints[ep].Timeout != 1 {
 			t.Fatalf("%s timeout counter %d, want 1", ep, m.Endpoints[ep].Timeout)
 		}
@@ -293,10 +315,15 @@ func TestQueryTimeout(t *testing.T) {
 // histograms, and the aggregated Thorup trace of completed queries.
 func TestMetricsEndpoint(t *testing.T) {
 	ts, _, g := testServerOpts(t, 8, time.Minute)
+	// Distinct sources pinned to the Thorup solver: the cache must not
+	// collapse them, and each run must fold its trace into the aggregate.
 	for i := 0; i < 3; i++ {
 		var r map[string]any
-		if code := getJSON(t, ts.URL+"/sssp?src=0", &r); code != 200 {
+		if code := getJSON(t, fmt.Sprintf("%s/sssp?src=%d&solver=thorup", ts.URL, i), &r); code != 200 {
 			t.Fatalf("sssp: %d", code)
+		}
+		if r["solver"] != "thorup" || r["via"] != "solve" {
+			t.Fatalf("sssp response routing: solver=%v via=%v", r["solver"], r["via"])
 		}
 	}
 	var bad map[string]string
@@ -318,6 +345,11 @@ func TestMetricsEndpoint(t *testing.T) {
 				} `json:"buckets"`
 			} `json:"latency"`
 		} `json:"endpoints"`
+		Engine struct {
+			Solves      int64            `json:"solves"`
+			CacheMisses int64            `json:"cache_misses"`
+			SolverRuns  map[string]int64 `json:"solver_runs"`
+		} `json:"engine"`
 		Thorup struct {
 			Queries           int64   `json:"queries"`
 			Settled           int64   `json:"settled"`
@@ -348,6 +380,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m.Thorup.Relaxations == 0 || m.Thorup.Gathers == 0 || m.Thorup.HopsPerRelaxation <= 0 {
 		t.Fatalf("thorup counters empty: %+v", m.Thorup)
+	}
+	if m.Engine.Solves != 3 || m.Engine.CacheMisses != 3 || m.Engine.SolverRuns["thorup"] != 3 {
+		t.Fatalf("engine metrics: %+v", m.Engine)
 	}
 }
 
@@ -512,7 +547,7 @@ func TestServeHelperShutsDownCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	g, h := testGraph()
-	srv := newServer(g, h, "drain-test", 2, 8, time.Minute)
+	srv := newServer(g, h, "drain-test", 2, 8, time.Minute, engine.Config{})
 	// serve() uses hs.ListenAndServe; grab a free port for it.
 	addr := ln.Addr().String()
 	ln.Close()

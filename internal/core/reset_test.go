@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/gen"
+	"repro/internal/par"
+)
+
+// A reused query instance must be indistinguishable from a fresh allocation:
+// same distances byte for byte, same invariants, and after Reset the same
+// zeroed state a fresh Query starts from. This is the safety contract behind
+// pooling query instances in the serving layer.
+func TestQueryResetReuseMatchesFresh(t *testing.T) {
+	g := gen.Random(600, 2400, 1<<10, gen.UWD, 11)
+	h := ch.BuildKruskal(g)
+	s := NewSolver(h, par.NewExec(4))
+
+	for _, srcs := range [][]int32{{0}, {17, 300, 599}} {
+		fresh := s.Query()
+		want := append([]int64(nil), fresh.RunFromSources(srcs)...)
+
+		// Dirty a second instance with unrelated queries, then reuse it.
+		reused := s.Query()
+		reused.EnableTrace()
+		reused.Run(42)
+		reused.RunFromSources([]int32{1, 2, 3})
+		reused.Reset()
+
+		got := reused.RunFromSources(srcs)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("sources %v: reused dist[%d] = %d, fresh %d", srcs, v, got[v], want[v])
+			}
+		}
+		if err := reused.CheckInvariants(); err != nil {
+			t.Fatalf("sources %v: reused query invariants: %v", srcs, err)
+		}
+	}
+}
+
+// Reset must restore exactly the zero state of a fresh allocation, trace
+// counters included.
+func TestQueryResetRestoresPristineState(t *testing.T) {
+	g := gen.Random(200, 800, 1<<8, gen.UWD, 5)
+	s := NewSolver(ch.BuildKruskal(g), par.NewExec(2))
+
+	q := s.Query()
+	tr := q.EnableTrace()
+	q.Run(7)
+	if tr.Settled == 0 {
+		t.Fatal("trace did not record the run")
+	}
+	q.Reset()
+
+	fresh := s.Query()
+	check := func(name string, got, want []int64) {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %d after Reset, fresh has %d", name, i, got[i], want[i])
+			}
+		}
+	}
+	check("dist", q.dist, fresh.dist)
+	check("minD", q.minD, fresh.minD)
+	for i := range fresh.unsettled {
+		if q.unsettled[i] != fresh.unsettled[i] {
+			t.Fatalf("unsettled[%d] = %d after Reset, fresh has %d", i, q.unsettled[i], fresh.unsettled[i])
+		}
+	}
+	for i := range fresh.scratch {
+		if q.scratch[i] != 0 {
+			t.Fatalf("scratch[%d] = %d after Reset, want 0", i, q.scratch[i])
+		}
+	}
+	if *tr != (Trace{}) {
+		t.Fatalf("trace not cleared by Reset: %+v", *tr)
+	}
+}

@@ -160,6 +160,24 @@ func (q *Query) EnableTrace() *Trace {
 // tracing is off.
 func (q *Query) Trace() *Trace { return q.trace }
 
+// Reset scrubs the query back to the state of a freshly allocated instance:
+// all distance, minD, unsettled, and scratch words zeroed, and any enabled
+// trace cleared (tracing itself stays on). Run resets everything it reads, so
+// Reset is not required between runs; it exists so pooled instances
+// (sync.Pool reuse in a serving layer) carry no residue of the previous
+// query across requests, and so tests can prove reuse is indistinguishable
+// from a fresh allocation. It runs serially and charges nothing to the
+// runtime, making it safe to call outside any parallel region.
+func (q *Query) Reset() {
+	clear(q.dist)
+	clear(q.minD)
+	clear(q.unsettled)
+	clear(q.scratch)
+	if q.trace != nil {
+		*q.trace = Trace{}
+	}
+}
+
 // Run computes shortest path distances from src. The returned slice aliases
 // the query's internal state and is valid until the next Run.
 func (q *Query) Run(src int32) []int64 {

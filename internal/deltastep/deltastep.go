@@ -60,22 +60,83 @@ func SSSP(rt *par.Runtime, g *graph.Graph, src int32, delta int64) []int64 {
 	return d
 }
 
-// Run is SSSP returning phase statistics as well.
+// Run is SSSP returning phase statistics as well. It allocates fresh state;
+// callers running many queries should hold a State and call its Run instead.
 func Run(rt *par.Runtime, g *graph.Graph, src int32, delta int64) ([]int64, Stats) {
+	return NewState().Run(rt, g, src, delta)
+}
+
+// State is reusable delta-stepping query state: the distance vector, the
+// bucket structure, and every per-phase scratch array. Reusing a State across
+// queries amortizes all per-query allocations (a pooled serving layer's hot
+// path); buffers grow to the largest graph served and are resliced for
+// smaller ones. A State is not safe for concurrent use — the parallelism is
+// inside one run, not across runs.
+type State struct {
+	dist      []int64
+	buckets   [][]int32
+	frontier  []int32 // deduplicated current-bucket members
+	removed   []int32 // everything removed from the current bucket
+	scanned   []int64 // bucket epoch when last light-scanned, per vertex
+	inRemoved []int64 // bucket index when last appended to removed, per vertex
+	touched   []int32 // relax-phase output, filled via atomic cursor
+}
+
+// NewState returns an empty State; buffers are grown on first use.
+func NewState() *State { return &State{} }
+
+// Reset scrubs the state so nothing leaks to the next user across a pool
+// boundary. Not required between runs — Run reinitialises everything it
+// reads.
+func (st *State) Reset() {
+	clear(st.dist)
+	clear(st.scanned)
+	clear(st.inRemoved)
+	for i := range st.buckets {
+		st.buckets[i] = st.buckets[i][:0]
+	}
+	st.frontier = st.frontier[:0]
+	st.removed = st.removed[:0]
+}
+
+// grow sizes the per-vertex arrays for n vertices, reusing capacity, and
+// empties the bucket structure (keeping each bucket's backing array).
+func (st *State) grow(n int) {
+	if cap(st.dist) < n {
+		st.dist = make([]int64, n)
+		st.scanned = make([]int64, n)
+		st.inRemoved = make([]int64, n)
+	}
+	st.dist = st.dist[:n]
+	st.scanned = st.scanned[:n]
+	st.inRemoved = st.inRemoved[:n]
+	for i := range st.buckets {
+		st.buckets[i] = st.buckets[i][:0]
+	}
+}
+
+// Run computes single-source shortest path distances from src with bucket
+// width delta, reusing the state's buffers. The returned slice aliases the
+// state and is valid until the next Run.
+func (st *State) Run(rt *par.Runtime, g *graph.Graph, src int32, delta int64) ([]int64, Stats) {
 	if delta < 1 {
 		panic("deltastep: delta must be >= 1")
 	}
 	n := g.NumVertices()
-	dist := make([]int64, n)
+	st.grow(n)
+	dist := st.dist
 	for i := range dist {
 		dist[i] = graph.Inf
 	}
-	var st Stats
+	var stats Stats
 	if n == 0 {
-		return dist, st
+		return dist, stats
 	}
 
-	buckets := make([][]int32, 1, 64)
+	buckets := st.buckets
+	if len(buckets) == 0 {
+		buckets = make([][]int32, 1, 64)
+	}
 	addBucket := func(v int32, idx int64) {
 		for int64(len(buckets)) <= idx {
 			buckets = append(buckets, nil)
@@ -86,14 +147,13 @@ func Run(rt *par.Runtime, g *graph.Graph, src int32, delta int64) ([]int64, Stat
 	dist[src] = 0
 	addBucket(src, 0)
 
-	// scratch space reused across phases
-	var frontier []int32        // deduplicated current-bucket members
-	var removed []int32         // everything removed from the current bucket
-	scanned := make([]int64, n) // bucket epoch when last light-scanned
+	frontier := st.frontier[:0]
+	removed := st.removed[:0]
+	scanned := st.scanned
 	for i := range scanned {
 		scanned[i] = -1
 	}
-	inRemoved := make([]int64, n)
+	inRemoved := st.inRemoved
 	for i := range inRemoved {
 		inRemoved[i] = -1
 	}
@@ -101,7 +161,7 @@ func Run(rt *par.Runtime, g *graph.Graph, src int32, delta int64) ([]int64, Stat
 	// touched is the shared output array of one relax phase: improved
 	// vertices are appended with an atomic cursor (the MTA int_fetch_add
 	// reduction idiom) and distributed into buckets afterwards.
-	var touched []int32
+	touched := st.touched
 	var cursor int64
 
 	relaxPhase := func(sources []int32, light bool, i int64) {
@@ -134,9 +194,9 @@ func Run(rt *par.Runtime, g *graph.Graph, src int32, delta int64) ([]int64, Stat
 		})
 		cnt := atomic.LoadInt64(&cursor)
 		if light {
-			st.LightRelax += cnt
+			stats.LightRelax += cnt
 		} else {
-			st.HeavyRelax += cnt
+			stats.HeavyRelax += cnt
 		}
 		// Distribute improved vertices into their (new) buckets. Duplicates
 		// are fine: the scan filters lazily by current distance.
@@ -154,7 +214,7 @@ func Run(rt *par.Runtime, g *graph.Graph, src int32, delta int64) ([]int64, Stat
 		if len(buckets[i]) == 0 {
 			continue
 		}
-		st.Buckets++
+		stats.Buckets++
 		removed = removed[:0]
 		for len(buckets[i]) > 0 {
 			// Collect the sub-phase frontier: members whose current distance
@@ -172,7 +232,7 @@ func Run(rt *par.Runtime, g *graph.Graph, src int32, delta int64) ([]int64, Stat
 					continue // already light-scanned at this distance
 				}
 				if scanned[v] >= 0 {
-					st.Reinsertion++
+					stats.Reinsertion++
 				}
 				scanned[v] = dist[v]
 				frontier = append(frontier, v)
@@ -184,12 +244,17 @@ func Run(rt *par.Runtime, g *graph.Graph, src int32, delta int64) ([]int64, Stat
 			if len(frontier) == 0 {
 				continue
 			}
-			st.Phases++
+			stats.Phases++
 			relaxPhase(frontier, true, i)
 		}
 		if len(removed) > 0 {
 			relaxPhase(removed, false, i)
 		}
 	}
-	return dist, st
+	// Hand the (possibly grown) buffers back to the state for the next run.
+	st.buckets = buckets
+	st.frontier = frontier
+	st.removed = removed
+	st.touched = touched
+	return dist, stats
 }

@@ -1,0 +1,62 @@
+package dijkstra
+
+import (
+	"repro/internal/graph"
+)
+
+// Scratch is reusable Dijkstra state — the distance vector and the lazy heap
+// — for callers that run many queries and want to amortize the per-query
+// allocations to zero (e.g. a pooled serving layer). A Scratch sizes itself
+// to whatever graph it is handed, so one instance can serve differently
+// sized graphs; it is not safe for concurrent use.
+type Scratch struct {
+	dist []int64
+	heap lazyHeap
+}
+
+// NewScratch returns an empty Scratch; buffers are grown on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// SSSP computes the same distances as the package-level SSSP but reuses the
+// scratch buffers. The returned slice aliases the scratch state and is valid
+// until the next call.
+func (sc *Scratch) SSSP(g *graph.Graph, src int32) []int64 {
+	n := g.NumVertices()
+	if cap(sc.dist) < n {
+		sc.dist = make([]int64, n)
+	}
+	dist := sc.dist[:n]
+	sc.dist = dist
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	h := append(sc.heap[:0], entry{v: src, d: 0})
+	for len(h) > 0 {
+		top := h.pop()
+		if top.d > dist[top.v] {
+			continue // stale entry
+		}
+		ts, ws := g.Neighbors(top.v)
+		for i, u := range ts {
+			nd := top.d + int64(ws[i])
+			if nd < dist[u] {
+				dist[u] = nd
+				h.push(entry{v: u, d: nd})
+			}
+		}
+	}
+	sc.heap = h // empty now, but keeps the grown backing array
+	return dist
+}
+
+// Reset scrubs the scratch so no distances leak to the next user across a
+// pool boundary. Not required between calls — SSSP reinitialises everything
+// it reads.
+func (sc *Scratch) Reset() {
+	clear(sc.dist)
+	sc.heap = sc.heap[:0]
+}

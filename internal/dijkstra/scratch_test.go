@@ -1,0 +1,42 @@
+package dijkstra
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// A reused Scratch must produce byte-identical distances to the allocating
+// SSSP, including after serving a different (larger or smaller) graph.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	big := gen.Random(500, 2000, 1<<10, gen.UWD, 3)
+	small := gen.Random(60, 240, 1<<6, gen.PWD, 4)
+
+	sc := NewScratch()
+	// big -> small -> big exercises both the growth and reslice paths.
+	for _, g := range []*graph.Graph{big, small, big} {
+		for _, src := range []int32{0, int32(g.NumVertices() / 2)} {
+			want := SSSP(g, src)
+			got := sc.SSSP(g, src)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d src=%d: %d distances, want %d", g.NumVertices(), src, len(got), len(want))
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("n=%d src=%d: dist[%d] = %d, want %d", g.NumVertices(), src, v, got[v], want[v])
+				}
+			}
+		}
+	}
+
+	// Reset leaves a scrubbed, still-working scratch.
+	sc.Reset()
+	want := SSSP(small, 5)
+	got := sc.SSSP(small, 5)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("after Reset: dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}

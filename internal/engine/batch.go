@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// BatchResult is the outcome of one batch item: either a shared Result or a
+// per-item error (bad query, or the batch context expired before the item
+// was picked up).
+type BatchResult struct {
+	Res *Result
+	Via Via
+	Err error
+}
+
+// Batch answers many queries over the shared instance with a bounded worker
+// pool (Config.BatchWorkers), amortizing per-request overhead: one admission,
+// one response, one hierarchy, pooled state per worker. Items still flow
+// through the cache and singleflight individually, so duplicate sources
+// within a batch — or across a batch and live queries — solve once.
+//
+// The returned slice maps 1:1 to queries. Once ctx is cancelled, items not
+// yet picked up fail with ctx.Err(); items already solving run to completion.
+// Every item is always accounted for — the call never blocks on a cancelled
+// remainder.
+func (e *Engine) Batch(ctx context.Context, queries []Request) []BatchResult {
+	e.counters.C(cBatchRequests).Inc()
+	e.counters.C(cBatchItems).Add(int64(len(queries)))
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	workers := e.cfg.BatchWorkers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Workers always drain the channel; cancellation is observed
+				// per item (Query checks ctx up front), so the feeder below
+				// never blocks forever.
+				res, via, err := e.Query(ctx, queries[i])
+				out[i] = BatchResult{Res: res, Via: via, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

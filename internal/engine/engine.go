@@ -1,0 +1,435 @@
+// Package engine is the query-execution plane between a serving layer
+// (cmd/ssspd's HTTP handlers) and the SSSP solvers. The paper's service shape
+// — one immutable Component Hierarchy, many cheap concurrent traversals — is
+// throughput-bound by per-query setup once traffic is heavy, so the engine
+// amortizes or eliminates every per-query cost it can:
+//
+//   - a query-state pool (sync.Pool) reuses Thorup query instances, Dijkstra
+//     scratch, and delta-stepping state instead of allocating per request;
+//     instances are scrubbed with their Reset methods when returned;
+//   - singleflight deduplication coalesces concurrent identical queries into
+//     one solver execution whose result every caller shares;
+//   - a bounded LRU cache (entry- and byte-budgeted) keeps recent distance
+//     vectors, together with their serialized JSON form, so repeated sources
+//     are answered without solving or re-marshaling;
+//   - a batch executor fans many sources of one request across a worker pool
+//     that shares the hierarchy, amortizing per-request overhead;
+//   - a solver-selection policy picks the cheapest applicable solver per
+//     query (BFS on unit weights, delta-stepping vs Thorup by instance
+//     shape), overridable per request.
+//
+// Results are immutable and shared between the cache and all callers: never
+// mutate Result.Dist.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/deltastep"
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// ErrBadQuery marks request errors (out-of-range vertices, unknown or
+// inapplicable solvers) that a serving layer should map to a 4xx status,
+// as opposed to context cancellation.
+var ErrBadQuery = errors.New("bad query")
+
+// Config parameterizes an Engine. The zero value is usable: pooling on,
+// cache disabled, 4 batch workers, the full solver registry.
+type Config struct {
+	// CacheEntries bounds the number of cached result vectors; 0 disables
+	// the cache entirely.
+	CacheEntries int
+	// CacheBytes bounds the summed size of cached vectors (distances plus
+	// any materialized JSON form); 0 means entry-count-bounded only.
+	CacheBytes int64
+	// BatchWorkers is the concurrency of Batch (default 4). Each worker
+	// drives whole queries; the solvers parallelize internally on the
+	// instance runtime as well.
+	BatchWorkers int
+	// Solvers overrides the solver pool (default solver.All()). Tests and
+	// harnesses may append instrumented or fault-injected variants.
+	Solvers []solver.Solver
+	// DisablePool bypasses query-state reuse so every solve allocates fresh
+	// state — the benchmark baseline for measuring what pooling saves.
+	DisablePool bool
+}
+
+// Engine executes SSSP queries against one shared solver.Instance with
+// pooling, deduplication, caching, and batching. Safe for concurrent use.
+type Engine struct {
+	in       *solver.Instance
+	cfg      Config
+	solvers  []solver.Solver
+	core     *core.Solver // Thorup solver over the shared hierarchy
+	coreOnce sync.Once
+	delta    int64 // precomputed delta-stepping bucket width
+	unitW    bool  // all edge weights are 1 (BFS is exact)
+
+	qpool sync.Pool // *core.Query        (thorup)
+	dpool sync.Pool // *dijkstra.Scratch  (dijkstra)
+	spool sync.Pool // *deltastep.State   (delta)
+
+	cache  *lru
+	flight flightGroup
+
+	counters   *obs.Group
+	solverRuns map[string]*obs.Counter
+
+	traceAgg   core.Trace  // aggregate of pooled Thorup query traces
+	thorupRuns obs.Counter // Thorup runs folded into traceAgg
+}
+
+// Counter names of Engine.Counters, in snapshot order.
+const (
+	cSolves             = "solves"
+	cDedupHits          = "dedup_hits"
+	cCacheHits          = "cache_hits"
+	cCacheMisses        = "cache_misses"
+	cCacheEvictions     = "cache_evictions"
+	cBatchRequests      = "batch_requests"
+	cBatchItems         = "batch_items"
+	cFullJSONBuilt      = "full_json_built"
+	cFullBytesFromCache = "full_bytes_from_cache"
+)
+
+// New creates an engine over the instance. The hierarchy is built on first
+// use if a Thorup query runs (or was already built by the caller).
+func New(in *solver.Instance, cfg Config) *Engine {
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = 4
+	}
+	solvers := cfg.Solvers
+	if solvers == nil {
+		solvers = solver.All()
+	}
+	e := &Engine{
+		in:      in,
+		cfg:     cfg,
+		solvers: solvers,
+		delta:   deltastep.DefaultDelta(in.G),
+		counters: obs.NewGroup(cSolves, cDedupHits, cCacheHits, cCacheMisses,
+			cCacheEvictions, cBatchRequests, cBatchItems, cFullJSONBuilt, cFullBytesFromCache),
+		solverRuns: make(map[string]*obs.Counter, len(solvers)),
+	}
+	if bfs, ok := e.byName("bfs"); ok {
+		e.unitW = bfs.Applicable(in.G)
+	}
+	for _, s := range solvers {
+		e.solverRuns[s.Name] = &obs.Counter{}
+	}
+	e.cache = newLRU(cfg.CacheEntries, cfg.CacheBytes, e.counters.C(cCacheEvictions))
+	e.flight.calls = make(map[string]*flightCall)
+	e.qpool.New = func() any {
+		q := e.coreSolver().Query()
+		q.EnableTrace()
+		return q
+	}
+	e.dpool.New = func() any { return dijkstra.NewScratch() }
+	e.spool.New = func() any { return deltastep.NewState() }
+	return e
+}
+
+// coreSolver lazily creates the shared Thorup solver (building the hierarchy
+// on first use, exactly once). Safe for concurrent first use — pool New
+// functions may race here.
+func (e *Engine) coreSolver() *core.Solver {
+	e.coreOnce.Do(func() {
+		e.core = core.NewSolver(e.in.Hierarchy(), e.in.RT)
+	})
+	return e.core
+}
+
+func (e *Engine) byName(name string) (solver.Solver, bool) {
+	for _, s := range e.solvers {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return solver.Solver{}, false
+}
+
+// Request is one SSSP query: a non-empty source set and an optional solver
+// override ("" or "auto" selects by policy).
+type Request struct {
+	Sources []int32
+	Solver  string
+}
+
+// Via reports how a query was answered.
+type Via int
+
+const (
+	// ViaSolve: this call executed a solver.
+	ViaSolve Via = iota
+	// ViaDedup: this call joined a concurrent identical query in flight.
+	ViaDedup
+	// ViaCache: this call was answered from the result cache.
+	ViaCache
+)
+
+func (v Via) String() string {
+	switch v {
+	case ViaSolve:
+		return "solve"
+	case ViaDedup:
+		return "dedup"
+	case ViaCache:
+		return "cache"
+	default:
+		return fmt.Sprintf("Via(%d)", int(v))
+	}
+}
+
+// Result is one immutable query answer, shared between the cache and every
+// caller that received it. Dist must not be mutated.
+type Result struct {
+	// Solver is the registry name of the solver that produced the vector.
+	Solver string
+	// Dist is the distance vector (graph.Inf for unreachable vertices).
+	Dist []int64
+	// Reached is the number of vertices with finite distance.
+	Reached int
+	// Eccentricity is the largest finite distance.
+	Eccentricity int64
+
+	e        *Engine
+	key      string
+	jsonOnce sync.Once
+	distJSON []byte
+}
+
+// DistJSON returns the JSON array form of the distance vector, with
+// unreachable vertices encoded as -1. It is built at most once per Result;
+// later calls — cache hits included — reuse the serialized bytes, which the
+// engine counts as full_bytes_from_cache. The returned slice is immutable.
+func (r *Result) DistJSON() []byte {
+	first := false
+	r.jsonOnce.Do(func() {
+		first = true
+		buf := make([]byte, 0, 4*len(r.Dist)+2)
+		buf = append(buf, '[')
+		for i, d := range r.Dist {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			if d >= graph.Inf {
+				buf = append(buf, '-', '1')
+			} else {
+				buf = strconv.AppendInt(buf, d, 10)
+			}
+		}
+		buf = append(buf, ']')
+		r.distJSON = buf
+		if r.e != nil {
+			r.e.counters.C(cFullJSONBuilt).Inc()
+			// The serialized form now lives alongside the vector; charge it
+			// against the cache's byte budget.
+			r.e.cache.grow(r, int64(len(buf)))
+		}
+	})
+	if !first && r.e != nil {
+		r.e.counters.C(cFullBytesFromCache).Add(int64(len(r.distJSON)))
+	}
+	return r.distJSON
+}
+
+// Query answers one request: cache lookup, then singleflight coalescing,
+// then a pooled solver execution. Waiters honour ctx; the execution itself
+// is not cancellable (a Thorup traversal cannot stop mid-flight), so the
+// leader always completes and caches its result even if its own ctx expires.
+func (e *Engine) Query(ctx context.Context, req Request) (*Result, Via, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ViaSolve, err
+	}
+	name, srcs, key, err := e.plan(req)
+	if err != nil {
+		return nil, ViaSolve, err
+	}
+	if res, ok := e.cache.get(key); ok {
+		e.counters.C(cCacheHits).Inc()
+		return res, ViaCache, nil
+	}
+	e.counters.C(cCacheMisses).Inc()
+	res, shared, err := e.flight.do(ctx, key, func() *Result {
+		return e.solve(name, srcs, key)
+	})
+	if err != nil {
+		return nil, ViaDedup, err
+	}
+	if res == nil {
+		return nil, ViaDedup, fmt.Errorf("engine: solver %s failed", name)
+	}
+	if shared {
+		e.counters.C(cDedupHits).Inc()
+		return res, ViaDedup, nil
+	}
+	return res, ViaSolve, nil
+}
+
+// plan validates the request, canonicalizes the source set (sorted, deduped
+// — multi-source distances are order-independent, so equivalent requests
+// share one cache key), resolves the solver by policy, and builds the key.
+func (e *Engine) plan(req Request) (name string, srcs []int32, key string, err error) {
+	n := e.in.G.NumVertices()
+	if len(req.Sources) == 0 {
+		return "", nil, "", fmt.Errorf("%w: no source vertices", ErrBadQuery)
+	}
+	for _, s := range req.Sources {
+		if s < 0 || int(s) >= n {
+			return "", nil, "", fmt.Errorf("%w: source %d out of range [0,%d)", ErrBadQuery, s, n)
+		}
+	}
+	srcs = append(make([]int32, 0, len(req.Sources)), req.Sources...)
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	w := 1
+	for i := 1; i < len(srcs); i++ {
+		if srcs[i] != srcs[i-1] {
+			srcs[w] = srcs[i]
+			w++
+		}
+	}
+	srcs = srcs[:w]
+
+	name, err = e.pickSolver(req.Solver, srcs)
+	if err != nil {
+		return "", nil, "", err
+	}
+
+	var kb []byte
+	kb = append(kb, name...)
+	for _, s := range srcs {
+		kb = append(kb, '|')
+		kb = strconv.AppendInt(kb, int64(s), 10)
+	}
+	return name, srcs, string(kb), nil
+}
+
+// solve runs the named solver on the canonical source set with pooled state,
+// detaches the result, and caches it.
+func (e *Engine) solve(name string, srcs []int32, key string) *Result {
+	e.counters.C(cSolves).Inc()
+	if c, ok := e.solverRuns[name]; ok {
+		c.Inc()
+	}
+	var dist []int64
+	switch name {
+	case "thorup":
+		q := e.qpool.Get().(*core.Query)
+		d := q.RunFromSources(srcs)
+		dist = append(make([]int64, 0, len(d)), d...)
+		if tr := q.Trace(); tr != nil {
+			e.traceAgg.Merge(tr.Snapshot())
+			e.thorupRuns.Inc()
+		}
+		if !e.cfg.DisablePool {
+			q.Reset()
+			e.qpool.Put(q)
+		}
+	case "dijkstra":
+		sc := e.dpool.Get().(*dijkstra.Scratch)
+		dist = foldPooled(func(s int32) []int64 { return sc.SSSP(e.in.G, s) }, srcs)
+		if !e.cfg.DisablePool {
+			sc.Reset()
+			e.dpool.Put(sc)
+		}
+	case "delta":
+		st := e.spool.Get().(*deltastep.State)
+		dist = foldPooled(func(s int32) []int64 {
+			d, _ := st.Run(e.in.RT, e.in.G, s, e.delta)
+			return d
+		}, srcs)
+		if !e.cfg.DisablePool {
+			st.Reset()
+			e.spool.Put(st)
+		}
+	default:
+		// Registry solvers without a pooled fast path (thorup-serial, mlb,
+		// bfs) allocate per run; their Solve already returns detached state.
+		s, _ := e.byName(name)
+		if s.NeedsCH {
+			// Instance.Hierarchy memoizes without a lock; route the first
+			// build through the engine's once so concurrent queries don't
+			// race on it.
+			e.coreSolver()
+		}
+		dist = s.Solve(e.in, srcs)
+	}
+
+	res := &Result{Solver: name, Dist: dist, e: e, key: key}
+	for _, d := range dist {
+		if d < graph.Inf {
+			res.Reached++
+			if d > res.Eccentricity {
+				res.Eccentricity = d
+			}
+		}
+	}
+	e.cache.add(key, res)
+	return res
+}
+
+// foldPooled answers a multi-source query with a pooled single-source run:
+// the elementwise minimum over per-source labellings, detached from the
+// pooled buffer.
+func foldPooled(run func(src int32) []int64, srcs []int32) []int64 {
+	out := append([]int64(nil), run(srcs[0])...)
+	for _, s := range srcs[1:] {
+		for v, d := range run(s) {
+			if d < out[v] {
+				out[v] = d
+			}
+		}
+	}
+	return out
+}
+
+// InstanceBytes is the memory footprint of one Thorup query instance over
+// the shared hierarchy (arithmetic only; no allocation).
+func (e *Engine) InstanceBytes() int64 { return e.coreSolver().InstanceBytes() }
+
+// Counter returns the named engine counter's value (see the c* constants'
+// snapshot names: "solves", "dedup_hits", "cache_hits", ...). Unknown names
+// panic.
+func (e *Engine) Counter(name string) int64 { return e.counters.C(name).Value() }
+
+// SolverRuns returns how many executions each solver performed.
+func (e *Engine) SolverRuns() map[string]int64 {
+	out := make(map[string]int64, len(e.solverRuns))
+	for name, c := range e.solverRuns {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// ThorupTrace returns the aggregate trace of all pooled Thorup executions
+// and how many runs it covers.
+func (e *Engine) ThorupTrace() (core.Trace, int64) {
+	return e.traceAgg.Snapshot(), e.thorupRuns.Value()
+}
+
+// StatsSnapshot returns the engine's observable state, shaped for a JSON
+// /metrics endpoint: every counter, the cache's current and maximum sizes,
+// and per-solver run counts.
+func (e *Engine) StatsSnapshot() map[string]any {
+	out := make(map[string]any, 16)
+	for k, v := range e.counters.Snapshot() {
+		out[k] = v
+	}
+	entries, bytes := e.cache.size()
+	out["cache_entries"] = entries
+	out["cache_bytes"] = bytes
+	out["cache_max_entries"] = e.cfg.CacheEntries
+	out["cache_max_bytes"] = e.cfg.CacheBytes
+	out["solver_runs"] = e.SolverRuns()
+	return out
+}

@@ -1,0 +1,505 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/solver"
+)
+
+func testInstance(tb testing.TB, n, m int) *solver.Instance {
+	tb.Helper()
+	g := gen.Random(n, m, 1<<10, gen.UWD, 7)
+	return solver.NewInstance(g, par.NewExec(2))
+}
+
+// gatedSolver is an injectable solver that blocks until released, so tests
+// can hold a solve in flight deterministically.
+type gatedSolver struct {
+	started chan struct{} // closed (once) when the first solve begins
+	release chan struct{} // solve returns once this is closed
+	once    sync.Once
+}
+
+func (s *gatedSolver) register() solver.Solver {
+	return solver.Solver{
+		Name: "gated",
+		Solve: func(in *solver.Instance, sources []int32) []int64 {
+			s.once.Do(func() { close(s.started) })
+			<-s.release
+			out := make([]int64, in.G.NumVertices())
+			for i := range out {
+				out[i] = graph.Inf
+			}
+			for _, src := range sources {
+				out[src] = 0
+			}
+			return out
+		},
+	}
+}
+
+func newGated() *gatedSolver {
+	return &gatedSolver{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+// --- pooled execution correctness -----------------------------------------
+
+// Every pooled fast path must match the registry's fresh-allocation solve,
+// including across reuse, and pooling on/off must agree with each other.
+func TestQueryPooledMatchesFresh(t *testing.T) {
+	in := testInstance(t, 300, 1200)
+	e := New(in, Config{})
+	fresh := New(in, Config{DisablePool: true})
+
+	for _, name := range []string{"thorup", "dijkstra", "delta", "mlb"} {
+		reg, _ := solver.ByName(name)
+		for _, srcs := range [][]int32{{0}, {5}, {1, 100, 299}, {5}} { // repeat 5: pool reuse
+			want := reg.Solve(in, srcs)
+			got, via, err := e.Query(context.Background(), Request{Sources: srcs, Solver: name})
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, srcs, err)
+			}
+			gotFresh, _, err := fresh.Query(context.Background(), Request{Sources: srcs, Solver: name})
+			if err != nil {
+				t.Fatalf("%s %v (no pool): %v", name, srcs, err)
+			}
+			_ = via
+			for v := range want {
+				if got.Dist[v] != want[v] {
+					t.Fatalf("%s %v: dist[%d] = %d, want %d", name, srcs, v, got.Dist[v], want[v])
+				}
+				if gotFresh.Dist[v] != want[v] {
+					t.Fatalf("%s %v (no pool): dist[%d] = %d, want %d", name, srcs, v, gotFresh.Dist[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	in := testInstance(t, 50, 200)
+	e := New(in, Config{})
+	cases := []Request{
+		{Sources: nil},
+		{Sources: []int32{-1}},
+		{Sources: []int32{50}},
+		{Sources: []int32{0}, Solver: "nope"},
+		{Sources: []int32{0}, Solver: "bfs"}, // weighted graph: BFS inapplicable
+	}
+	for _, req := range cases {
+		if _, _, err := e.Query(context.Background(), req); !errors.Is(err, ErrBadQuery) {
+			t.Fatalf("req %+v: err = %v, want ErrBadQuery", req, err)
+		}
+	}
+}
+
+// Equivalent source sets (order, duplicates) must share one cache entry.
+func TestQueryCanonicalSourceSet(t *testing.T) {
+	in := testInstance(t, 100, 400)
+	e := New(in, Config{CacheEntries: 8})
+	r1, via, err := e.Query(context.Background(), Request{Sources: []int32{9, 3, 3, 70}, Solver: "dijkstra"})
+	if err != nil || via != ViaSolve {
+		t.Fatalf("first query: via=%v err=%v", via, err)
+	}
+	r2, via, err := e.Query(context.Background(), Request{Sources: []int32{70, 9, 3}, Solver: "dijkstra"})
+	if err != nil || via != ViaCache {
+		t.Fatalf("permuted query: via=%v err=%v, want cache hit", via, err)
+	}
+	if r1 != r2 {
+		t.Fatal("permuted source set did not share the cached result")
+	}
+}
+
+// --- policy ----------------------------------------------------------------
+
+func TestPolicySelection(t *testing.T) {
+	weighted := testInstance(t, 200, 800) // maxW 1024, avgDeg 8 -> delta 128
+	e := New(weighted, Config{})
+	pick := func(e *Engine, name string, srcs []int32) string {
+		t.Helper()
+		got, err := e.pickSolver(name, srcs)
+		if err != nil {
+			t.Fatalf("pickSolver(%q, %v): %v", name, srcs, err)
+		}
+		return got
+	}
+	if got := pick(e, "", []int32{3}); got != "delta" {
+		t.Fatalf("weighted single-source auto = %s, want delta", got)
+	}
+	if got := pick(e, "auto", []int32{1, 2}); got != "thorup" {
+		t.Fatalf("multi-source auto = %s, want thorup", got)
+	}
+	if got := pick(e, "mlb", []int32{3}); got != "mlb" {
+		t.Fatalf("explicit override = %s, want mlb", got)
+	}
+
+	unitG := gen.Random(200, 800, 1, gen.UWD, 7)
+	if unitG.MaxWeight() != 1 {
+		t.Fatalf("unit graph maxW = %d", unitG.MaxWeight())
+	}
+	eu := New(solver.NewInstance(unitG, par.NewExec(2)), Config{})
+	if got := pick(eu, "", []int32{3}); got != "bfs" {
+		t.Fatalf("unit-weight auto = %s, want bfs", got)
+	}
+
+	// delta = 1 (max weight 1... use a tiny-weight graph where C/d floors to 1)
+	dense := gen.Random(64, 1024, 4, gen.UWD, 7) // avgDeg 32 > maxW 4 -> delta 1
+	ed := New(solver.NewInstance(dense, par.NewExec(2)), Config{})
+	if ed.unitW {
+		t.Skip("dense graph happened to be unit-weight")
+	}
+	if got := pick(ed, "", []int32{3}); got != "thorup" {
+		t.Fatalf("delta=1 single-source auto = %s, want thorup", got)
+	}
+}
+
+// --- LRU cache -------------------------------------------------------------
+
+func cacheRes(key string, n int) *Result {
+	return &Result{key: key, Dist: make([]int64, n)}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	var ev obs.Counter
+	c := newLRU(2, 0, &ev)
+	c.add("A", cacheRes("A", 4))
+	c.add("B", cacheRes("B", 4))
+	if _, ok := c.get("A"); !ok { // touch A: B becomes least recently used
+		t.Fatal("A missing")
+	}
+	c.add("C", cacheRes("C", 4))
+	if _, ok := c.get("B"); ok {
+		t.Fatal("B should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"A", "C"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if ev.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", ev.Value())
+	}
+}
+
+func TestLRUByteBudget(t *testing.T) {
+	var ev obs.Counter
+	per := entryBytes("K1", cacheRes("K1", 100)) // all keys same length/size
+	c := newLRU(100, 3*per, &ev)
+	for i := 1; i <= 4; i++ {
+		k := fmt.Sprintf("K%d", i)
+		c.add(k, cacheRes(k, 100))
+	}
+	entries, bytes := c.size()
+	if entries != 3 || bytes != 3*per {
+		t.Fatalf("size = (%d, %d), want (3, %d)", entries, bytes, 3*per)
+	}
+	if _, ok := c.get("K1"); ok {
+		t.Fatal("K1 (oldest) should have been evicted by the byte budget")
+	}
+	if ev.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", ev.Value())
+	}
+
+	// Growing an entry (JSON materialization) re-enforces the budget, evicting
+	// older entries but keeping the grown one.
+	c.grow(c.index["K3"].Value.(*cacheEntry).res, 2*per)
+	if _, ok := c.get("K3"); !ok {
+		t.Fatal("grown entry K3 should survive its own growth")
+	}
+	if entries, _ := c.size(); entries != 1 {
+		t.Fatalf("after grow: %d entries, want 1 (K3 alone fills the budget)", entries)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(0, 0, &obs.Counter{})
+	c.add("A", cacheRes("A", 4))
+	if _, ok := c.get("A"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if entries, bytes := c.size(); entries != 0 || bytes != 0 {
+		t.Fatal("disabled cache reports non-zero size")
+	}
+}
+
+// --- singleflight ----------------------------------------------------------
+
+// N concurrent identical queries must execute the solver exactly once: one
+// leader solves, every other caller joins that flight.
+func TestSingleflightExactlyOneSolve(t *testing.T) {
+	in := testInstance(t, 100, 400)
+	gs := newGated()
+	e := New(in, Config{CacheEntries: 8, Solvers: append(solver.All(), gs.register())})
+
+	const N = 8
+	req := Request{Sources: []int32{42}, Solver: "gated"}
+	vias := make([]Via, N)
+	errs := make([]error, N)
+	var wg sync.WaitGroup
+	wg.Add(N)
+	for i := 0; i < N; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, vias[i], errs[i] = e.Query(context.Background(), req)
+		}(i)
+	}
+	<-gs.started
+	// Each caller counts a cache miss before entering the flight group; once
+	// all N misses are visible, every caller has passed the cache and joined
+	// the held flight, so releasing now proves true concurrent coalescing.
+	for e.Counter("cache_misses") < N {
+	}
+	close(gs.release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if solves := e.Counter("solves"); solves != 1 {
+		t.Fatalf("solves = %d, want exactly 1", solves)
+	}
+	if runs := e.SolverRuns()["gated"]; runs != 1 {
+		t.Fatalf("gated runs = %d, want exactly 1", runs)
+	}
+	var solve, dedup int
+	for _, v := range vias {
+		switch v {
+		case ViaSolve:
+			solve++
+		case ViaDedup:
+			dedup++
+		}
+	}
+	if solve != 1 || dedup != N-1 {
+		t.Fatalf("vias: %d solve + %d dedup, want 1 + %d", solve, dedup, N-1)
+	}
+}
+
+// A waiter whose context expires stops waiting; the leader still completes
+// and caches, so a later query hits the cache.
+func TestSingleflightWaiterCancellation(t *testing.T) {
+	in := testInstance(t, 100, 400)
+	gs := newGated()
+	e := New(in, Config{CacheEntries: 8, Solvers: append(solver.All(), gs.register())})
+
+	req := Request{Sources: []int32{7}, Solver: "gated"}
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := e.Query(context.Background(), req)
+		leaderDone <- err
+	}()
+	<-gs.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := e.Query(ctx, req)
+		waiterDone <- err
+	}()
+	for e.Counter("cache_misses") < 2 {
+	}
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+
+	close(gs.release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+	if _, via, err := e.Query(context.Background(), req); err != nil || via != ViaCache {
+		t.Fatalf("post-flight query: via=%v err=%v, want cache hit", via, err)
+	}
+}
+
+// --- batch -----------------------------------------------------------------
+
+func TestBatchMatchesIndividualQueries(t *testing.T) {
+	in := testInstance(t, 200, 800)
+	e := New(in, Config{BatchWorkers: 4})
+	reqs := make([]Request, 16)
+	for i := range reqs {
+		reqs[i] = Request{Sources: []int32{int32(i * 7 % 200)}, Solver: "dijkstra"}
+	}
+	out := e.Batch(context.Background(), reqs)
+	if len(out) != len(reqs) {
+		t.Fatalf("%d results for %d queries", len(out), len(reqs))
+	}
+	reg, _ := solver.ByName("dijkstra")
+	for i, br := range out {
+		if br.Err != nil {
+			t.Fatalf("item %d: %v", i, br.Err)
+		}
+		want := reg.Solve(in, reqs[i].Sources)
+		for v := range want {
+			if br.Res.Dist[v] != want[v] {
+				t.Fatalf("item %d dist[%d] = %d, want %d", i, v, br.Res.Dist[v], want[v])
+			}
+		}
+	}
+	if e.Counter("batch_requests") != 1 || e.Counter("batch_items") != 16 {
+		t.Fatalf("batch counters = (%d, %d), want (1, 16)",
+			e.Counter("batch_requests"), e.Counter("batch_items"))
+	}
+}
+
+// A bad item fails alone; the rest of the batch still completes.
+func TestBatchPerItemErrors(t *testing.T) {
+	in := testInstance(t, 50, 200)
+	e := New(in, Config{BatchWorkers: 2})
+	out := e.Batch(context.Background(), []Request{
+		{Sources: []int32{1}, Solver: "dijkstra"},
+		{Sources: []int32{999}, Solver: "dijkstra"},
+		{Sources: []int32{2}, Solver: "dijkstra"},
+	})
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("good items failed: %v, %v", out[0].Err, out[2].Err)
+	}
+	if !errors.Is(out[1].Err, ErrBadQuery) {
+		t.Fatalf("bad item err = %v, want ErrBadQuery", out[1].Err)
+	}
+}
+
+// Cancelling mid-batch fails the queued items with ctx.Err() while the item
+// already solving runs to completion; nothing deadlocks or goes unaccounted.
+func TestBatchCancellationMidFlight(t *testing.T) {
+	in := testInstance(t, 50, 200)
+	gs := newGated()
+	e := New(in, Config{BatchWorkers: 1, Solvers: append(solver.All(), gs.register())})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []BatchResult, 1)
+	go func() {
+		done <- e.Batch(ctx, []Request{
+			{Sources: []int32{0}, Solver: "gated"},
+			{Sources: []int32{1}, Solver: "dijkstra"},
+			{Sources: []int32{2}, Solver: "dijkstra"},
+		})
+	}()
+	<-gs.started // worker 1 of 1 is inside item 0's solve; items 1, 2 queued
+	cancel()
+	close(gs.release)
+	out := <-done
+
+	if out[0].Err != nil {
+		t.Fatalf("in-flight item err = %v, want completion", out[0].Err)
+	}
+	for i := 1; i < 3; i++ {
+		if !errors.Is(out[i].Err, context.Canceled) {
+			t.Fatalf("queued item %d err = %v, want context.Canceled", i, out[i].Err)
+		}
+	}
+	if solves := e.Counter("solves"); solves != 1 {
+		t.Fatalf("solves = %d, want 1 (queued items must not execute)", solves)
+	}
+}
+
+func TestBatchPreCancelled(t *testing.T) {
+	in := testInstance(t, 50, 200)
+	e := New(in, Config{BatchWorkers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := e.Batch(ctx, []Request{
+		{Sources: []int32{0}}, {Sources: []int32{1}}, {Sources: []int32{2}},
+	})
+	for i, br := range out {
+		if !errors.Is(br.Err, context.Canceled) {
+			t.Fatalf("item %d err = %v, want context.Canceled", i, br.Err)
+		}
+	}
+	if solves := e.Counter("solves"); solves != 0 {
+		t.Fatalf("solves = %d, want 0", solves)
+	}
+}
+
+// --- JSON streaming --------------------------------------------------------
+
+// DistJSON must encode distances with Inf as -1, build the bytes exactly
+// once per result, and count repeat serves as bytes-from-cache.
+func TestDistJSONCachedServing(t *testing.T) {
+	// Two components: vertex 3 unreachable from 0.
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 5)
+	b.MustAddEdge(1, 2, 7)
+	g := b.Build()
+	e := New(solver.NewInstance(g, par.NewExec(1)), Config{CacheEntries: 4})
+
+	res, _, err := e.Query(context.Background(), Request{Sources: []int32{0}, Solver: "dijkstra"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := res.DistJSON()
+	want := []byte("[0,5,12,-1]")
+	if !bytes.Equal(j1, want) {
+		t.Fatalf("DistJSON = %s, want %s", j1, want)
+	}
+	if e.Counter("full_json_built") != 1 || e.Counter("full_bytes_from_cache") != 0 {
+		t.Fatalf("after first serve: built=%d fromCache=%d, want 1, 0",
+			e.Counter("full_json_built"), e.Counter("full_bytes_from_cache"))
+	}
+
+	// Cache hit returns the same Result; its JSON is served without re-marshal.
+	res2, via, err := e.Query(context.Background(), Request{Sources: []int32{0}, Solver: "dijkstra"})
+	if err != nil || via != ViaCache {
+		t.Fatalf("second query: via=%v err=%v", via, err)
+	}
+	j2 := res2.DistJSON()
+	if &j1[0] != &j2[0] {
+		t.Fatal("cache hit re-marshaled the distance vector")
+	}
+	if e.Counter("full_json_built") != 1 {
+		t.Fatalf("built = %d, want still 1", e.Counter("full_json_built"))
+	}
+	if got := e.Counter("full_bytes_from_cache"); got != int64(len(want)) {
+		t.Fatalf("full_bytes_from_cache = %d, want %d", got, len(want))
+	}
+
+	// The materialized JSON is charged to the cache's byte budget.
+	if _, bytes := e.cache.size(); bytes <= entryBytes(res.key, res) {
+		t.Fatalf("cache bytes %d not charged for JSON (entry alone is %d)",
+			bytes, entryBytes(res.key, res))
+	}
+}
+
+// --- stats -----------------------------------------------------------------
+
+func TestStatsSnapshotShape(t *testing.T) {
+	in := testInstance(t, 100, 400)
+	e := New(in, Config{CacheEntries: 4, CacheBytes: 1 << 20})
+	if _, _, err := e.Query(context.Background(), Request{Sources: []int32{0}, Solver: "thorup"}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.StatsSnapshot()
+	for _, k := range []string{"solves", "dedup_hits", "cache_hits", "cache_misses",
+		"cache_evictions", "batch_requests", "batch_items", "full_json_built",
+		"full_bytes_from_cache", "cache_entries", "cache_bytes", "cache_max_entries",
+		"cache_max_bytes", "solver_runs"} {
+		if _, ok := s[k]; !ok {
+			t.Fatalf("StatsSnapshot missing %q", k)
+		}
+	}
+	if s["solves"].(int64) != 1 {
+		t.Fatalf("solves = %v, want 1", s["solves"])
+	}
+	if runs := s["solver_runs"].(map[string]int64); runs["thorup"] != 1 {
+		t.Fatalf("solver_runs[thorup] = %d, want 1", runs["thorup"])
+	}
+	tr, n := e.ThorupTrace()
+	if n != 1 || tr.Settled == 0 {
+		t.Fatalf("ThorupTrace = (%+v, %d), want 1 run with settled > 0", tr, n)
+	}
+	if e.InstanceBytes() <= 0 {
+		t.Fatal("InstanceBytes <= 0")
+	}
+}

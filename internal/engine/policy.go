@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// pickSolver resolves the solver name for a query. An explicit name must
+// exist in the engine's solver pool and be applicable to the graph (BFS on
+// non-unit weights is rejected, not silently wrong). Empty or "auto" selects
+// by policy:
+//
+//   - unit-weight graphs: BFS — a unit-weight traversal is the cheapest
+//     exact solver and parallelizes on the instance runtime;
+//   - multi-source queries: Thorup — the only solver here that answers a
+//     source set natively in one run over the shared hierarchy (everything
+//     else pays one full run per source);
+//   - single-source: delta-stepping when the instance's heuristic bucket
+//     width exceeds 1 (weight range admits real buckets, so phases batch
+//     work), Thorup otherwise (delta = 1 degenerates into a serial-grade
+//     Dijkstra ordering, while Thorup keeps traversal cost near-linear).
+//
+// The policy consults only precomputed instance stats, so selection is O(1).
+func (e *Engine) pickSolver(name string, srcs []int32) (string, error) {
+	if name != "" && name != "auto" {
+		s, ok := e.byName(name)
+		if !ok {
+			return "", fmt.Errorf("%w: unknown solver %q (have %s)", ErrBadQuery, name, strings.Join(e.names(), ", "))
+		}
+		if !s.Applicable(e.in.G) {
+			return "", fmt.Errorf("%w: solver %q requires unit edge weights", ErrBadQuery, name)
+		}
+		return name, nil
+	}
+	if e.unitW {
+		return "bfs", nil
+	}
+	if len(srcs) > 1 {
+		return "thorup", nil
+	}
+	if _, ok := e.byName("delta"); ok && e.delta > 1 {
+		return "delta", nil
+	}
+	return "thorup", nil
+}
+
+func (e *Engine) names() []string {
+	out := make([]string, len(e.solvers))
+	for i, s := range e.solvers {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -200,6 +200,52 @@ func statusClass(i int) string {
 	return string([]byte{byte('0' + i), 'x', 'x'})
 }
 
+// Group is a fixed, ordered set of named counters — the registry pattern for
+// subsystem metrics (cache hits, dedup joins, solver runs, ...). The name set
+// is established at construction so hot-path lookups are lock-free map reads,
+// and Snapshot always emits every name (zeros included) so JSON consumers see
+// a stable key set.
+type Group struct {
+	names    []string
+	counters []Counter
+	index    map[string]int
+}
+
+// NewGroup creates a group with one counter per name. Duplicate names panic:
+// groups are wired at startup, so a duplicate is a programming error.
+func NewGroup(names ...string) *Group {
+	g := &Group{
+		names:    append([]string(nil), names...),
+		counters: make([]Counter, len(names)),
+		index:    make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if _, dup := g.index[n]; dup {
+			panic("obs: duplicate group counter " + n)
+		}
+		g.index[n] = i
+	}
+	return g
+}
+
+// C returns the named counter. Unknown names panic, like Registry.Endpoint.
+func (g *Group) C(name string) *Counter {
+	i, ok := g.index[name]
+	if !ok {
+		panic("obs: unknown group counter " + name)
+	}
+	return &g.counters[i]
+}
+
+// Snapshot copies every counter, keyed by name; zero counters are included.
+func (g *Group) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(g.names))
+	for i, n := range g.names {
+		out[n] = g.counters[i].Value()
+	}
+	return out
+}
+
 // Registry is a fixed set of named endpoints. The set is established at
 // construction so lookups on the request path are map reads with no locking.
 type Registry struct {

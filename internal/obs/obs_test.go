@@ -142,3 +142,56 @@ func TestRegistryUnknownEndpointPanics(t *testing.T) {
 	}()
 	NewRegistry("a").Endpoint("b")
 }
+
+func TestGroupCountersAndSnapshot(t *testing.T) {
+	g := NewGroup("hits", "misses", "evictions")
+	g.C("hits").Inc()
+	g.C("hits").Inc()
+	g.C("misses").Add(5)
+	snap := g.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot keys %v, want all 3 (zeros included)", snap)
+	}
+	if snap["hits"] != 2 || snap["misses"] != 5 || snap["evictions"] != 0 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	// The same name must return the same counter.
+	if g.C("hits") != g.C("hits") {
+		t.Fatal("C not stable")
+	}
+}
+
+func TestGroupConcurrentIncrements(t *testing.T) {
+	g := NewGroup("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.C("n").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.C("n").Value(); v != 8000 {
+		t.Fatalf("count %d, want 8000", v)
+	}
+}
+
+func TestGroupUnknownAndDuplicatePanic(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unknown counter did not panic")
+			}
+		}()
+		NewGroup("a").C("b")
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	NewGroup("a", "a")
+}

@@ -37,6 +37,12 @@ func NewInstance(g *graph.Graph, rt *par.Runtime) *Instance {
 	return &Instance{G: g, RT: rt}
 }
 
+// NewInstanceWithHierarchy wraps a graph together with an already-built
+// hierarchy (e.g. loaded from a cache file), skipping the lazy construction.
+func NewInstanceWithHierarchy(g *graph.Graph, rt *par.Runtime, h *ch.Hierarchy) *Instance {
+	return &Instance{G: g, RT: rt, h: h}
+}
+
 // Hierarchy returns the instance's Component Hierarchy, building it on first
 // use (Kruskal construction; all constructions yield the same hierarchy).
 func (in *Instance) Hierarchy() *ch.Hierarchy {

@@ -1,0 +1,116 @@
+package stress
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/dijkstra"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+// checkEngine drives the query-execution engine (internal/engine) with a
+// concurrent mixed workload over one shared instance — duplicate queries
+// racing into the singleflight, repeats hitting the LRU cache, explicit
+// per-solver requests exercising every pooled fast path, and a batch running
+// beside the live queries — and verifies every answer against Dijkstra.
+// Meaningful under -race, like the other concurrency stages; it runs after
+// the differential stage, so a deliberately broken injected solver trips
+// that oracle first.
+func checkEngine(cfg Config, name string, g *graph.Graph, sources []int32, in *solver.Instance) *Failure {
+	n := g.NumVertices()
+	e := engine.New(in, engine.Config{CacheEntries: 8, BatchWorkers: 2, Solvers: cfg.Solvers})
+
+	oracle := func(srcs []int32) []int64 {
+		out := dijkstra.SSSP(g, srcs[0])
+		for _, s := range srcs[1:] {
+			for v, d := range dijkstra.SSSP(g, s) {
+				if d < out[v] {
+					out[v] = d
+				}
+			}
+		}
+		return out
+	}
+
+	type job struct {
+		label string
+		req   engine.Request
+		want  []int64
+	}
+	var jobs []job
+	add := func(label string, req engine.Request) {
+		jobs = append(jobs, job{label: label, req: req, want: oracle(req.Sources)})
+	}
+	srcs := raceSources(sources[0], n)
+	for _, s := range srcs {
+		// Three copies of each query race into the dedup/cache layers.
+		for c := 0; c < 3; c++ {
+			add(fmt.Sprintf("auto(src=%d)", s), engine.Request{Sources: []int32{s}})
+		}
+	}
+	for _, s := range cfg.Solvers {
+		if s.Applicable(g) {
+			add("explicit("+s.Name+")",
+				engine.Request{Sources: []int32{sources[0]}, Solver: s.Name})
+		}
+	}
+	if len(sources) > 1 {
+		add(fmt.Sprintf("multi(%v)", sources), engine.Request{Sources: sources})
+	}
+
+	fail := func(check, format string, args ...any) *Failure {
+		return &Failure{Check: check, Inst: name, Detail: fmt.Sprintf(format, args...), G: g, Sources: sources}
+	}
+	var (
+		mu    sync.Mutex
+		first *Failure
+	)
+	report := func(f *Failure) {
+		mu.Lock()
+		if first == nil {
+			first = f
+		}
+		mu.Unlock()
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			res, _, err := e.Query(ctx, j.req)
+			if err != nil {
+				report(fail("engine-mixed", "%s: %v", j.label, err))
+				return
+			}
+			if v := firstDiff(res.Dist, j.want); v >= 0 {
+				report(fail("engine-mixed", "%s: d[%d] = %d, want %d", j.label, v, res.Dist[v], j.want[v]))
+			}
+		}(j)
+	}
+	// One batch runs beside the live queries, sharing cache and flights.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reqs := make([]engine.Request, len(jobs))
+		for i, j := range jobs {
+			reqs[i] = j.req
+		}
+		for i, br := range e.Batch(ctx, reqs) {
+			if br.Err != nil {
+				report(fail("engine-mixed", "batch %s: %v", jobs[i].label, br.Err))
+				continue
+			}
+			if v := firstDiff(br.Res.Dist, jobs[i].want); v >= 0 {
+				report(fail("engine-mixed", "batch %s: d[%d] = %d, want %d",
+					jobs[i].label, v, br.Res.Dist[v], jobs[i].want[v]))
+			}
+		}
+	}()
+	wg.Wait()
+	return first
+}

@@ -18,6 +18,9 @@
 //     concurrent queries over one shared hierarchy (the paper's Figure 5
 //     workload) reproduce the serial answers — run under -race by `make
 //     stress`.
+//   - engine: the query-execution plane (internal/engine) answers a
+//     concurrent mixed workload — singleflight races, cache hits, explicit
+//     solvers, batches — identically to Dijkstra (engine.go).
 //
 // Failures are minimized by a built-in shrinker (shrink.go) and emitted as
 // self-contained DIMACS repro files (repro.go) that cmd/stress can replay.
@@ -276,6 +279,12 @@ func CheckInstance(cfg Config, rt *par.Runtime, name string, g *graph.Graph, sou
 				return fail("race-deltastep", "concurrent run %d (src %d): d[%d] = %d, want %d",
 					i, s, v, deltaRes[i][v], want[v])
 			}
+		}
+
+		// The query-execution engine under a concurrent mixed workload
+		// (dedup races, cache hits, batches) over the same instance.
+		if f := checkEngine(cfg, name, g, sources, in); f != nil {
+			return f
 		}
 	}
 	return nil
