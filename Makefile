@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine check stress fuzz experiments examples clean
+.PHONY: all build vet test race bench bench-engine bench-catalog check stress fuzz experiments examples clean
 
 all: build vet test
 
@@ -20,7 +20,8 @@ test:
 race:
 	$(GO) test -race ./internal/core ./internal/cc ./internal/deltastep \
 		./internal/par ./internal/bfs ./internal/mta ./internal/digraph \
-		./internal/obs ./internal/engine ./cmd/ssspd .
+		./internal/obs ./internal/engine ./internal/catalog ./internal/snapshot \
+		./cmd/ssspd .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -31,12 +32,20 @@ bench-engine:
 	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json \
 		$(GO) test -run TestWriteEngineBenchJSON -count=1 -v ./cmd/ssspd
 
+# Catalog comparison benchmarks (binary snapshot load vs text parse + CH
+# rebuild, warmed vs cold first query after a swap), written to
+# BENCH_catalog.json.
+bench-catalog:
+	BENCH_CATALOG_OUT=$(CURDIR)/BENCH_catalog.json \
+		$(GO) test -run TestWriteCatalogBenchJSON -count=1 -v ./internal/catalog
+
 # Fast pre-merge gate: static checks, the race detector over the concurrent
-# traversal core, the query engine, and the daemon middleware, and the seeded
-# stress sweep.
+# traversal core, the query engine, the graph catalog and snapshot format,
+# and the daemon middleware, and the seeded stress sweep.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/engine/... ./cmd/ssspd/...
+	$(GO) test -race ./internal/core/... ./internal/engine/... \
+		./internal/catalog/... ./internal/snapshot/... ./cmd/ssspd/...
 	$(MAKE) stress
 
 # Deterministic differential/metamorphic stress sweep, race-enabled: every

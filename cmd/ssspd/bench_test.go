@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/ch"
 	"repro/internal/engine"
 	"repro/internal/gen"
@@ -30,13 +31,16 @@ const benchQueries = 64
 func benchServer(tb testing.TB) (*httptest.Server, func()) {
 	tb.Helper()
 	g := gen.Random(1<<7, 1<<9, 1<<10, gen.UWD, 99)
-	srv := newServer(g, ch.BuildKruskal(g), "bench", 2, 256, time.Minute,
-		engine.Config{CacheEntries: 0}) // uncached: both sides pay every solve
+	srv := newServer(g, ch.BuildKruskal(g), "bench", catalog.Source{}, serverOptions{
+		workers: 2, maxInflight: 256, timeout: time.Minute,
+		engine: engine.Config{CacheEntries: 0}, // uncached: both sides pay every solve
+	})
 	ts := httptest.NewServer(srv.mux())
 	old := log.Writer()
 	log.SetOutput(io.Discard) // access logging still formats; don't spam stderr
 	return ts, func() {
 		ts.Close()
+		srv.cat.Close()
 		log.SetOutput(old)
 	}
 }

@@ -1,6 +1,6 @@
-// Command ssspd is a shortest-path query daemon: it loads (or generates) a
-// graph, builds the Component Hierarchy once, and serves concurrent queries
-// over HTTP — the service shape the paper's shared-CH design is made for
+// Command ssspd is a shortest-path query daemon: it serves a catalog of
+// graphs, each with a Component Hierarchy built once and queried many times
+// concurrently — the service shape the paper's shared-CH design is made for
 // (one immutable hierarchy, many simultaneous traversals, cheap per-query
 // state).
 //
@@ -8,8 +8,10 @@
 //
 //	ssspd -gen rand -logn 16 -addr :8080
 //	ssspd -graph city.gr -ch city.chb -workers 8 -max-inflight 64 -timeout 10s
+//	ssspd -snapshot city.snap -mem-budget 2147483648
 //
-// Endpoints (all return JSON):
+// Endpoints (all return JSON; query endpoints take ?graph=<name>, default
+// the startup graph):
 //
 //	GET  /sssp?src=17              distances summary + optional full vector
 //	GET  /sssp?src=17&full=1       include the distance vector
@@ -18,10 +20,17 @@
 //	GET  /st?s=17&t=99             one s-t distance (bidirectional Dijkstra)
 //	GET  /table?src=1,2&dst=3,4    many-to-many distance table
 //	POST /batch                    many queries in one request (JSON body)
-//	GET  /stats                    instance, hierarchy, and cache statistics
-//	GET  /metrics                  per-endpoint + engine metrics, Thorup trace
+//	GET  /graphs                   catalog listing: every graph's lifecycle state
+//	POST /graphs/load              admin: load a graph (snapshot, file, or generator)
+//	POST /graphs/reload            admin: rebuild a graph and hot-swap it in
+//	POST /graphs/unload            admin: drain a graph out of service
+//	GET  /stats                    instance, hierarchy, cache, and catalog statistics
+//	GET  /metrics                  per-endpoint + engine + catalog metrics, Thorup trace
 //	GET  /healthz                  liveness
 //
+// Graphs live in an internal/catalog: background workers build hierarchies
+// off the request path, swaps are atomic (in-flight queries finish on the
+// generation they acquired), and a -mem-budget evicts idle graphs LRU-first.
 // Query execution runs through the internal/engine query plane: pooled
 // solver state, singleflight deduplication of concurrent identical queries,
 // a bounded LRU result cache (-cache-entries / -cache-bytes), and a
@@ -43,25 +52,25 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/ch"
 	"repro/internal/cli"
 	"repro/internal/dijkstra"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/obs"
-	"repro/internal/par"
-	"repro/internal/solver"
+	"repro/internal/snapshot"
 )
 
 func main() {
 	var (
 		graphFile    = flag.String("graph", "", "DIMACS .gr input file")
+		snapFile     = flag.String("snapshot", "", "binary snapshot file for the startup graph (wins over -graph/-gen)")
 		genClass     = flag.String("gen", "rand", "generator: rand, rmat, grid, geometric, smallworld")
 		logN         = flag.Int("logn", 14, "generated size: n = 2^logn")
 		logC         = flag.Int("logc", 14, "generated weights: C = 2^logc")
@@ -72,18 +81,44 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline for query endpoints (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 64, "concurrent query admission limit; excess load is shed with 503")
 		drain        = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
-		cacheEntries = flag.Int("cache-entries", 256, "result cache capacity in distance vectors (0 disables)")
-		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte budget (0 = entry-bounded only)")
+		cacheEntries = flag.Int("cache-entries", 256, "result cache capacity in distance vectors per graph (0 disables)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte budget per graph (0 = entry-bounded only)")
+		memBudget    = flag.Int64("mem-budget", 0, "memory budget in bytes for ready graphs; idle graphs are evicted LRU-first beyond it (0 = unlimited)")
+		buildWorkers = flag.Int("build-workers", 2, "background graph build workers")
 	)
 	flag.Parse()
 
-	g, name, err := cli.Spec{File: *graphFile, Class: *genClass, LogN: *logN, LogC: *logC, Seed: *seed}.Load()
+	var (
+		g    *graph.Graph
+		h    *ch.Hierarchy
+		name string
+		src  catalog.Source
+		err  error
+	)
+	if *snapFile != "" {
+		g, h, err = snapshot.ReadFile(*snapFile)
+		name = *snapFile
+		src = catalog.Source{Snapshot: *snapFile}
+	} else {
+		spec := cli.Spec{File: *graphFile, Class: *genClass, LogN: *logN, LogC: *logC, Seed: *seed}
+		g, name, err = spec.Load()
+		if err == nil {
+			h = catalog.LoadOrBuildCH(g, *chFile, log.Printf)
+			src = catalog.Source{Spec: spec, CHCache: *chFile}
+		}
+	}
 	if err != nil {
 		log.Fatalf("ssspd: %v", err)
 	}
-	h := loadOrBuild(g, *chFile)
-	srv := newServer(g, h, name, *workers, *maxInflight, *timeout,
-		engine.Config{CacheEntries: *cacheEntries, CacheBytes: *cacheBytes})
+	srv := newServer(g, h, name, src, serverOptions{
+		workers:      *workers,
+		maxInflight:  *maxInflight,
+		timeout:      *timeout,
+		engine:       engine.Config{CacheEntries: *cacheEntries, CacheBytes: *cacheBytes},
+		memBudget:    *memBudget,
+		buildWorkers: *buildWorkers,
+	})
+	defer srv.cat.Close()
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -98,8 +133,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("ssspd: serving %s (n=%d m=%d, CH %d nodes) on %s (workers=%d max-inflight=%d timeout=%s cache=%d/%dB)",
-		name, g.NumVertices(), g.NumEdges(), h.NumNodes(), *addr, *workers, *maxInflight, *timeout, *cacheEntries, *cacheBytes)
+	log.Printf("ssspd: serving %s (n=%d m=%d, CH %d nodes) on %s (workers=%d max-inflight=%d timeout=%s cache=%d/%dB mem-budget=%d)",
+		name, g.NumVertices(), g.NumEdges(), h.NumNodes(), *addr, *workers, *maxInflight, *timeout, *cacheEntries, *cacheBytes, *memBudget)
 	if err := serve(ctx, hs, *drain); err != nil {
 		log.Fatalf("ssspd: %v", err)
 	}
@@ -138,88 +173,64 @@ func writeTimeout(queryTimeout time.Duration) time.Duration {
 	return queryTimeout + 30*time.Second
 }
 
-func loadOrBuild(g *graph.Graph, chFile string) *ch.Hierarchy {
-	if chFile != "" {
-		if f, err := os.Open(chFile); err == nil {
-			h, lerr := ch.ReadFrom(f, g)
-			f.Close()
-			if lerr == nil {
-				return h
-			}
-			log.Printf("ssspd: ignoring cache %s: %v", chFile, lerr)
-		}
-	}
-	h := ch.BuildKruskal(g)
-	if chFile != "" {
-		if err := writeCache(h, chFile); err != nil {
-			log.Printf("ssspd: cache write: %v", err)
-		}
-	}
-	return h
-}
-
-// writeCache persists the hierarchy atomically: serialise to a temp file in
-// the destination directory, fsync-close it, then rename into place. A crash
-// mid-write leaves the old cache (or nothing) — never a truncated file that
-// the next start would have to detect.
-func writeCache(h *ch.Hierarchy, chFile string) error {
-	dir := filepath.Dir(chFile)
-	f, err := os.CreateTemp(dir, filepath.Base(chFile)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if _, err := h.WriteTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, chFile); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
-}
-
 // maxBatchItems caps one /batch request; larger workloads should paginate
 // rather than hold one connection (and its admission token) for minutes.
 const maxBatchItems = 4096
 
-// server holds the shared immutable state and the query-execution engine
-// (pooling, deduplication, caching, batching, solver policy).
+// serverOptions bundles the daemon's tunables.
+type serverOptions struct {
+	workers      int
+	maxInflight  int
+	timeout      time.Duration
+	engine       engine.Config
+	memBudget    int64
+	buildWorkers int
+}
+
+// server fronts the graph catalog: every query resolves ?graph= (default:
+// the startup graph) to a catalog generation, runs against that generation's
+// private engine, and releases it when done — which is what lets reloads
+// swap generations under live traffic without failing a single query.
 type server struct {
-	g      *graph.Graph
-	h      *ch.Hierarchy
-	name   string
-	engine *engine.Engine
-	ecfg   engine.Config
+	cat          *catalog.Catalog
+	defaultGraph string
+	ecfg         engine.Config
 
 	metrics *obs.Registry
 	sem     chan struct{} // admission: one token per in-flight query
 	timeout time.Duration
 }
 
-func newServer(g *graph.Graph, h *ch.Hierarchy, name string, workers, maxInflight int, timeout time.Duration, ecfg engine.Config) *server {
-	if maxInflight < 1 {
-		maxInflight = 1
+func newServer(g *graph.Graph, h *ch.Hierarchy, name string, src catalog.Source, opts serverOptions) *server {
+	if opts.maxInflight < 1 {
+		opts.maxInflight = 1
 	}
-	if ecfg.BatchWorkers == 0 {
-		ecfg.BatchWorkers = workers
+	if opts.engine.BatchWorkers == 0 {
+		opts.engine.BatchWorkers = opts.workers
 	}
-	in := solver.NewInstanceWithHierarchy(g, par.NewExec(workers), h)
+	cat := catalog.New(catalog.Config{
+		Workers:      opts.buildWorkers,
+		MemoryBudget: opts.memBudget,
+		QueryWorkers: opts.workers,
+		Engine:       opts.engine,
+		Logf:         log.Printf,
+	})
+	if src.Loader == nil && src.Snapshot == "" && src.Spec == (cli.Spec{}) {
+		// No reloadable source (tests, programmatic construction): reloads
+		// reinstall the same prebuilt instance.
+		src = catalog.Source{Loader: func() (*graph.Graph, *ch.Hierarchy, error) { return g, h, nil }}
+	}
+	if _, err := cat.AddPrebuilt(name, src, g, h); err != nil {
+		panic(err) // fresh catalog: the only failure is a duplicate name
+	}
 	return &server{
-		g:       g,
-		h:       h,
-		name:    name,
-		engine:  engine.New(in, ecfg),
-		ecfg:    ecfg,
-		metrics: obs.NewRegistry("healthz", "stats", "metrics", "sssp", "dist", "st", "table", "batch"),
-		sem:     make(chan struct{}, maxInflight),
-		timeout: timeout,
+		cat:          cat,
+		defaultGraph: name,
+		ecfg:         opts.engine,
+		metrics: obs.NewRegistry("healthz", "stats", "metrics", "sssp", "dist", "st", "table", "batch",
+			"graphs", "graphs_load", "graphs_reload", "graphs_unload"),
+		sem:     make(chan struct{}, opts.maxInflight),
+		timeout: opts.timeout,
 	}
 }
 
@@ -235,6 +246,10 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /st", s.instrument("st", true, s.handleST))
 	m.HandleFunc("GET /table", s.instrument("table", true, s.handleTable))
 	m.HandleFunc("POST /batch", s.instrument("batch", true, s.handleBatch))
+	m.HandleFunc("GET /graphs", s.instrument("graphs", false, s.handleGraphs))
+	m.HandleFunc("POST /graphs/load", s.instrument("graphs_load", false, s.handleGraphLoad))
+	m.HandleFunc("POST /graphs/reload", s.instrument("graphs_reload", false, s.handleGraphReload))
+	m.HandleFunc("POST /graphs/unload", s.instrument("graphs_unload", false, s.handleGraphUnload))
 	return m
 }
 
@@ -327,6 +342,34 @@ func (w *statusWriter) Status() int {
 	return w.status
 }
 
+// graphFor resolves ?graph= (default: the startup graph) to an acquired
+// catalog generation. On failure the HTTP error is already written: 404 for
+// a name the catalog has never seen, 500 for a failed load, 503 +
+// Retry-After while loading/building/draining/evicted.
+func (s *server) graphFor(w http.ResponseWriter, r *http.Request) (*catalog.Generation, func(), bool) {
+	name := r.URL.Query().Get("graph")
+	if name == "" {
+		name = s.defaultGraph
+	}
+	gen, release, err := s.cat.Acquire(name)
+	if err == nil {
+		return gen, release, true
+	}
+	var nr *catalog.NotReadyError
+	switch {
+	case errors.Is(err, catalog.ErrUnknownGraph):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.As(err, &nr) && nr.State == catalog.StateFailed:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	case errors.As(err, &nr):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+	return nil, nil, false
+}
+
 // queryError is a handler result that should be written as an HTTP error
 // instead of a 200 body.
 type queryError struct {
@@ -351,14 +394,21 @@ func errResp(err error) any {
 // error for a queryError result), answering 504 if the request's deadline
 // expires first. A traversal cannot be cancelled mid-flight, so on timeout
 // fn keeps running in the background — its result still lands in the engine
-// cache — while the client is unblocked immediately.
-func runWithDeadline(w http.ResponseWriter, r *http.Request, fn func() any) {
+// cache — while the client is unblocked immediately. release (idempotent) is
+// invoked when fn completes, not when the client is answered: a query that
+// outlives its deadline keeps its generation reference until it finishes, so
+// a concurrent swap's drain waits for it.
+func runWithDeadline(w http.ResponseWriter, r *http.Request, release func(), fn func() any) {
 	if err := r.Context().Err(); err != nil {
+		release()
 		httpError(w, http.StatusGatewayTimeout, "deadline exceeded before query start")
 		return
 	}
 	done := make(chan any, 1)
-	go func() { done <- fn() }()
+	go func() {
+		defer release()
+		done <- fn()
+	}()
 	select {
 	case resp := <-done:
 		if qe, ok := resp.(queryError); ok {
@@ -371,11 +421,12 @@ func runWithDeadline(w http.ResponseWriter, r *http.Request, fn func() any) {
 	}
 }
 
-// query runs one engine query under the request's deadline and shapes the
-// response with fn.
-func (s *server) query(w http.ResponseWriter, r *http.Request, req engine.Request, fn func(res *engine.Result, via engine.Via) any) {
-	runWithDeadline(w, r, func() any {
-		res, via, err := s.engine.Query(r.Context(), req)
+// query runs one engine query on the acquired generation under the request's
+// deadline and shapes the response with fn.
+func (s *server) query(w http.ResponseWriter, r *http.Request, gen *catalog.Generation, release func(),
+	req engine.Request, fn func(res *engine.Result, via engine.Via) any) {
+	runWithDeadline(w, r, release, func() any {
+		res, via, err := gen.Engine.Query(r.Context(), req)
 		if err != nil {
 			return errResp(err)
 		}
@@ -384,33 +435,47 @@ func (s *server) query(w http.ResponseWriter, r *http.Request, req engine.Reques
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.h.ComputeStats()
+	gen, release, ok := s.graphFor(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	st := gen.H.ComputeStats()
 	writeJSON(w, map[string]any{
-		"instance":      s.name,
-		"vertices":      s.g.NumVertices(),
-		"edges":         s.g.NumEdges(),
-		"maxWeight":     s.g.MaxWeight(),
+		"instance":      gen.Name,
+		"generation":    gen.Gen,
+		"vertices":      gen.G.NumVertices(),
+		"edges":         gen.G.NumEdges(),
+		"maxWeight":     gen.G.MaxWeight(),
 		"chNodes":       st.Components,
 		"chHeight":      st.Height,
 		"chAvgChildren": st.AvgChildren,
 		"chBytes":       st.CHBytes,
 		// Arithmetic from the hierarchy's dimensions — no query allocation.
-		"instanceBytes":   s.engine.InstanceBytes(),
+		"instanceBytes":   gen.Engine.InstanceBytes(),
 		"cacheMaxEntries": s.ecfg.CacheEntries,
 		"cacheMaxBytes":   s.ecfg.CacheBytes,
 		"batchWorkers":    s.ecfg.BatchWorkers,
+		"catalog":         s.cat.StatsSnapshot(),
 	})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	agg, runs := s.engine.ThorupTrace()
-	writeJSON(w, map[string]any{
-		"instance":       s.name,
+	doc := map[string]any{
+		"instance":       s.defaultGraph,
 		"uptime_seconds": s.metrics.UptimeSeconds(),
 		"inflight_limit": cap(s.sem),
 		"endpoints":      s.metrics.Snapshot(),
-		"engine":         s.engine.StatsSnapshot(),
-		"thorup": map[string]any{
+		"catalog":        s.cat.StatsSnapshot(),
+	}
+	// Engine and Thorup sections come from the default graph's current
+	// generation; while it is unavailable (draining, reloading after a
+	// failure) the catalog-level metrics above still serve.
+	if gen, release, err := s.cat.Acquire(s.defaultGraph); err == nil {
+		agg, runs := gen.Engine.ThorupTrace()
+		doc["generation"] = gen.Gen
+		doc["engine"] = gen.Engine.StatsSnapshot()
+		doc["thorup"] = map[string]any{
 			"queries":             runs,
 			"settled":             agg.Settled,
 			"relaxations":         agg.Relaxations,
@@ -421,8 +486,106 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"gather_taken":        agg.GatherTaken,
 			"bucket_advances":     agg.BucketAdvances,
 			"max_tovisit":         agg.MaxTovisit,
-		},
+		}
+		release()
+	}
+	writeJSON(w, doc)
+}
+
+func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"default": s.defaultGraph,
+		"graphs":  s.cat.Status(),
 	})
+}
+
+// loadRequest is the /graphs/load body: a name plus a source — a snapshot
+// path, a DIMACS file, or a generator spec (with an optional CH cache file).
+type loadRequest struct {
+	Name     string `json:"name"`
+	Snapshot string `json:"snapshot,omitempty"`
+	File     string `json:"file,omitempty"`
+	Class    string `json:"class,omitempty"`
+	LogN     int    `json:"logn,omitempty"`
+	LogC     int    `json:"logc,omitempty"`
+	PWD      bool   `json:"pwd,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	CH       string `json:"ch,omitempty"`
+}
+
+func decodeAdminBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// adminError maps a catalog admin error: unknown names are 404, lifecycle
+// conflicts (already loaded, mid-build, draining) are 409.
+func adminError(w http.ResponseWriter, err error) {
+	if errors.Is(err, catalog.ErrUnknownGraph) {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	httpError(w, http.StatusConflict, err.Error())
+}
+
+func (s *server) handleGraphLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if !decodeAdminBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, "name required")
+		return
+	}
+	if req.Snapshot == "" && req.File == "" && req.Class == "" {
+		httpError(w, http.StatusBadRequest, "source required: snapshot, file, or class")
+		return
+	}
+	src := catalog.Source{
+		Snapshot: req.Snapshot,
+		Spec:     cli.Spec{File: req.File, Class: req.Class, LogN: req.LogN, LogC: req.LogC, PWD: req.PWD, Seed: req.Seed},
+		CHCache:  req.CH,
+	}
+	if err := s.cat.Load(req.Name, src); err != nil {
+		adminError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]string{"status": "loading", "name": req.Name})
+}
+
+type nameRequest struct {
+	Name string `json:"name"`
+}
+
+func (s *server) handleGraphReload(w http.ResponseWriter, r *http.Request) {
+	var req nameRequest
+	if !decodeAdminBody(w, r, &req) {
+		return
+	}
+	if err := s.cat.Reload(req.Name); err != nil {
+		adminError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]string{"status": "reloading", "name": req.Name})
+}
+
+func (s *server) handleGraphUnload(w http.ResponseWriter, r *http.Request) {
+	var req nameRequest
+	if !decodeAdminBody(w, r, &req) {
+		return
+	}
+	if err := s.cat.Unload(req.Name); err != nil {
+		adminError(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "unloading", "name": req.Name})
 }
 
 // summary is the common response shape of one answered query.
@@ -436,13 +599,18 @@ func summary(res *engine.Result, via engine.Via) map[string]any {
 }
 
 func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
-	src, ok := s.vertexParam(w, r, "src")
+	gen, release, ok := s.graphFor(w, r)
 	if !ok {
+		return
+	}
+	src, ok := vertexParam(w, r, "src", gen.G)
+	if !ok {
+		release()
 		return
 	}
 	full := r.URL.Query().Get("full") == "1"
 	req := engine.Request{Sources: []int32{src}, Solver: r.URL.Query().Get("solver")}
-	s.query(w, r, req, func(res *engine.Result, via engine.Via) any {
+	s.query(w, r, gen, release, req, func(res *engine.Result, via engine.Via) any {
 		resp := summary(res, via)
 		resp["src"] = src
 		if full {
@@ -455,16 +623,22 @@ func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
-	src, ok := s.vertexParam(w, r, "src")
+	gen, release, ok := s.graphFor(w, r)
 	if !ok {
 		return
 	}
-	dst, ok := s.vertexParam(w, r, "dst")
+	src, ok := vertexParam(w, r, "src", gen.G)
 	if !ok {
+		release()
+		return
+	}
+	dst, ok := vertexParam(w, r, "dst", gen.G)
+	if !ok {
+		release()
 		return
 	}
 	req := engine.Request{Sources: []int32{src}, Solver: r.URL.Query().Get("solver")}
-	s.query(w, r, req, func(res *engine.Result, via engine.Via) any {
+	s.query(w, r, gen, release, req, func(res *engine.Result, via engine.Via) any {
 		d := res.Dist[dst]
 		return map[string]any{
 			"src": src, "dst": dst,
@@ -475,30 +649,43 @@ func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleST(w http.ResponseWriter, r *http.Request) {
-	src, ok := s.vertexParam(w, r, "s")
+	gen, release, ok := s.graphFor(w, r)
 	if !ok {
 		return
 	}
-	dst, ok := s.vertexParam(w, r, "t")
+	src, ok := vertexParam(w, r, "s", gen.G)
 	if !ok {
+		release()
 		return
 	}
-	runWithDeadline(w, r, func() any {
-		d := dijkstra.STDistance(s.g, src, dst)
+	dst, ok := vertexParam(w, r, "t", gen.G)
+	if !ok {
+		release()
+		return
+	}
+	runWithDeadline(w, r, release, func() any {
+		d := dijkstra.STDistance(gen.G, src, dst)
 		return map[string]any{"s": src, "t": dst, "dist": jsonDist(d), "reachable": d < graph.Inf}
 	})
 }
 
 func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
-	sources, ok := s.vertexListParam(w, r, "src")
+	gen, release, ok := s.graphFor(w, r)
 	if !ok {
 		return
 	}
-	targets, ok := s.vertexListParam(w, r, "dst")
+	sources, ok := vertexListParam(w, r, "src", gen.G)
 	if !ok {
+		release()
+		return
+	}
+	targets, ok := vertexListParam(w, r, "dst", gen.G)
+	if !ok {
+		release()
 		return
 	}
 	if len(sources)*len(targets) > 1<<20 {
+		release()
 		httpError(w, http.StatusBadRequest, "table too large")
 		return
 	}
@@ -509,8 +696,8 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	for i, src := range sources {
 		reqs[i] = engine.Request{Sources: []int32{src}, Solver: solverName}
 	}
-	runWithDeadline(w, r, func() any {
-		results := s.engine.Batch(r.Context(), reqs)
+	runWithDeadline(w, r, release, func() any {
+		results := gen.Engine.Batch(r.Context(), reqs)
 		out := make([][]int64, len(results))
 		for i, br := range results {
 			if br.Err != nil {
@@ -542,18 +729,25 @@ type batchRequest struct {
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	gen, release, ok := s.graphFor(w, r)
+	if !ok {
+		return
+	}
 	var breq batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&breq); err != nil {
+		release()
 		httpError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
 		return
 	}
 	if len(breq.Queries) == 0 {
+		release()
 		httpError(w, http.StatusBadRequest, "batch has no queries")
 		return
 	}
 	if len(breq.Queries) > maxBatchItems {
+		release()
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch too large: %d queries (max %d)", len(breq.Queries), maxBatchItems))
 		return
 	}
@@ -569,8 +763,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = engine.Request{Sources: srcs, Solver: name}
 	}
-	runWithDeadline(w, r, func() any {
-		results := s.engine.Batch(r.Context(), reqs)
+	runWithDeadline(w, r, release, func() any {
+		results := gen.Engine.Batch(r.Context(), reqs)
 		out := make([]map[string]any, len(results))
 		for i, br := range results {
 			if br.Err != nil {
@@ -588,17 +782,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) vertexParam(w http.ResponseWriter, r *http.Request, name string) (int32, bool) {
+func vertexParam(w http.ResponseWriter, r *http.Request, name string, g *graph.Graph) (int32, bool) {
 	raw := r.URL.Query().Get(name)
 	v, err := strconv.ParseInt(raw, 10, 32)
-	if err != nil || v < 0 || int(v) >= s.g.NumVertices() {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("parameter %q must be a vertex in [0,%d)", name, s.g.NumVertices()))
+	if err != nil || v < 0 || int(v) >= g.NumVertices() {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parameter %q must be a vertex in [0,%d)", name, g.NumVertices()))
 		return 0, false
 	}
 	return int32(v), true
 }
 
-func (s *server) vertexListParam(w http.ResponseWriter, r *http.Request, name string) ([]int32, bool) {
+func vertexListParam(w http.ResponseWriter, r *http.Request, name string, g *graph.Graph) ([]int32, bool) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("parameter %q required (comma-separated vertices)", name))
@@ -608,7 +802,7 @@ func (s *server) vertexListParam(w http.ResponseWriter, r *http.Request, name st
 	out := make([]int32, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
-		if err != nil || v < 0 || int(v) >= s.g.NumVertices() {
+		if err != nil || v < 0 || int(v) >= g.NumVertices() {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad vertex %q in %q", p, name))
 			return nil, false
 		}

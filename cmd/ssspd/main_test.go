@@ -7,7 +7,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -15,6 +14,7 @@ import (
 
 	"bytes"
 
+	"repro/internal/catalog"
 	"repro/internal/ch"
 	"repro/internal/core"
 	"repro/internal/dijkstra"
@@ -22,6 +22,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/snapshot"
 )
 
 func testGraph() (*graph.Graph, *ch.Hierarchy) {
@@ -32,8 +33,11 @@ func testGraph() (*graph.Graph, *ch.Hierarchy) {
 func testServerOpts(t *testing.T, maxInflight int, timeout time.Duration) (*httptest.Server, *server, *graph.Graph) {
 	t.Helper()
 	g, h := testGraph()
-	srv := newServer(g, h, "test-instance", 4, maxInflight, timeout,
-		engine.Config{CacheEntries: 64, CacheBytes: 8 << 20})
+	srv := newServer(g, h, "test-instance", catalog.Source{}, serverOptions{
+		workers: 4, maxInflight: maxInflight, timeout: timeout,
+		engine: engine.Config{CacheEntries: 64, CacheBytes: 8 << 20},
+	})
+	t.Cleanup(srv.cat.Close)
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
 	return ts, srv, g
@@ -77,6 +81,13 @@ func TestHealthAndStats(t *testing.T) {
 	if stats["instanceBytes"].(float64) <= 0 {
 		t.Fatalf("instanceBytes %v", stats["instanceBytes"])
 	}
+	cat, ok := stats["catalog"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing catalog section: %v", stats["catalog"])
+	}
+	if cat["graphs"].(float64) != 1 || cat["ready"].(float64) != 1 {
+		t.Fatalf("catalog occupancy: %v", cat)
+	}
 }
 
 // /stats must report the same instance footprint as an allocated query would,
@@ -89,7 +100,12 @@ func TestStatsInstanceBytesMatchesQuery(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
 		t.Fatalf("stats: %d", code)
 	}
-	if want := core.NewSolver(srv.h, par.NewExec(1)).Query().InstanceBytes(); stats.InstanceBytes != want {
+	gen1, release, err := srv.cat.Acquire(srv.defaultGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if want := core.NewSolver(gen1.H, par.NewExec(1)).Query().InstanceBytes(); stats.InstanceBytes != want {
 		t.Fatalf("instanceBytes %d, want %d", stats.InstanceBytes, want)
 	}
 }
@@ -124,7 +140,9 @@ func TestSSSPEndpoint(t *testing.T) {
 func TestSSSPFullUnreachableIsMinusOne(t *testing.T) {
 	// Two-vertex graph with a single self-loop: vertex 1 is unreachable.
 	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 0, W: 5}})
-	srv := newServer(g, ch.BuildKruskal(g), "disconnected", 2, 8, time.Minute, engine.Config{})
+	srv := newServer(g, ch.BuildKruskal(g), "disconnected", catalog.Source{},
+		serverOptions{workers: 2, maxInflight: 8, timeout: time.Minute})
+	t.Cleanup(srv.cat.Close)
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 	var resp struct {
@@ -198,7 +216,9 @@ func TestBadRequests(t *testing.T) {
 // A src×dst product beyond the limit must be rejected before any work runs.
 func TestTableTooLarge(t *testing.T) {
 	g := gen.Random(500, 2000, 1<<10, gen.UWD, 7)
-	srv := newServer(g, ch.BuildKruskal(g), "big-table", 2, 8, time.Minute, engine.Config{})
+	srv := newServer(g, ch.BuildKruskal(g), "big-table", catalog.Source{},
+		serverOptions{workers: 2, maxInflight: 8, timeout: time.Minute})
+	t.Cleanup(srv.cat.Close)
 	// 500 sources x 500 targets = 250000 <= 1<<20 is fine; force the limit
 	// down by hitting the real one: build a 1049-long src list crossing a
 	// 1000-long dst list (1049*1000 > 1<<20) from in-range vertices.
@@ -312,7 +332,8 @@ func TestQueryTimeout(t *testing.T) {
 }
 
 // /metrics reflects per-endpoint requests, status classes, latency
-// histograms, and the aggregated Thorup trace of completed queries.
+// histograms, the aggregated Thorup trace of completed queries, and the
+// catalog counters.
 func TestMetricsEndpoint(t *testing.T) {
 	ts, _, g := testServerOpts(t, 8, time.Minute)
 	// Distinct sources pinned to the Thorup solver: the cache must not
@@ -331,6 +352,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	var m struct {
 		Instance      string  `json:"instance"`
+		Generation    uint64  `json:"generation"`
 		UptimeSeconds float64 `json:"uptime_seconds"`
 		InflightLimit int     `json:"inflight_limit"`
 		Endpoints     map[string]struct {
@@ -345,6 +367,11 @@ func TestMetricsEndpoint(t *testing.T) {
 				} `json:"buckets"`
 			} `json:"latency"`
 		} `json:"endpoints"`
+		Catalog struct {
+			Graphs int64 `json:"graphs"`
+			Ready  int64 `json:"ready"`
+			Swaps  int64 `json:"swaps"`
+		} `json:"catalog"`
 		Engine struct {
 			Solves      int64            `json:"solves"`
 			CacheMisses int64            `json:"cache_misses"`
@@ -364,7 +391,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
 		t.Fatalf("metrics: %d", code)
 	}
-	if m.Instance != "test-instance" || m.InflightLimit != 8 {
+	if m.Instance != "test-instance" || m.InflightLimit != 8 || m.Generation != 1 {
 		t.Fatalf("identity fields: %+v", m)
 	}
 	ep := m.Endpoints["sssp"]
@@ -383,6 +410,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m.Engine.Solves != 3 || m.Engine.CacheMisses != 3 || m.Engine.SolverRuns["thorup"] != 3 {
 		t.Fatalf("engine metrics: %+v", m.Engine)
+	}
+	if m.Catalog.Graphs != 1 || m.Catalog.Ready != 1 || m.Catalog.Swaps != 1 {
+		t.Fatalf("catalog metrics: %+v", m.Catalog)
 	}
 }
 
@@ -425,53 +455,157 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 }
 
-// The CH cache must be written atomically (temp + rename, no stray files)
-// and load back identically.
-func TestCacheAtomicWriteAndReload(t *testing.T) {
-	g, h := testGraph()
-	dir := t.TempDir()
-	cache := filepath.Join(dir, "test.chb")
+// A second graph loaded through the admin API serves under ?graph= with
+// correct answers, independent of the default graph; reload advances its
+// generation and unload takes it back out of service.
+func TestMultiGraphServing(t *testing.T) {
+	ts, srv, _ := testServerOpts(t, 64, 30*time.Second)
 
-	h1 := loadOrBuild(g, cache) // builds and writes
-	if h1.NumNodes() != h.NumNodes() {
-		t.Fatalf("built hierarchy differs: %d vs %d nodes", h1.NumNodes(), h.NumNodes())
+	// Unknown name: 404 before any work runs.
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/sssp?src=0&graph=nope", &e); code != http.StatusNotFound {
+		t.Fatalf("unknown graph: code %d, want 404", code)
 	}
-	entries, err := os.ReadDir(dir)
+
+	// Load a second, different graph from a snapshot so the test knows its
+	// exact contents.
+	g2 := gen.Random(300, 1200, 1<<10, gen.UWD, 99)
+	h2 := ch.BuildKruskal(g2)
+	snap := filepath.Join(t.TempDir(), "g2.snap")
+	if err := snapshot.WriteFile(snap, g2, h2); err != nil {
+		t.Fatal(err)
+	}
+	var loadResp map[string]string
+	body := fmt.Sprintf(`{"name":"g2","snapshot":%q}`, snap)
+	if code := postJSON(t, ts.URL+"/graphs/load", body, &loadResp); code != http.StatusAccepted {
+		t.Fatalf("load: code %d (%v), want 202", code, loadResp)
+	}
+	if err := srv.cat.WaitReady("g2", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second graph answers under its own name, exactly per Dijkstra on it.
+	var resp struct {
+		Reached int     `json:"reached"`
+		Dist    []int64 `json:"dist"`
+	}
+	if code := getJSON(t, ts.URL+"/sssp?src=3&full=1&graph=g2", &resp); code != 200 {
+		t.Fatalf("g2 query: code %d", code)
+	}
+	want := dijkstra.SSSP(g2, 3)
+	if len(resp.Dist) != g2.NumVertices() {
+		t.Fatalf("g2 dist length %d, want %d", len(resp.Dist), g2.NumVertices())
+	}
+	for v, w := range want {
+		if w == graph.Inf {
+			w = -1
+		}
+		if resp.Dist[v] != w {
+			t.Fatalf("g2 dist[%d]=%d want %d", v, resp.Dist[v], w)
+		}
+	}
+	// The default graph still serves without ?graph=.
+	var def map[string]any
+	if code := getJSON(t, ts.URL+"/sssp?src=3", &def); code != 200 {
+		t.Fatalf("default graph: code %d", code)
+	}
+
+	// /graphs lists both graphs as ready.
+	var listing struct {
+		Default string `json:"default"`
+		Graphs  []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+			Gen   uint64 `json:"gen"`
+		} `json:"graphs"`
+	}
+	if code := getJSON(t, ts.URL+"/graphs", &listing); code != 200 {
+		t.Fatalf("graphs: code %d", code)
+	}
+	if listing.Default != "test-instance" || len(listing.Graphs) != 2 {
+		t.Fatalf("graphs listing: %+v", listing)
+	}
+	for _, gs := range listing.Graphs {
+		if gs.State != "ready" {
+			t.Fatalf("graph %s state %s, want ready", gs.Name, gs.State)
+		}
+	}
+
+	// Reload hot-swaps in a new generation.
+	if code := postJSON(t, ts.URL+"/graphs/reload", `{"name":"g2"}`, &map[string]string{}); code != http.StatusAccepted {
+		t.Fatalf("reload: code %d, want 202", code)
+	}
+	if err := srv.cat.WaitReady("g2", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gen2, release, err := srv.cat.Acquire("g2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != "test.chb" {
-		t.Fatalf("cache dir should hold exactly test.chb, got %v", entries)
+	if gen2.Gen != 2 {
+		t.Fatalf("after reload gen %d, want 2", gen2.Gen)
 	}
+	release()
 
-	h2 := loadOrBuild(g, cache) // loads from cache
-	if h2.NumNodes() != h1.NumNodes() || h2.Root() != h1.Root() {
-		t.Fatalf("reloaded hierarchy differs")
+	// Unload drains it out of service: queries stop with 503 (evicted), the
+	// default graph is untouched.
+	if code := postJSON(t, ts.URL+"/graphs/unload", `{"name":"g2"}`, &map[string]string{}); code != 200 {
+		t.Fatalf("unload: code %d, want 200", code)
 	}
-
-	// A corrupt (truncated) cache is ignored and rebuilt, not fatal.
-	if err := os.WriteFile(cache, []byte("garbage"), 0o644); err != nil {
-		t.Fatal(err)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var e map[string]string
+		code := getJSON(t, ts.URL+"/sssp?src=0&graph=g2", &e)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("g2 still answering %d after unload", code)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
-	h3 := loadOrBuild(g, cache)
-	if h3.NumNodes() != h1.NumNodes() {
-		t.Fatalf("rebuild after corruption differs")
+	if code := getJSON(t, ts.URL+"/sssp?src=3", &def); code != 200 {
+		t.Fatalf("default graph after unload: code %d", code)
 	}
 }
 
-// writeCache must not leave a temp file behind when serialisation fails.
-func TestWriteCacheCleansUpOnError(t *testing.T) {
-	g, h := testGraph()
-	dir := t.TempDir()
-	// Writing into a path whose parent is a file forces CreateTemp to fail.
-	if err := writeCache(h, filepath.Join(dir, "missing", "x.chb")); err == nil {
-		t.Fatal("expected error for unwritable directory")
+// Admin endpoint validation: malformed bodies and lifecycle conflicts map to
+// the right status codes, and a generator-source load works end to end.
+func TestGraphAdminValidation(t *testing.T) {
+	ts, srv, _ := testServerOpts(t, 64, 30*time.Second)
+	for _, tc := range []struct {
+		path, body string
+		want       int
+	}{
+		{"/graphs/load", `not json`, http.StatusBadRequest},
+		{"/graphs/load", `{"snapshot":"x.snap"}`, http.StatusBadRequest},                 // no name
+		{"/graphs/load", `{"name":"x"}`, http.StatusBadRequest},                          // no source
+		{"/graphs/load", `{"name":"test-instance","class":"rand"}`, http.StatusConflict}, // already loaded
+		{"/graphs/reload", `{"name":"nope"}`, http.StatusNotFound},
+		{"/graphs/unload", `{"name":"nope"}`, http.StatusNotFound},
+	} {
+		var e map[string]string
+		if code := postJSON(t, ts.URL+tc.path, tc.body, &e); code != tc.want {
+			t.Errorf("%s %s: code %d, want %d (%v)", tc.path, tc.body, code, tc.want, e)
+		} else if e["error"] == "" {
+			t.Errorf("%s %s: missing error message", tc.path, tc.body)
+		}
 	}
-	entries, _ := os.ReadDir(dir)
-	if len(entries) != 0 {
-		t.Fatalf("stray files: %v", entries)
+
+	// A generator-described source loads in the background and serves.
+	body := `{"name":"little","class":"rand","logn":8,"logc":8,"seed":3}`
+	if code := postJSON(t, ts.URL+"/graphs/load", body, &map[string]string{}); code != http.StatusAccepted {
+		t.Fatalf("generator load: code %d, want 202", code)
 	}
-	_ = g
+	if err := srv.cat.WaitReady("little", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		Reached int `json:"reached"`
+	}
+	if code := getJSON(t, ts.URL+"/sssp?src=0&graph=little", &resp); code != 200 || resp.Reached <= 0 {
+		t.Fatalf("generator graph query: code %d reached %d", code, resp.Reached)
+	}
 }
 
 // Shutdown must drain in-flight requests: a request that is mid-handler when
@@ -547,7 +681,9 @@ func TestServeHelperShutsDownCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	g, h := testGraph()
-	srv := newServer(g, h, "drain-test", 2, 8, time.Minute, engine.Config{})
+	srv := newServer(g, h, "drain-test", catalog.Source{},
+		serverOptions{workers: 2, maxInflight: 8, timeout: time.Minute})
+	t.Cleanup(srv.cat.Close)
 	// serve() uses hs.ListenAndServe; grab a free port for it.
 	addr := ln.Addr().String()
 	ln.Close()

@@ -1,0 +1,63 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/ch"
+	"repro/internal/graph"
+)
+
+// LoadOrBuildCH returns the graph's Component Hierarchy, preferring the
+// cache file when it exists and matches. A cache built for a different graph
+// — the stored fingerprint (n, m, CSR checksum) disagrees with g — or a
+// pre-fingerprint cache is refused by ch.ReadFrom with a clear error; the
+// refusal is logged and the hierarchy rebuilt, so a stale cache can slow a
+// start but never produce wrong answers. A fresh build is written back to
+// the cache path (best-effort).
+func LoadOrBuildCH(g *graph.Graph, chFile string, logf func(string, ...any)) *ch.Hierarchy {
+	if chFile != "" {
+		if f, err := os.Open(chFile); err == nil {
+			h, lerr := ch.ReadFrom(f, g)
+			f.Close()
+			if lerr == nil {
+				return h
+			}
+			logf("catalog: refusing CH cache %s: %v (rebuilding)", chFile, lerr)
+		}
+	}
+	h := ch.BuildKruskal(g)
+	if chFile != "" {
+		if err := WriteCHCache(h, chFile); err != nil {
+			logf("catalog: CH cache write: %v", err)
+		}
+	}
+	return h
+}
+
+// WriteCHCache persists the hierarchy atomically: serialise to a temp file
+// in the destination directory, close it, then rename into place. A crash
+// mid-write leaves the old cache (or nothing) — never a truncated file that
+// the next start would have to detect.
+func WriteCHCache(h *ch.Hierarchy, chFile string) error {
+	dir := filepath.Dir(chFile)
+	f, err := os.CreateTemp(dir, filepath.Base(chFile)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := h.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, chFile); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/gen"
+)
+
+// The CH cache must be written atomically (temp + rename, no stray files)
+// and load back identically.
+func TestCacheAtomicWriteAndReload(t *testing.T) {
+	g := gen.Random(500, 2000, 1<<10, gen.UWD, 7)
+	h := ch.BuildKruskal(g)
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "test.chb")
+
+	h1 := LoadOrBuildCH(g, cache, t.Logf) // builds and writes
+	if h1.NumNodes() != h.NumNodes() {
+		t.Fatalf("built hierarchy differs: %d vs %d nodes", h1.NumNodes(), h.NumNodes())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "test.chb" {
+		t.Fatalf("cache dir should hold exactly test.chb, got %v", entries)
+	}
+
+	h2 := LoadOrBuildCH(g, cache, t.Logf) // loads from cache
+	if h2.NumNodes() != h1.NumNodes() || h2.Root() != h1.Root() {
+		t.Fatalf("reloaded hierarchy differs")
+	}
+
+	// A corrupt (truncated) cache is ignored and rebuilt, not fatal.
+	if err := os.WriteFile(cache, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h3 := LoadOrBuildCH(g, cache, t.Logf)
+	if h3.NumNodes() != h1.NumNodes() {
+		t.Fatalf("rebuild after corruption differs")
+	}
+}
+
+// A cache built for a different graph must be refused — the stored
+// fingerprint disagrees — and the hierarchy rebuilt for the right graph.
+func TestCacheRefusesWrongGraph(t *testing.T) {
+	g1 := gen.Random(500, 2000, 1<<10, gen.UWD, 7)
+	g2 := gen.Random(500, 2000, 1<<10, gen.UWD, 8) // same shape, different weights
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "g1.chb")
+
+	LoadOrBuildCH(g1, cache, t.Logf) // seeds the cache with g1's hierarchy
+
+	refused := false
+	logf := func(format string, args ...any) {
+		refused = true
+		t.Logf(format, args...)
+	}
+	h := LoadOrBuildCH(g2, cache, logf)
+	if !refused {
+		t.Fatal("mismatched cache was not refused")
+	}
+	if h.Graph() != g2 {
+		t.Fatal("rebuilt hierarchy not bound to the requested graph")
+	}
+	// The rebuild overwrote the cache; loading for g2 is now clean.
+	refused = false
+	LoadOrBuildCH(g2, cache, logf)
+	if refused {
+		t.Fatal("freshly rewritten cache refused")
+	}
+}
+
+// WriteCHCache must not leave a temp file behind when serialisation fails.
+func TestWriteCHCacheCleansUpOnError(t *testing.T) {
+	g := gen.Random(500, 2000, 1<<10, gen.UWD, 7)
+	h := ch.BuildKruskal(g)
+	dir := t.TempDir()
+	// Writing into a path whose parent is a file forces CreateTemp to fail.
+	if err := WriteCHCache(h, filepath.Join(dir, "missing", "x.chb")); err == nil {
+		t.Fatal("expected error for unwritable directory")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("stray files: %v", entries)
+	}
+}

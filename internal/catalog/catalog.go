@@ -1,0 +1,661 @@
+// Package catalog manages a set of named shortest-path instances — graph,
+// Component Hierarchy, and query engine — behind one serving surface. The
+// paper's two-phase shape (build the hierarchy once, answer many queries)
+// makes the build the expensive step, so the catalog keeps it entirely off
+// the request path: background workers load snapshots or build hierarchies,
+// warm the fresh engine, and then install the result with a single atomic
+// generation swap. In-flight queries keep the generation they acquired until
+// they release it, so a reload never fails a running query and never lets a
+// query observe a mix of old and new state.
+//
+// Each graph moves through an explicit lifecycle (see State), and the
+// catalog enforces a memory budget by evicting the least-recently-used idle
+// graph; evicted graphs remember their source and can be loaded again on
+// demand.
+package catalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/cli"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/snapshot"
+	"repro/internal/solver"
+)
+
+// ErrUnknownGraph marks queries that name a graph the catalog has never
+// heard of; a serving layer should map it to 404.
+var ErrUnknownGraph = errors.New("unknown graph")
+
+// NotReadyError marks queries against a graph that exists but is not
+// currently serving (still building, draining, evicted, or failed); a
+// serving layer should map it to 503 (retryable) or 500 (failed).
+type NotReadyError struct {
+	Name  string
+	State State
+	Err   error // the load error when State is StateFailed
+}
+
+func (e *NotReadyError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("graph %q is %s: %v", e.Name, e.State, e.Err)
+	}
+	return fmt.Sprintf("graph %q is %s", e.Name, e.State)
+}
+
+// Source says where a graph comes from, in priority order: an in-process
+// Loader (tests, stress harnesses), a binary snapshot (graph + prebuilt
+// hierarchy in one read), or a cli.Spec (DIMACS file or generator, with the
+// hierarchy built here — optionally through a CHCache file).
+type Source struct {
+	// Loader produces the instance directly; it wins over the other fields.
+	Loader func() (*graph.Graph, *ch.Hierarchy, error)
+	// Snapshot is a snapshot.WriteFile artifact.
+	Snapshot string
+	// Spec is a DIMACS file or generator description.
+	Spec cli.Spec
+	// CHCache is a hierarchy cache file used (read and written) when the
+	// graph comes from Spec. A cache whose fingerprint does not match the
+	// loaded graph is refused and the hierarchy rebuilt.
+	CHCache string
+}
+
+func (s Source) String() string {
+	switch {
+	case s.Loader != nil:
+		return "loader"
+	case s.Snapshot != "":
+		return "snapshot:" + s.Snapshot
+	case s.Spec.File != "":
+		return "file:" + s.Spec.File
+	default:
+		return fmt.Sprintf("gen:%s/2^%d", s.Spec.Class, s.Spec.LogN)
+	}
+}
+
+// load resolves the source. The hierarchy may be nil (Spec sources build it
+// in the Building phase); logf narrates cache decisions.
+func (s Source) load(logf func(string, ...any)) (*graph.Graph, *ch.Hierarchy, error) {
+	switch {
+	case s.Loader != nil:
+		return s.Loader()
+	case s.Snapshot != "":
+		return snapshot.ReadFile(s.Snapshot)
+	case s.Spec != (cli.Spec{}):
+		g, _, err := s.Spec.Load()
+		return g, nil, err
+	default:
+		return nil, nil, errors.New("catalog: empty source (need Loader, Snapshot, or Spec)")
+	}
+}
+
+// Config parameterizes a Catalog.
+type Config struct {
+	// Workers is the number of background build workers (default 2).
+	Workers int
+	// MemoryBudget bounds the summed Bytes of ready graphs; exceeding it
+	// evicts least-recently-used idle graphs. 0 means unlimited.
+	MemoryBudget int64
+	// QueryWorkers sizes each generation's parallel runtime (default 4).
+	QueryWorkers int
+	// WarmQueries is how many spread-out single-source queries prime a fresh
+	// engine before it goes ready (default 4; 0 disables warming).
+	WarmQueries int
+	// Engine is the template engine configuration; KeyPrefix is overwritten
+	// per generation with "name@gen|".
+	Engine engine.Config
+	// Logf receives progress lines (default log.Printf).
+	Logf func(string, ...any)
+}
+
+// Catalog coordinates the graphs. All public methods are safe for concurrent
+// use.
+type Catalog struct {
+	cfg  Config
+	logf func(string, ...any)
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	clock   int64 // logical time for LRU ordering
+	closed  bool
+
+	jobs     chan string
+	done     chan struct{}
+	wg       sync.WaitGroup
+	counters *obs.Group
+}
+
+// entry is the per-name lifecycle record. gen is non-nil exactly while the
+// name is serving (ready, or draining its final generation).
+type entry struct {
+	name     string
+	state    State
+	src      Source
+	gen      *Generation
+	genSeq   uint64
+	lastUsed int64
+	err      error // most recent load failure
+	pending  bool  // a build job is queued or running
+}
+
+// setState validates the lifecycle edge; an invalid transition is an
+// internal bug and panics.
+func (e *entry) setState(next State) {
+	if !validNext[e.state][next] {
+		panic(fmt.Sprintf("catalog: invalid transition %s -> %s for %q", e.state, next, e.name))
+	}
+	e.state = next
+}
+
+// Counter names of Catalog counters, in snapshot order.
+const (
+	cLoads        = "loads"
+	cReloads      = "reloads"
+	cUnloads      = "unloads"
+	cBuilds       = "builds"
+	cSwaps        = "swaps"
+	cEvictions    = "evictions"
+	cLoadFailures = "load_failures"
+	cAcquires     = "acquires"
+	cNotReady     = "acquire_not_ready"
+	cWarmQueries  = "warm_queries"
+)
+
+// New creates a catalog and starts its build workers. Call Close to stop
+// them.
+func New(cfg Config) *Catalog {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueryWorkers <= 0 {
+		cfg.QueryWorkers = 4
+	}
+	if cfg.WarmQueries == 0 {
+		cfg.WarmQueries = 4
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	c := &Catalog{
+		cfg:     cfg,
+		logf:    logf,
+		entries: make(map[string]*entry),
+		jobs:    make(chan string, 64),
+		done:    make(chan struct{}),
+		counters: obs.NewGroup(cLoads, cReloads, cUnloads, cBuilds, cSwaps,
+			cEvictions, cLoadFailures, cAcquires, cNotReady, cWarmQueries),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		c.wg.Add(1)
+		go c.worker()
+	}
+	return c
+}
+
+// Close stops the build workers. Pending jobs are abandoned; graphs already
+// ready keep serving (Acquire still works) so a server can drain on its own
+// schedule.
+func (c *Catalog) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	c.wg.Wait()
+}
+
+func (c *Catalog) worker() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case name := <-c.jobs:
+			c.runJob(name)
+		}
+	}
+}
+
+// enqueue hands a name to the workers without racing Close: a closed catalog
+// drops the job (the entry was already marked, but no worker will come).
+func (c *Catalog) enqueue(name string) {
+	select {
+	case c.jobs <- name:
+	case <-c.done:
+	}
+}
+
+// AddPrebuilt installs an already-built instance synchronously as generation
+// 1 — the path for a daemon's startup graph, which is built before the
+// listener opens. src is remembered for later reloads.
+func (c *Catalog) AddPrebuilt(name string, src Source, g *graph.Graph, h *ch.Hierarchy) (*Generation, error) {
+	eng := c.newEngine(name, 1, g, h)
+	gen := newGeneration(name, 1, g, h, eng)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[name]; ok {
+		return nil, fmt.Errorf("catalog: graph %q already exists", name)
+	}
+	c.clock++
+	c.entries[name] = &entry{
+		name: name, state: StateReady, src: src,
+		gen: gen, genSeq: 1, lastUsed: c.clock,
+	}
+	c.counters.C(cSwaps).Inc()
+	c.evictLocked(name)
+	return gen, nil
+}
+
+// Load brings a named graph into service in the background. Loading an
+// already-pending name is a no-op; loading a ready name is an error (use
+// Reload); loading a failed or evicted name retries with the new source.
+func (c *Catalog) Load(name string, src Source) error {
+	if name == "" {
+		return errors.New("catalog: empty graph name")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("catalog: closed")
+	}
+	e, ok := c.entries[name]
+	switch {
+	case !ok:
+		e = &entry{name: name, state: StateLoading, src: src, pending: true}
+		c.entries[name] = e
+	case e.pending:
+		c.mu.Unlock()
+		return nil // idempotent: a build for this name is already queued
+	case e.state == StateReady:
+		c.mu.Unlock()
+		return fmt.Errorf("catalog: graph %q already loaded (use reload)", name)
+	case e.state == StateDraining:
+		c.mu.Unlock()
+		return fmt.Errorf("catalog: graph %q is draining; retry when evicted", name)
+	default: // failed or evicted: retry with the (possibly new) source
+		e.setState(StateLoading)
+		e.src = src
+		e.err = nil
+		e.pending = true
+	}
+	c.counters.C(cLoads).Inc()
+	c.mu.Unlock()
+	c.enqueue(name)
+	return nil
+}
+
+// Reload rebuilds a graph from its remembered source and swaps the result in
+// atomically. The old generation keeps serving until the swap, then drains.
+// Reloading while a build is already pending is a no-op.
+func (c *Catalog) Reload(name string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("catalog: closed")
+	}
+	e, ok := c.entries[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("catalog: %w: %q", ErrUnknownGraph, name)
+	}
+	if e.pending {
+		c.mu.Unlock()
+		return nil
+	}
+	switch e.state {
+	case StateReady:
+		// Stay ready: the new generation builds off to the side.
+	case StateFailed, StateEvicted:
+		e.setState(StateLoading)
+		e.err = nil
+	default:
+		c.mu.Unlock()
+		return fmt.Errorf("catalog: graph %q is %s; cannot reload", name, e.state)
+	}
+	e.pending = true
+	c.counters.C(cReloads).Inc()
+	c.mu.Unlock()
+	c.enqueue(name)
+	return nil
+}
+
+// Unload takes a graph out of service: ready graphs drain their in-flight
+// queries and become evicted; failed or evicted graphs are forgotten
+// entirely. A graph mid-build cannot be unloaded.
+func (c *Catalog) Unload(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return fmt.Errorf("catalog: %w: %q", ErrUnknownGraph, name)
+	}
+	if e.pending {
+		return fmt.Errorf("catalog: graph %q has a build in progress; retry after it completes", name)
+	}
+	switch e.state {
+	case StateReady:
+		c.counters.C(cUnloads).Inc()
+		c.retireLocked(e)
+		return nil
+	case StateFailed, StateEvicted:
+		c.counters.C(cUnloads).Inc()
+		delete(c.entries, name)
+		return nil
+	default:
+		return fmt.Errorf("catalog: graph %q is %s; cannot unload", name, e.state)
+	}
+}
+
+// retireLocked moves a ready entry to draining and arranges the
+// draining→evicted edge once the last in-flight query releases.
+func (c *Catalog) retireLocked(e *entry) {
+	e.setState(StateDraining)
+	gen := e.gen
+	gen.retire()
+	go func() {
+		<-gen.Drained()
+		c.mu.Lock()
+		if e.state == StateDraining && e.gen == gen {
+			e.setState(StateEvicted)
+			e.gen = nil
+		}
+		c.mu.Unlock()
+	}()
+}
+
+// Acquire returns the current generation of a ready graph with a reference
+// held, plus the release function the caller must invoke when its query is
+// finished (idempotent). The reference pins the generation across swaps: a
+// concurrent reload or unload never invalidates it.
+func (c *Catalog) Acquire(name string) (*Generation, func(), error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		c.counters.C(cNotReady).Inc()
+		return nil, nil, fmt.Errorf("catalog: %w: %q", ErrUnknownGraph, name)
+	}
+	if e.state != StateReady || e.gen == nil {
+		c.counters.C(cNotReady).Inc()
+		return nil, nil, &NotReadyError{Name: name, State: e.state, Err: e.err}
+	}
+	c.clock++
+	e.lastUsed = c.clock
+	gen := e.gen
+	gen.acquire()
+	c.counters.C(cAcquires).Inc()
+	var once sync.Once
+	return gen, func() { once.Do(gen.release) }, nil
+}
+
+// runJob executes one background build: load the source, build the
+// hierarchy if the source did not carry one, construct and warm a fresh
+// engine, then swap it in. Initial loads walk the entry through
+// loading→building→warming→ready; reloads leave the serving state alone.
+func (c *Catalog) runJob(name string) {
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	src := e.src
+	isReload := e.state == StateReady
+	e.genSeq++
+	genNum := e.genSeq
+	c.mu.Unlock()
+
+	start := time.Now()
+	g, h, err := src.load(c.logf)
+	if err != nil {
+		c.failJob(name, fmt.Errorf("load %s: %w", src, err))
+		return
+	}
+	c.advance(name, StateBuilding, isReload)
+	if h == nil {
+		h = LoadOrBuildCH(g, src.CHCache, c.logf)
+	}
+	c.counters.C(cBuilds).Inc()
+
+	eng := c.newEngine(name, genNum, g, h)
+	gen := newGeneration(name, genNum, g, h, eng)
+	c.advance(name, StateWarming, isReload)
+	c.warm(eng, g)
+
+	c.mu.Lock()
+	e, ok = c.entries[name]
+	if !ok || (e.state != StateWarming && e.state != StateReady) {
+		// The entry vanished or changed under us (e.g. unloaded mid-build of
+		// a reload); discard the built generation.
+		c.mu.Unlock()
+		gen.retire()
+		return
+	}
+	old := e.gen
+	e.gen = gen
+	e.err = nil
+	e.pending = false
+	if e.state != StateReady {
+		e.setState(StateReady)
+	}
+	c.clock++
+	e.lastUsed = c.clock
+	c.counters.C(cSwaps).Inc()
+	c.evictLocked(name)
+	c.mu.Unlock()
+	if old != nil {
+		old.retire()
+	}
+	c.logf("catalog: %s gen %d ready from %s (n=%d m=%d, %d bytes, %s)",
+		name, genNum, src, g.NumVertices(), g.NumEdges(), gen.Bytes, time.Since(start).Round(time.Millisecond))
+}
+
+// advance moves an initial load to its next lifecycle phase; reloads keep
+// serving in ready and skip the walk.
+func (c *Catalog) advance(name string, next State, isReload bool) {
+	if isReload {
+		return
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[name]; ok && validNext[e.state][next] {
+		e.setState(next)
+	}
+	c.mu.Unlock()
+}
+
+// failJob records a build failure. An initial load lands in failed; a failed
+// reload keeps the old generation serving and only records the error.
+func (c *Catalog) failJob(name string, err error) {
+	c.counters.C(cLoadFailures).Inc()
+	c.logf("catalog: %s load failed: %v", name, err)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return
+	}
+	e.pending = false
+	e.err = err
+	if e.state != StateReady && validNext[e.state][StateFailed] {
+		e.setState(StateFailed)
+	}
+}
+
+// newEngine builds the per-generation query plane. The key prefix makes
+// cache and singleflight keys unique per (name, generation), so a stale
+// generation's results can never be served for a new one.
+func (c *Catalog) newEngine(name string, gen uint64, g *graph.Graph, h *ch.Hierarchy) *engine.Engine {
+	ecfg := c.cfg.Engine
+	ecfg.KeyPrefix = fmt.Sprintf("%s@%d|", name, gen)
+	in := solver.NewInstanceWithHierarchy(g, par.NewExec(c.cfg.QueryWorkers), h)
+	return engine.New(in, ecfg)
+}
+
+// warm primes a fresh engine with spread-out single-source queries so the
+// query pools, the Thorup solver, and the result cache are hot before the
+// generation takes real traffic.
+func (c *Catalog) warm(eng *engine.Engine, g *graph.Graph) {
+	n := g.NumVertices()
+	k := c.cfg.WarmQueries
+	if n == 0 || k <= 0 {
+		return
+	}
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		src := int32(i * n / k)
+		if _, _, err := eng.Query(context.Background(), engine.Request{Sources: []int32{src}}); err == nil {
+			c.counters.C(cWarmQueries).Inc()
+		}
+	}
+}
+
+// evictLocked enforces the memory budget: while ready graphs exceed it, the
+// least-recently-used idle (no in-flight queries) ready graph other than
+// except is drained out. Busy graphs are never evicted — the budget is a
+// target, not a guillotine.
+func (c *Catalog) evictLocked(except string) {
+	if c.cfg.MemoryBudget <= 0 {
+		return
+	}
+	for {
+		var total int64
+		var victim *entry
+		for _, e := range c.entries {
+			if e.state != StateReady || e.gen == nil {
+				continue
+			}
+			total += e.gen.Bytes
+			if e.name == except || e.gen.InFlight() > 0 {
+				continue
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+		if total <= c.cfg.MemoryBudget || victim == nil {
+			return
+		}
+		c.counters.C(cEvictions).Inc()
+		c.logf("catalog: evicting %s (LRU, %d bytes; ready total %d > budget %d)",
+			victim.name, victim.gen.Bytes, total, c.cfg.MemoryBudget)
+		c.retireLocked(victim)
+	}
+}
+
+// WaitReady blocks until the named graph is ready with no build pending, the
+// load fails, or the timeout expires. A polling helper for startup paths and
+// tests; the serving path uses Acquire directly.
+func (c *Catalog) WaitReady(name string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[name]
+		var state State
+		var pending bool
+		var lastErr error
+		if ok {
+			state, pending, lastErr = e.state, e.pending, e.err
+		}
+		c.mu.Unlock()
+		switch {
+		case !ok:
+			return fmt.Errorf("catalog: %w: %q", ErrUnknownGraph, name)
+		case state == StateReady && !pending:
+			return nil
+		case state == StateFailed && !pending:
+			return lastErr
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("catalog: graph %q not ready after %s (state %s)", name, timeout, state)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// GraphStatus is one catalog row, shaped for a JSON listing endpoint.
+type GraphStatus struct {
+	Name     string `json:"name"`
+	State    string `json:"state"`
+	Gen      uint64 `json:"gen,omitempty"`
+	Source   string `json:"source"`
+	Vertices int    `json:"vertices,omitempty"`
+	Edges    int64  `json:"edges,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	InFlight int64  `json:"in_flight,omitempty"`
+	Pending  bool   `json:"pending,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Status lists every known graph, sorted by name.
+func (c *Catalog) Status() []GraphStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]GraphStatus, 0, len(c.entries))
+	for _, e := range c.entries {
+		gs := GraphStatus{
+			Name:    e.name,
+			State:   e.state.String(),
+			Source:  e.src.String(),
+			Pending: e.pending,
+		}
+		if e.gen != nil {
+			gs.Gen = e.gen.Gen
+			gs.Vertices = e.gen.G.NumVertices()
+			gs.Edges = e.gen.G.NumEdges()
+			gs.Bytes = e.gen.Bytes
+			gs.InFlight = e.gen.InFlight()
+		}
+		if e.err != nil {
+			gs.Error = e.err.Error()
+		}
+		out = append(out, gs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Counter returns the named catalog counter (see the c* constants' snapshot
+// names). Unknown names panic.
+func (c *Catalog) Counter(name string) int64 { return c.counters.C(name).Value() }
+
+// StatsSnapshot returns the catalog's observable state for a /metrics
+// endpoint: every counter plus occupancy against the budget.
+func (c *Catalog) StatsSnapshot() map[string]any {
+	out := make(map[string]any, 16)
+	for k, v := range c.counters.Snapshot() {
+		out[k] = v
+	}
+	c.mu.Lock()
+	var ready int
+	var bytes int64
+	for _, e := range c.entries {
+		if e.state == StateReady && e.gen != nil {
+			ready++
+			bytes += e.gen.Bytes
+		}
+	}
+	out["graphs"] = len(c.entries)
+	out["ready"] = ready
+	out["ready_bytes"] = bytes
+	c.mu.Unlock()
+	out["memory_budget"] = c.cfg.MemoryBudget
+	out["build_workers"] = c.cfg.Workers
+	return out
+}

@@ -1,0 +1,413 @@
+package catalog
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/cli"
+	"repro/internal/dijkstra"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/snapshot"
+)
+
+const waitFor = 30 * time.Second
+
+func testCatalog(t *testing.T, cfg Config) *Catalog {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	c := New(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+// loaderFor yields graphs of the given seed; distinct seeds give distinct
+// weights, so cross-generation staleness is observable in distances.
+func loaderFor(seed uint64) func() (*graph.Graph, *ch.Hierarchy, error) {
+	return func() (*graph.Graph, *ch.Hierarchy, error) {
+		g := gen.Random(400, 1600, 1<<10, gen.UWD, seed)
+		return g, ch.BuildKruskal(g), nil
+	}
+}
+
+func TestInitialLoadLifecycle(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if err := c.Load("g", Source{Loader: loaderFor(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	gen1, release, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if gen1.Gen != 1 || gen1.Name != "g" {
+		t.Fatalf("generation %s@%d, want g@1", gen1.Name, gen1.Gen)
+	}
+	res, _, err := gen1.Engine.Query(context.Background(), engine.Request{Sources: []int32{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dijkstra.SSSP(gen1.G, 0)
+	for v := range want {
+		if res.Dist[v] != want[v] {
+			t.Fatalf("distance mismatch at %d: %d vs %d", v, res.Dist[v], want[v])
+		}
+	}
+	st := c.Status()
+	if len(st) != 1 || st[0].State != "ready" || st[0].Gen != 1 || st[0].Vertices != 400 {
+		t.Fatalf("status %+v", st)
+	}
+	if c.Counter(cSwaps) != 1 || c.Counter(cLoads) != 1 {
+		t.Fatalf("counters: swaps=%d loads=%d", c.Counter(cSwaps), c.Counter(cLoads))
+	}
+}
+
+func TestAcquireErrors(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if _, _, err := c.Acquire("nope"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("want ErrUnknownGraph, got %v", err)
+	}
+	// A slow loader keeps the entry in a not-ready phase.
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	src := Source{Loader: func() (*graph.Graph, *ch.Hierarchy, error) {
+		close(started)
+		<-unblock
+		return loaderFor(1)()
+	}}
+	if err := c.Load("slow", src); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	_, _, err := c.Acquire("slow")
+	var nr *NotReadyError
+	if !errors.As(err, &nr) || nr.State == StateReady {
+		t.Fatalf("want NotReadyError mid-build, got %v", err)
+	}
+	close(unblock)
+	if err := c.WaitReady("slow", waitFor); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadIdempotentWhilePendingAndErrorsWhenReady(t *testing.T) {
+	c := testCatalog(t, Config{})
+	unblock := make(chan struct{})
+	src := Source{Loader: func() (*graph.Graph, *ch.Hierarchy, error) {
+		<-unblock
+		return loaderFor(1)()
+	}}
+	if err := c.Load("g", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load("g", src); err != nil {
+		t.Fatalf("pending load not idempotent: %v", err)
+	}
+	close(unblock)
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if c.Counter(cLoads) != 1 {
+		t.Fatalf("loads=%d, want 1", c.Counter(cLoads))
+	}
+	if err := c.Load("g", src); err == nil || !strings.Contains(err.Error(), "already loaded") {
+		t.Fatalf("loading a ready graph: %v", err)
+	}
+}
+
+func TestLoadFailureAndRetry(t *testing.T) {
+	c := testCatalog(t, Config{})
+	boom := errors.New("disk on fire")
+	if err := c.Load("g", Source{Loader: func() (*graph.Graph, *ch.Hierarchy, error) {
+		return nil, nil, boom
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.WaitReady("g", waitFor)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want load failure surfaced, got %v", err)
+	}
+	_, _, err = c.Acquire("g")
+	var nr *NotReadyError
+	if !errors.As(err, &nr) || nr.State != StateFailed || !errors.Is(nr.Err, boom) {
+		t.Fatalf("acquire after failure: %v", err)
+	}
+	if c.Counter(cLoadFailures) != 1 {
+		t.Fatalf("load_failures=%d", c.Counter(cLoadFailures))
+	}
+	// Retrying with a working source recovers.
+	if err := c.Load("g", Source{Loader: loaderFor(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnloadDrainsInFlight(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if err := c.Load("g", Source{Loader: loaderFor(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g1, release, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unload("g"); err != nil {
+		t.Fatal(err)
+	}
+	// Out of service for new queries immediately...
+	if _, _, err := c.Acquire("g"); err == nil {
+		t.Fatal("acquired a draining graph")
+	}
+	// ...but the held generation still answers, and is not drained yet.
+	if _, _, err := g1.Engine.Query(context.Background(), engine.Request{Sources: []int32{3}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-g1.Drained():
+		t.Fatal("drained while a query held a reference")
+	default:
+	}
+	release()
+	select {
+	case <-g1.Drained():
+	case <-time.After(waitFor):
+		t.Fatal("never drained after release")
+	}
+	// The entry settles in evicted and can be loaded again.
+	deadline := time.Now().Add(waitFor)
+	for {
+		st := c.Status()
+		if len(st) == 1 && st[0].State == "evicted" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stuck: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Load("g", Source{Loader: loaderFor(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g2, release2, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release2()
+	if g2.Gen != 2 {
+		t.Fatalf("gen %d after reload-from-evicted, want 2", g2.Gen)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if err := c.Load("g", Source{Loader: loaderFor(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	gen1, release, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // double release must not underflow the refcount
+	if n := gen1.InFlight(); n != 0 {
+		t.Fatalf("in-flight %d after double release", n)
+	}
+}
+
+func TestReloadKeepsServingAndFailedReloadKeepsOldGeneration(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if err := c.Load("g", Source{Loader: loaderFor(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap the source so the reload fails; the old generation must survive.
+	c.mu.Lock()
+	c.entries["g"].src = Source{Loader: func() (*graph.Graph, *ch.Hierarchy, error) {
+		return nil, nil, errors.New("flaky source")
+	}}
+	c.mu.Unlock()
+	if err := c.Reload("g"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(waitFor)
+	for c.Counter(cLoadFailures) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reload never failed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g1, release, err := c.Acquire("g")
+	if err != nil {
+		t.Fatalf("old generation gone after failed reload: %v", err)
+	}
+	if g1.Gen != 1 {
+		t.Fatalf("gen %d, want the original 1", g1.Gen)
+	}
+	release()
+	st := c.Status()
+	if st[0].Error == "" || st[0].State != "ready" {
+		t.Fatalf("status should stay ready and record the error: %+v", st[0])
+	}
+
+	// A working reload swaps in a fresh generation and drains the old one.
+	c.mu.Lock()
+	c.entries["g"].src = Source{Loader: loaderFor(9)}
+	c.mu.Unlock()
+	if err := c.Reload("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g3, release3, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release3()
+	if g3.Gen <= g1.Gen {
+		t.Fatalf("generation did not advance: %d -> %d", g1.Gen, g3.Gen)
+	}
+	select {
+	case <-g1.Drained():
+	case <-time.After(waitFor):
+		t.Fatal("old generation never drained after swap")
+	}
+}
+
+func TestMemoryBudgetEvictsLRU(t *testing.T) {
+	// Budget fits roughly two of the three identical graphs.
+	probe := gen.Random(400, 1600, 1<<10, gen.UWD, 1)
+	one := probe.MemoryBytes() + ch.BuildKruskal(probe).ComputeStats().CHBytes
+	c := testCatalog(t, Config{MemoryBudget: 2*one + one/2})
+	for i, name := range []string{"a", "b", "c"} {
+		if err := c.Load(name, Source{Loader: loaderFor(uint64(i + 1))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WaitReady(name, waitFor); err != nil {
+			t.Fatal(err)
+		}
+		// Touch so LRU order is load order: a oldest.
+		_, release, err := c.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	if c.Counter(cEvictions) == 0 {
+		t.Fatal("no eviction despite exceeding the budget")
+	}
+	// "a" was least recently used; it must be the one out of service.
+	deadline := time.Now().Add(waitFor)
+	for {
+		if _, _, err := c.Acquire("a"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("a never evicted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, name := range []string{"b", "c"} {
+		_, release, err := c.Acquire(name)
+		if err != nil {
+			t.Fatalf("%s should have survived: %v", name, err)
+		}
+		release()
+	}
+	// An evicted graph reloads on demand from its remembered source.
+	if err := c.Load("a", Source{Loader: loaderFor(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("a", waitFor); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotAndSpecSources(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Random(300, 1200, 256, gen.UWD, 4)
+	h := ch.BuildKruskal(g)
+	snap := filepath.Join(dir, "g.snap")
+	if err := snapshot.WriteFile(snap, g, h); err != nil {
+		t.Fatal(err)
+	}
+	c := testCatalog(t, Config{})
+	if err := c.Load("snap", Source{Snapshot: snap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load("spec", Source{
+		Spec:    cli.Spec{Class: "rand", LogN: 8, LogC: 8, Seed: 5},
+		CHCache: filepath.Join(dir, "spec.chb"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load("empty", Source{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("snap", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	gs, release, err := c.Acquire("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.G.Fingerprint() != g.Fingerprint() {
+		t.Fatal("snapshot source loaded a different graph")
+	}
+	release()
+	if err := c.WaitReady("spec", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "spec.chb")); err != nil {
+		t.Fatal(err)
+	}
+	// The empty source must fail with a clear error, not hang or panic.
+	err = c.WaitReady("empty", waitFor)
+	if err == nil || !strings.Contains(err.Error(), "empty source") {
+		t.Fatalf("empty source: %v", err)
+	}
+}
+
+func TestStatsSnapshotShape(t *testing.T) {
+	c := testCatalog(t, Config{MemoryBudget: 1 << 30})
+	if err := c.Load("g", Source{Loader: loaderFor(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	st := c.StatsSnapshot()
+	for _, key := range []string{cLoads, cSwaps, cEvictions, "graphs", "ready", "ready_bytes", "memory_budget", "build_workers"} {
+		if _, ok := st[key]; !ok {
+			t.Errorf("stats missing %q", key)
+		}
+	}
+	if st["ready"].(int) != 1 || st["ready_bytes"].(int64) <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

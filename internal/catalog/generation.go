@@ -1,0 +1,147 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ch"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// State is a graph's position in the catalog lifecycle:
+//
+//	loading ──▶ building ──▶ warming ──▶ ready ──▶ draining ──▶ evicted
+//	   │            │            │                                 │
+//	   └────────────┴────────────┴──▶ failed ──────(load)──────────┘
+//
+// A reload does not leave ready: the new generation walks the
+// loading/building/warming phases off to the side while the old one keeps
+// serving, and the swap is a single pointer exchange.
+type State int32
+
+const (
+	// StateLoading: the graph source (snapshot, DIMACS file, or generator) is
+	// being read.
+	StateLoading State = iota
+	// StateBuilding: the Component Hierarchy is being constructed (skipped in
+	// effect when a snapshot carried one).
+	StateBuilding
+	// StateWarming: the fresh engine is primed with a few queries so the
+	// first real request does not pay pool and cache cold-start costs.
+	StateWarming
+	// StateReady: serving queries.
+	StateReady
+	// StateDraining: removed from service; in-flight queries on the final
+	// generation are completing.
+	StateDraining
+	// StateEvicted: fully out of memory; the source is remembered so a load
+	// can bring the graph back.
+	StateEvicted
+	// StateFailed: the last load or build errored; the error is retained and
+	// a new load may retry.
+	StateFailed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateLoading:
+		return "loading"
+	case StateBuilding:
+		return "building"
+	case StateWarming:
+		return "warming"
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	case StateEvicted:
+		return "evicted"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// validNext encodes the lifecycle edges. Transitions are entirely internal to
+// the package, so an invalid one is a programming error and panics rather
+// than limping on with a corrupted lifecycle.
+var validNext = map[State]map[State]bool{
+	StateLoading:  {StateBuilding: true, StateFailed: true},
+	StateBuilding: {StateWarming: true, StateFailed: true},
+	StateWarming:  {StateReady: true, StateFailed: true},
+	StateReady:    {StateDraining: true},
+	StateDraining: {StateEvicted: true},
+	StateEvicted:  {StateLoading: true},
+	StateFailed:   {StateLoading: true},
+}
+
+// Generation is one immutable (graph, hierarchy, engine) triple installed
+// under a name. Queries acquire a generation, run against it, and release it;
+// a swap retires the old generation, which stays fully usable until its last
+// in-flight query releases, then reports itself drained. Nothing is ever
+// mutated in place — a reload installs a new Generation.
+type Generation struct {
+	// Name is the catalog name this generation serves.
+	Name string
+	// Gen is the monotonically increasing generation number within the name.
+	Gen uint64
+	// G and H are the instance; Engine is its private query plane (its cache
+	// keys carry Name@Gen, so results can never alias across generations).
+	G      *graph.Graph
+	H      *ch.Hierarchy
+	Engine *engine.Engine
+	// Bytes is the resident footprint charged against the memory budget
+	// (CSR arrays plus hierarchy arrays).
+	Bytes int64
+
+	refs        atomic.Int64
+	retired     atomic.Bool
+	drainedOnce sync.Once
+	drained     chan struct{}
+}
+
+func newGeneration(name string, gen uint64, g *graph.Graph, h *ch.Hierarchy, eng *engine.Engine) *Generation {
+	return &Generation{
+		Name:    name,
+		Gen:     gen,
+		G:       g,
+		H:       h,
+		Engine:  eng,
+		Bytes:   g.MemoryBytes() + h.ComputeStats().CHBytes,
+		drained: make(chan struct{}),
+	}
+}
+
+// acquire takes a reference. Callers hold the catalog lock, which is what
+// orders acquire against retire: a generation is only handed out while it is
+// the entry's current one, and retire happens after the swap.
+func (g *Generation) acquire() { g.refs.Add(1) }
+
+// release drops a reference; the last release of a retired generation closes
+// the drained channel. Safe after the query outlives its HTTP deadline — the
+// generation stays valid until this returns.
+func (g *Generation) release() {
+	if g.refs.Add(-1) == 0 && g.retired.Load() {
+		g.drainedOnce.Do(func() { close(g.drained) })
+	}
+}
+
+// retire marks the generation as no longer current. In-flight queries keep
+// their references and finish normally; once the count reaches zero the
+// drained channel closes. Idempotent.
+func (g *Generation) retire() {
+	g.retired.Store(true)
+	if g.refs.Load() == 0 {
+		g.drainedOnce.Do(func() { close(g.drained) })
+	}
+}
+
+// Drained is closed once the generation is retired and its last in-flight
+// query has released.
+func (g *Generation) Drained() <-chan struct{} { return g.drained }
+
+// InFlight reports the current reference count.
+func (g *Generation) InFlight() int64 { return g.refs.Load() }

@@ -19,12 +19,14 @@ import (
 // Format (all little-endian):
 //
 //	magic   [8]byte  "THORUPCH"
-//	version uint32   (currently 1)
+//	version uint32   (currently 2)
 //	n       uint32   number of leaves
 //	nodes   uint32   total nodes
 //	root    int32
 //	maxLvl  int32
 //	virtual uint8
+//	fpM     uint64   graph fingerprint: undirected edge count
+//	fpCRC   uint64   graph fingerprint: CRC-64/ECMA over the CSR arrays
 //	level       [nodes]int32
 //	parent      [nodes]int32
 //	vertexCount [nodes]int32
@@ -32,14 +34,16 @@ import (
 //	children    [...]int32
 //	crc     uint64   CRC-64/ECMA of everything above
 //
-// ReadFrom validates the checksum, the O(nodes) structural invariants, and a
+// ReadFrom validates the stored graph fingerprint (version 2: n, m, and a
+// CRC over the CSR arrays — the cache is bound to the graph's content, never
+// to a filename), the checksum, the O(nodes) structural invariants, and a
 // deterministic sample of edge separation properties before returning, so a
 // corrupted or mismatched file cannot produce silent wrong answers; run
 // Validate for the full O(m log C) cross-check.
 
 var chMagic = [8]byte{'T', 'H', 'O', 'R', 'U', 'P', 'C', 'H'}
 
-const chVersion = 1
+const chVersion = 2
 
 type crcWriter struct {
 	w   io.Writer
@@ -81,10 +85,12 @@ func (h *Hierarchy) WriteTo(w io.Writer) (int64, error) {
 	if h.virtualRoot {
 		virtual = 1
 	}
+	fp := h.g.Fingerprint()
 	header := []any{
 		chMagic, uint32(chVersion),
 		uint32(h.g.NumVertices()), uint32(h.NumNodes()),
 		h.root, h.maxLevel, virtual,
+		uint64(fp.M), fp.CRC,
 	}
 	for _, v := range header {
 		if err := put(v); err != nil {
@@ -120,16 +126,33 @@ func ReadFrom(r io.Reader, g *graph.Graph) (*Hierarchy, error) {
 	var version, n, nodes uint32
 	var root, maxLevel int32
 	var virtual uint8
+	var fpM, fpCRC uint64
 	for _, v := range []any{&version, &n, &nodes, &root, &maxLevel, &virtual} {
 		if err := get(v); err != nil {
 			return nil, fmt.Errorf("ch: read header: %w", err)
 		}
 	}
+	if version == 1 {
+		return nil, errors.New("ch: cache format version 1 predates graph fingerprints; delete the file and rebuild")
+	}
 	if version != chVersion {
 		return nil, fmt.Errorf("ch: unsupported version %d", version)
 	}
+	for _, v := range []any{&fpM, &fpCRC} {
+		if err := get(v); err != nil {
+			return nil, fmt.Errorf("ch: read header: %w", err)
+		}
+	}
 	if int(n) != g.NumVertices() {
 		return nil, fmt.Errorf("ch: file has %d leaves, graph has %d vertices", n, g.NumVertices())
+	}
+	// The stored fingerprint binds the hierarchy to the exact graph content it
+	// was built from. A stale cache after regenerating the graph, or a cache
+	// file pointed at the wrong graph, is refused here — before any of the
+	// more expensive structural checks run.
+	if fp := g.Fingerprint(); uint64(fp.M) != fpM || fp.CRC != fpCRC {
+		return nil, fmt.Errorf("ch: cached hierarchy does not match graph: fingerprint mismatch (cache m=%d crc=%016x, graph %v)",
+			fpM, fpCRC, fp)
 	}
 	if nodes < n || nodes > 2*n+1 {
 		return nil, fmt.Errorf("ch: implausible node count %d for %d vertices", nodes, n)

@@ -69,12 +69,14 @@ func TestReadRejectsCorruption(t *testing.T) {
 	raw := buf.Bytes()
 
 	for name, corrupt := range map[string]func([]byte) []byte{
-		"flipped byte":  func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)/2] ^= 0x40; return c },
-		"truncated":     func(b []byte) []byte { return b[:len(b)-9] },
-		"bad magic":     func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c },
-		"empty":         func([]byte) []byte { return nil },
-		"header only":   func(b []byte) []byte { return b[:12] },
-		"flipped level": func(b []byte) []byte { c := append([]byte(nil), b...); c[29] ^= 1; return c },
+		"flipped byte": func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)/2] ^= 0x40; return c },
+		"truncated":    func(b []byte) []byte { return b[:len(b)-9] },
+		"bad magic":    func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c },
+		"empty":        func([]byte) []byte { return nil },
+		"header only":  func(b []byte) []byte { return b[:12] },
+		// The array region starts after the 45-byte header (29 bytes of
+		// structure fields + 16 bytes of graph fingerprint).
+		"flipped level": func(b []byte) []byte { c := append([]byte(nil), b...); c[45] ^= 1; return c },
 	} {
 		if _, err := ReadFrom(bytes.NewReader(corrupt(raw)), g); err == nil {
 			t.Errorf("%s: accepted", name)
@@ -116,6 +118,32 @@ func TestReadVersionCheck(t *testing.T) {
 	raw[8] = 99 // version field
 	if _, err := ReadFrom(bytes.NewReader(raw), g); err == nil {
 		t.Fatal("accepted future version")
+	}
+}
+
+// A stale cache whose fingerprint disagrees with the loaded graph must be
+// refused with a fingerprint error before structural validation, and a
+// pre-fingerprint (version 1) file must be refused outright.
+func TestReadRejectsFingerprintMismatch(t *testing.T) {
+	g := gen.Random(200, 800, 256, gen.UWD, 3)
+	h := BuildKruskal(g)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Same vertex count, different weights: the n header check passes, the
+	// fingerprint check must trip.
+	sameSize := gen.Random(200, 800, 256, gen.UWD, 99)
+	_, err := ReadFrom(bytes.NewReader(buf.Bytes()), sameSize)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("want fingerprint mismatch error, got %v", err)
+	}
+
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[8] = 1 // version field: pretend this is an old cache
+	_, err = ReadFrom(bytes.NewReader(raw), g)
+	if err == nil || !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("want version-1 rejection, got %v", err)
 	}
 }
 

@@ -122,22 +122,46 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 }
 
 // WriteGraph emits g as a .gr file using the Challenge convention of two arcs
-// per undirected edge (one for self-loops).
+// per undirected edge (one for self-loops). Output is buffered (1 MiB) and
+// arc lines are formatted with strconv into a reused scratch buffer rather
+// than per-line fmt calls, so exporting a large graph is neither
+// syscall-bound nor allocation-bound. Every write error is checked, and a
+// failing sink (full disk, closed pipe) aborts the export at the first
+// failed flush instead of formatting the remaining millions of lines.
 func WriteGraph(w io.Writer, g *graph.Graph, comment string) error {
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<20)
 	if comment != "" {
 		for _, l := range strings.Split(comment, "\n") {
-			fmt.Fprintf(bw, "c %s\n", l)
+			if _, err := fmt.Fprintf(bw, "c %s\n", l); err != nil {
+				return fmt.Errorf("dimacs: write: %w", err)
+			}
 		}
 	}
-	fmt.Fprintf(bw, "p sp %d %d\n", g.NumVertices(), g.NumArcs())
+	if _, err := fmt.Fprintf(bw, "p sp %d %d\n", g.NumVertices(), g.NumArcs()); err != nil {
+		return fmt.Errorf("dimacs: write: %w", err)
+	}
+	line := make([]byte, 0, 48)
 	for v := int32(0); v < int32(g.NumVertices()); v++ {
 		ts, ws := g.Neighbors(v)
 		for i, u := range ts {
-			fmt.Fprintf(bw, "a %d %d %d\n", v+1, u+1, ws[i])
+			line = append(line[:0], 'a', ' ')
+			line = strconv.AppendInt(line, int64(v)+1, 10)
+			line = append(line, ' ')
+			line = strconv.AppendInt(line, int64(u)+1, 10)
+			line = append(line, ' ')
+			line = strconv.AppendUint(line, uint64(ws[i]), 10)
+			line = append(line, '\n')
+			// bufio's error is sticky: the first failed flush surfaces here
+			// and stops the export immediately.
+			if _, err := bw.Write(line); err != nil {
+				return fmt.Errorf("dimacs: write: %w", err)
+			}
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dimacs: write: %w", err)
+	}
+	return nil
 }
 
 // ReadSources parses a .ss auxiliary file listing SSSP source vertices.

@@ -2,11 +2,13 @@ package dimacs
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/dijkstra"
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
 func TestReadSimpleGraph(t *testing.T) {
@@ -153,5 +155,47 @@ func TestVertexRangeErrorsAreDescriptive(t *testing.T) {
 	_, err = ReadGraph(strings.NewReader("p sp 2 1\na 1 5 3\n"))
 	if err == nil || !strings.Contains(err.Error(), "declared count 2") || !strings.Contains(err.Error(), "line 2") {
 		t.Errorf("beyond-count error not descriptive: %v", err)
+	}
+}
+
+// errAfterWriter fails every write after the first n bytes, like a disk
+// filling up mid-export.
+type errAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, fmt.Errorf("sink full after %d bytes", w.written)
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// WriteGraph must surface sink errors instead of silently dropping output,
+// for failures in the header as well as deep in the arc stream.
+func TestWriteGraphPropagatesErrors(t *testing.T) {
+	b := graph.NewBuilder(2000)
+	for i := int32(0); i < 1999; i++ {
+		b.MustAddEdge(i, i+1, uint32(i%7+1))
+	}
+	g := b.Build()
+	for _, limit := range []int{0, 10, 20000} { // header, comment, mid-arcs
+		if err := WriteGraph(&errAfterWriter{n: limit}, g, "big export"); err == nil {
+			t.Errorf("limit %d: error not propagated", limit)
+		}
+	}
+	// Sanity: an unbounded sink still round-trips.
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g, "big export"); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Fingerprint() != g.Fingerprint() {
+		t.Fatal("round trip changed the graph")
 	}
 }

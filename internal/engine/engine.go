@@ -62,6 +62,11 @@ type Config struct {
 	// DisablePool bypasses query-state reuse so every solve allocates fresh
 	// state — the benchmark baseline for measuring what pooling saves.
 	DisablePool bool
+	// KeyPrefix is prepended to every cache/singleflight key. A catalog
+	// serving several graphs (or several generations of one graph) sets this
+	// to "name@gen|" so results can never alias across instances even if
+	// engines were ever to share storage.
+	KeyPrefix string
 }
 
 // Engine executes SSSP queries against one shared solver.Instance with
@@ -305,7 +310,8 @@ func (e *Engine) plan(req Request) (name string, srcs []int32, key string, err e
 		return "", nil, "", err
 	}
 
-	var kb []byte
+	kb := make([]byte, 0, len(e.cfg.KeyPrefix)+len(name)+8*len(srcs))
+	kb = append(kb, e.cfg.KeyPrefix...)
 	kb = append(kb, name...)
 	for _, s := range srcs {
 		kb = append(kb, '|')

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+)
+
+// Fingerprint identifies a graph's exact structure and weights: the vertex
+// and edge counts plus a CRC-64/ECMA over the CSR arrays (offsets, targets,
+// weights). Two graphs share a fingerprint iff their CSR representations are
+// byte-identical, which is what cached artifacts derived from a graph (a
+// serialized Component Hierarchy, a binary snapshot) store to refuse being
+// paired with the wrong input — a filename is not an identity.
+type Fingerprint struct {
+	N   int32  // vertices
+	M   int64  // undirected edges
+	CRC uint64 // CRC-64/ECMA over offsets, targets, weights (little-endian)
+}
+
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("n=%d m=%d crc=%016x", f.N, f.M, f.CRC)
+}
+
+// Fingerprint returns the graph's fingerprint. The first call computes it
+// (O(n+m), streamed through a fixed chunk buffer into the CRC); the graph is
+// immutable after construction, so the result is memoized — load paths that
+// verify a graph against several derived artifacts (a snapshot header, then
+// a serialized hierarchy) pay the array scan once.
+func (g *Graph) Fingerprint() Fingerprint {
+	g.fpOnce.Do(func() { g.fp = g.computeFingerprint() })
+	return g.fp
+}
+
+func (g *Graph) computeFingerprint() Fingerprint {
+	tab := crc64.MakeTable(crc64.ECMA)
+	var crc uint64
+	buf := make([]byte, 0, 64<<10)
+	flush := func() {
+		crc = crc64.Update(crc, tab, buf)
+		buf = buf[:0]
+	}
+	for _, o := range g.offsets {
+		if len(buf)+8 > cap(buf) {
+			flush()
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o))
+	}
+	for _, t := range g.targets {
+		if len(buf)+4 > cap(buf) {
+			flush()
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+	}
+	for _, w := range g.weights {
+		if len(buf)+4 > cap(buf) {
+			flush()
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, w)
+	}
+	flush()
+	return Fingerprint{N: g.n, M: g.m, CRC: crc}
+}
+
+// FromCSR reconstructs a graph directly from its CSR arrays — the fast path
+// for binary snapshot loading, where re-deriving the arrays from an edge list
+// would dominate the load. The slices are adopted, not copied; callers must
+// not retain them.
+//
+// FromCSR validates everything derivable in one O(n+m) pass: offset shape and
+// monotonicity, target range, positive bounded weights. It does not re-check
+// arc symmetry (an O(m) map pass): snapshot payloads carry a checksum and are
+// only ever produced from validated Graph values, so asymmetry would mean a
+// corruption the checksum already catches. Self-loop arcs (stored once) are
+// counted to recover the undirected edge count.
+func FromCSR(offsets []int64, targets []int32, weights []uint32) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: csr: empty offsets")
+	}
+	n := len(offsets) - 1
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: csr: %d vertices exceed int32", n)
+	}
+	if len(targets) != len(weights) {
+		return nil, fmt.Errorf("graph: csr: %d targets but %d weights", len(targets), len(weights))
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: csr: offsets[0] = %d, want 0", offsets[0])
+	}
+	if offsets[n] != int64(len(targets)) {
+		return nil, fmt.Errorf("graph: csr: offsets end %d, want %d", offsets[n], len(targets))
+	}
+	g := &Graph{n: int32(n), offsets: offsets, targets: targets, weights: weights}
+	var loops int64
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		if lo > hi {
+			return nil, fmt.Errorf("graph: csr: offsets not monotone at vertex %d", v)
+		}
+		for i := lo; i < hi; i++ {
+			t := targets[i]
+			if t < 0 || int(t) >= n {
+				return nil, fmt.Errorf("graph: csr: arc %d targets out-of-range vertex %d", i, t)
+			}
+			w := weights[i]
+			if w == 0 || w > MaxWeight {
+				return nil, fmt.Errorf("graph: csr: arc %d weight %d out of [1,%d]", i, w, MaxWeight)
+			}
+			if t == int32(v) {
+				loops++
+			}
+			if w > g.maxW {
+				g.maxW = w
+			}
+			if g.minW == 0 || w < g.minW {
+				g.minW = w
+			}
+		}
+	}
+	// Each undirected non-loop edge contributes two arcs; each self-loop one.
+	if (int64(len(targets))-loops)%2 != 0 {
+		return nil, fmt.Errorf("graph: csr: odd non-loop arc count %d", int64(len(targets))-loops)
+	}
+	g.m = (int64(len(targets))-loops)/2 + loops
+	return g, nil
+}
+
+// FromCSRWithFingerprint is FromCSR for arrays whose integrity an outer
+// checksum already guarantees and whose fingerprint was stored beside them:
+// the stored counts are verified against the decoded arrays, and the stored
+// CRC is adopted without a second O(n+m) array scan — the snapshot fast
+// path. Artifacts later validated against this graph (a serialized
+// hierarchy) compare their own stored CRC against the adopted one, so a
+// mislabeled fingerprint cannot silently pair the graph with the wrong
+// artifact; and structural validation always runs against the real arrays,
+// so it cannot produce wrong answers either way.
+func FromCSRWithFingerprint(offsets []int64, targets []int32, weights []uint32, fp Fingerprint) (*Graph, error) {
+	g, err := FromCSR(offsets, targets, weights)
+	if err != nil {
+		return nil, err
+	}
+	if fp.N != g.n || fp.M != g.m {
+		return nil, fmt.Errorf("graph: csr: stored fingerprint (n=%d m=%d) does not match arrays (n=%d m=%d)",
+			fp.N, fp.M, g.n, g.m)
+	}
+	g.fpOnce.Do(func() { g.fp = fp })
+	return g, nil
+}

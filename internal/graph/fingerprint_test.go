@@ -1,0 +1,112 @@
+package graph
+
+import "testing"
+
+func fpGraph() *Graph {
+	b := NewBuilder(6)
+	b.MustAddEdge(0, 1, 3)
+	b.MustAddEdge(1, 2, 5)
+	b.MustAddEdge(2, 3, 1)
+	b.MustAddEdge(3, 4, 7)
+	b.MustAddEdge(4, 4, 2) // self-loop
+	return b.Build()
+}
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	g := fpGraph()
+	f1, f2 := g.Fingerprint(), g.Fingerprint()
+	if f1 != f2 {
+		t.Fatalf("fingerprint not deterministic: %v vs %v", f1, f2)
+	}
+	if f1.N != 6 || f1.M != 5 {
+		t.Fatalf("fingerprint counts: %v", f1)
+	}
+	// Same structure, one weight changed: must differ.
+	b := NewBuilder(6)
+	b.MustAddEdge(0, 1, 3)
+	b.MustAddEdge(1, 2, 5)
+	b.MustAddEdge(2, 3, 2) // was 1
+	b.MustAddEdge(3, 4, 7)
+	b.MustAddEdge(4, 4, 2)
+	if other := b.Build().Fingerprint(); other.CRC == f1.CRC {
+		t.Fatalf("weight change did not change CRC: %v", other)
+	}
+	// Same n/m, different topology: must differ.
+	b2 := NewBuilder(6)
+	b2.MustAddEdge(0, 2, 3)
+	b2.MustAddEdge(1, 2, 5)
+	b2.MustAddEdge(2, 3, 1)
+	b2.MustAddEdge(3, 4, 7)
+	b2.MustAddEdge(4, 4, 2)
+	if other := b2.Build().Fingerprint(); other.CRC == f1.CRC {
+		t.Fatalf("topology change did not change CRC: %v", other)
+	}
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{fpGraph(), NewBuilder(0).Build(), NewBuilder(3).Build()} {
+		g2, err := FromCSR(
+			append([]int64(nil), g.AdjOffsets()...),
+			append([]int32(nil), g.Targets()...),
+			append([]uint32(nil), g.Weights()...))
+		if err != nil {
+			t.Fatalf("FromCSR(%v): %v", g, err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() ||
+			g2.MinWeight() != g.MinWeight() || g2.MaxWeight() != g.MaxWeight() {
+			t.Fatalf("FromCSR changed shape: %v vs %v", g2, g)
+		}
+		if g2.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("FromCSR changed fingerprint")
+		}
+		if err := g2.Validate(); err != nil {
+			t.Fatalf("FromCSR result invalid: %v", err)
+		}
+	}
+}
+
+func TestFromCSRRejectsBadArrays(t *testing.T) {
+	g := fpGraph()
+	off := append([]int64(nil), g.AdjOffsets()...)
+	tg := append([]int32(nil), g.Targets()...)
+	wt := append([]uint32(nil), g.Weights()...)
+	cases := map[string]func() error{
+		"empty offsets": func() error { _, err := FromCSR(nil, tg, wt); return err },
+		"bad first offset": func() error {
+			o := append([]int64(nil), off...)
+			o[0] = 1
+			_, err := FromCSR(o, tg, wt)
+			return err
+		},
+		"bad last offset": func() error {
+			o := append([]int64(nil), off...)
+			o[len(o)-1]++
+			_, err := FromCSR(o, tg, wt)
+			return err
+		},
+		"non-monotone": func() error {
+			o := append([]int64(nil), off...)
+			o[2], o[3] = o[3]+1, o[2]
+			_, err := FromCSR(o, tg, wt)
+			return err
+		},
+		"target out of range": func() error {
+			tg2 := append([]int32(nil), tg...)
+			tg2[0] = 99
+			_, err := FromCSR(off, tg2, wt)
+			return err
+		},
+		"zero weight": func() error {
+			wt2 := append([]uint32(nil), wt...)
+			wt2[0] = 0
+			_, err := FromCSR(off, tg, wt2)
+			return err
+		},
+		"length mismatch": func() error { _, err := FromCSR(off, tg, wt[:len(wt)-1]); return err },
+	}
+	for name, run := range cases {
+		if err := run(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Inf is the distance value used for unreachable vertices. It is small enough
@@ -45,6 +46,9 @@ type Graph struct {
 	weights []uint32
 	maxW    uint32
 	minW    uint32
+
+	fpOnce sync.Once // memoizes Fingerprint (the arrays are immutable)
+	fp     Fingerprint
 }
 
 // NumVertices returns the number of vertices.

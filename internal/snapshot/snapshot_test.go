@@ -1,0 +1,178 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func buildPair(t *testing.T, g *graph.Graph) (*graph.Graph, *ch.Hierarchy) {
+	t.Helper()
+	return g, ch.BuildKruskal(g)
+}
+
+// A snapshot must survive write → read → write byte-identically: the decoded
+// graph and hierarchy are exactly the stored arrays, with nothing re-derived
+// differently on the way through.
+func TestRoundTripByteIdentical(t *testing.T) {
+	for _, g0 := range []*graph.Graph{
+		gen.Random(500, 2000, 1<<10, gen.UWD, 7),
+		gen.RMATGraph(256, 1024, 4, gen.UWD, 2),
+		gen.Path(40, 9),
+		func() *graph.Graph { // disconnected: exercises the virtual root
+			b := graph.NewBuilder(6)
+			b.MustAddEdge(0, 1, 3)
+			b.MustAddEdge(2, 3, 5)
+			return b.Build()
+		}(),
+		func() *graph.Graph { // self-loop stored once in CSR
+			b := graph.NewBuilder(3)
+			b.MustAddEdge(0, 1, 2)
+			b.MustAddEdge(2, 2, 9)
+			return b.Build()
+		}(),
+		graph.NewBuilder(1).Build(),
+		graph.NewBuilder(0).Build(),
+	} {
+		g, h := buildPair(t, g0)
+		var buf1 bytes.Buffer
+		n, err := Write(&buf1, g, h)
+		if err != nil {
+			t.Fatalf("Write(%v): %v", g, err)
+		}
+		if int64(buf1.Len()) != n {
+			t.Fatalf("Write reported %d bytes, wrote %d", n, buf1.Len())
+		}
+		g2, h2, err := Read(bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			t.Fatalf("Read(%v): %v", g, err)
+		}
+		if g2.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("%v: graph fingerprint changed", g)
+		}
+		if h2.NumNodes() != h.NumNodes() || h2.Root() != h.Root() || h2.MaxLevel() != h.MaxLevel() {
+			t.Fatalf("%v: hierarchy structure changed", g)
+		}
+		var buf2 bytes.Buffer
+		if _, err := Write(&buf2, g2, h2); err != nil {
+			t.Fatalf("re-Write(%v): %v", g, err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%v: snapshot not byte-identical after round trip (%d vs %d bytes)",
+				g, buf1.Len(), buf2.Len())
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	g, h := buildPair(t, gen.Random(300, 1200, 256, gen.UWD, 3))
+	var buf bytes.Buffer
+	if _, err := Write(&buf, g, h); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   flip(raw, 0),
+		"bad version": flip(raw, 8),
+		"header only": raw[:20],
+	}
+	// Truncate at many depths: inside the header, the graph section, the CH
+	// section, and just shy of the final checksum.
+	for _, cut := range []int{5, 14, 40, len(raw) / 4, len(raw) / 2, len(raw) - 1} {
+		cases[filepath.Join("truncated", "cut")+string(rune('a'+cut%26))] = raw[:cut]
+	}
+	// Flip one byte in every region of the file: header fingerprint, graph
+	// payload, graph checksum, CH payload, trailing checksum.
+	for _, at := range []int{13, 25, 60, len(raw) / 3, len(raw) / 2, 2 * len(raw) / 3, len(raw) - 3} {
+		cases["flipped@"+string(rune('a'+at%26))] = flip(raw, at)
+	}
+	for name, data := range cases {
+		if _, _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func flip(b []byte, at int) []byte {
+	c := append([]byte(nil), b...)
+	c[at] ^= 0x20
+	return c
+}
+
+// Splicing the CH section of one snapshot onto the graph of another must be
+// refused even though both sections are individually well-checksummed.
+func TestReadRejectsSplicedSections(t *testing.T) {
+	ga, ha := buildPair(t, gen.Random(200, 800, 256, gen.UWD, 1))
+	gb, hb := buildPair(t, gen.Random(200, 800, 256, gen.UWD, 2))
+	var a, b bytes.Buffer
+	if _, err := Write(&a, ga, ha); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(&b, gb, hb); err != nil {
+		t.Fatal(err)
+	}
+	// Find the CH section start (the "CHIE" tag) in both files.
+	ai := bytes.Index(a.Bytes(), []byte("CHIE"))
+	bi := bytes.Index(b.Bytes(), []byte("CHIE"))
+	if ai < 0 || bi < 0 {
+		t.Fatal("CHIE tag not found")
+	}
+	spliced := append(append([]byte(nil), a.Bytes()[:ai]...), b.Bytes()[bi:]...)
+	if _, _, err := Read(bytes.NewReader(spliced)); err == nil {
+		t.Fatal("accepted a snapshot whose CH section belongs to a different graph")
+	}
+}
+
+func TestWriteFileAtomicAndReadFile(t *testing.T) {
+	g, h := buildPair(t, gen.Random(200, 800, 64, gen.UWD, 5))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.snap")
+	if err := WriteFile(path, g, h); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.snap" {
+		t.Fatalf("snapshot dir should hold exactly g.snap, got %v", entries)
+	}
+	g2, h2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Fingerprint() != g.Fingerprint() || h2.NumNodes() != h.NumNodes() {
+		t.Fatal("ReadFile returned a different instance")
+	}
+	// Unwritable destination: no stray temp files.
+	if err := WriteFile(filepath.Join(dir, "missing", "x.snap"), g, h); err == nil {
+		t.Fatal("expected error for unwritable directory")
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("stray files: %v", entries)
+	}
+}
+
+func TestReadFingerprintHeaderOnly(t *testing.T) {
+	g, h := buildPair(t, gen.Random(100, 400, 16, gen.UWD, 9))
+	var buf bytes.Buffer
+	if _, err := Write(&buf, g, h); err != nil {
+		t.Fatal(err)
+	}
+	// Only the 32-byte header is needed.
+	fp, err := ReadFingerprint(bytes.NewReader(buf.Bytes()[:32]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != g.Fingerprint() {
+		t.Fatalf("header fingerprint %v, want %v", fp, g.Fingerprint())
+	}
+}

@@ -21,6 +21,10 @@
 //   - engine: the query-execution plane (internal/engine) answers a
 //     concurrent mixed workload — singleflight races, cache hits, explicit
 //     solvers, batches — identically to Dijkstra (engine.go).
+//   - catalog: the multi-graph catalog (internal/catalog) survives reloads,
+//     loads, and unloads racing beneath live queries without ever failing an
+//     acquire on a ready graph or serving a stale generation's distances
+//     (catalog.go).
 //
 // Failures are minimized by a built-in shrinker (shrink.go) and emitted as
 // self-contained DIMACS repro files (repro.go) that cmd/stress can replay.
@@ -284,6 +288,13 @@ func CheckInstance(cfg Config, rt *par.Runtime, name string, g *graph.Graph, sou
 		// The query-execution engine under a concurrent mixed workload
 		// (dedup races, cache hits, batches) over the same instance.
 		if f := checkEngine(cfg, name, g, sources, in); f != nil {
+			return f
+		}
+
+		// The graph catalog under admin churn: reloads hot-swapping
+		// generations beneath live queries, a second name loading and
+		// unloading beside them (catalog.go).
+		if f := checkCatalog(cfg, name, g, sources); f != nil {
 			return f
 		}
 	}
