@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine bench-catalog check stress fuzz experiments examples clean
+.PHONY: all build vet test race bench bench-engine bench-catalog bench-trace check docs-check stress fuzz experiments examples clean
 
 all: build vet test
 
@@ -21,7 +21,7 @@ race:
 	$(GO) test -race ./internal/core ./internal/cc ./internal/deltastep \
 		./internal/par ./internal/bfs ./internal/mta ./internal/digraph \
 		./internal/obs ./internal/engine ./internal/catalog ./internal/snapshot \
-		./cmd/ssspd .
+		./internal/trace ./cmd/ssspd .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -39,14 +39,29 @@ bench-catalog:
 	BENCH_CATALOG_OUT=$(CURDIR)/BENCH_catalog.json \
 		$(GO) test -run TestWriteCatalogBenchJSON -count=1 -v ./internal/catalog
 
-# Fast pre-merge gate: static checks, the race detector over the concurrent
-# traversal core, the query engine, the graph catalog and snapshot format,
-# and the daemon middleware, and the seeded stress sweep.
+# Tracing overhead benchmark: client-observed p50/p99 query latency with the
+# tracing layer at its default 1-in-100 sampling vs disabled, written to
+# BENCH_trace.json. Fails if the p50 overhead reaches 5%.
+bench-trace:
+	BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace.json \
+		$(GO) test -run TestWriteTraceBenchJSON -count=1 -v ./cmd/ssspd
+
+# Fast pre-merge gate: static checks, the documentation linter, the race
+# detector over the concurrent traversal core, the query engine, the graph
+# catalog and snapshot format, the tracing layer, and the daemon middleware,
+# and the seeded stress sweep.
 check:
 	$(GO) vet ./...
+	$(MAKE) docs-check
 	$(GO) test -race ./internal/core/... ./internal/engine/... \
-		./internal/catalog/... ./internal/snapshot/... ./cmd/ssspd/...
+		./internal/catalog/... ./internal/snapshot/... ./internal/trace/... \
+		./cmd/ssspd/...
 	$(MAKE) stress
+
+# Documentation lint: every intra-repo markdown link must resolve and every
+# internal/* package must carry a package comment (see cmd/docscheck).
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 # Deterministic differential/metamorphic stress sweep, race-enabled: every
 # graph family x every solver, cross-checked pairwise, certified, transformed,

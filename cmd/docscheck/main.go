@@ -1,0 +1,135 @@
+// Command docscheck is the repo's documentation linter, run by `make
+// docs-check` (and transitively by `make check`). It enforces two invariants
+// that rot silently otherwise:
+//
+//   - Every intra-repo markdown link resolves. All *.md files are scanned for
+//     [text](target) links; relative targets (after stripping #anchors) must
+//     exist on disk. External schemes (http, https, mailto) and pure-anchor
+//     links are skipped, as are links inside fenced code blocks.
+//
+//   - Every internal/* package has a package comment. godoc is the first
+//     thing a reader sees; a bare `package foo` clause means the package's
+//     purpose lives only in tribal knowledge.
+//
+// Exit status is non-zero if any problem is found, with one line per problem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches the target of inline markdown links and images. The target
+// group stops at whitespace or ')' so titles ([t](url "title")) don't leak in.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	checkMarkdownLinks(*root, report)
+	checkPackageComments(*root, report)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// checkMarkdownLinks verifies that every relative link in every *.md file
+// under root points at an existing file or directory.
+func checkMarkdownLinks(root string, report func(string, ...any)) {
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			report("%s: %v", path, err)
+			return nil
+		}
+		inFence := false
+		for ln, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" || strings.Contains(target, "://") ||
+					strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					report("%s:%d: broken link %q (%s does not exist)",
+						path, ln+1, m[1], resolved)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// checkPackageComments verifies that every package under internal/ carries a
+// package comment in at least one of its non-test files.
+func checkPackageComments(root string, report func(string, ...any)) {
+	internal := filepath.Join(root, "internal")
+	dirs := map[string]bool{} // dir -> has a package comment
+	fset := token.NewFileSet()
+	filepath.WalkDir(internal, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") ||
+			strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if _, ok := dirs[dir]; !ok {
+			dirs[dir] = false
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			report("%s: %v", path, err)
+			return nil
+		}
+		if f.Doc != nil {
+			dirs[dir] = true
+		}
+		return nil
+	})
+	for dir, documented := range dirs {
+		if !documented {
+			report("%s: package has no package comment (add a doc.go)", dir)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func run(t *testing.T, root string) []string {
+	t.Helper()
+	var got []string
+	report := func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	}
+	checkMarkdownLinks(root, report)
+	checkPackageComments(root, report)
+	return got
+}
+
+func TestLinksAndComments(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "README.md"), strings.Join([]string{
+		"[good](DESIGN.md) and [anchored](DESIGN.md#section)",
+		"[external](https://example.com/x.md) [mail](mailto:a@b)",
+		"[anchor-only](#local) [broken](MISSING.md)",
+		"```",
+		"[inside a fence](ALSO_MISSING.md)",
+		"```",
+		"[img] ![shot](img/missing.png)",
+	}, "\n"))
+	write(t, filepath.Join(root, "DESIGN.md"), "# design\n[up](README.md)\n")
+	write(t, filepath.Join(root, "internal/documented/doc.go"),
+		"// Package documented has a comment.\npackage documented\n")
+	write(t, filepath.Join(root, "internal/documented/other.go"), "package documented\n")
+	write(t, filepath.Join(root, "internal/bare/bare.go"), "package bare\n")
+	write(t, filepath.Join(root, "internal/bare/bare_test.go"),
+		"// Package bare — test files don't count.\npackage bare\n")
+
+	got := run(t, root)
+	want := []string{`broken link "MISSING.md"`, `broken link "img/missing.png"`, "internal/bare"}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected a problem mentioning %q, got %v", w, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d problems %v, want %d", len(got), got, len(want))
+	}
+	for _, g := range got {
+		if strings.Contains(g, "ALSO_MISSING") {
+			t.Errorf("link inside code fence reported: %s", g)
+		}
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	// The real repo must pass its own linter; `make docs-check` enforces the
+	// same from the command line.
+	if got := run(t, "../.."); len(got) != 0 {
+		t.Errorf("docscheck problems in repo:\n%s", strings.Join(got, "\n"))
+	}
+}

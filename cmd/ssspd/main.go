@@ -25,7 +25,8 @@
 //	POST /graphs/reload            admin: rebuild a graph and hot-swap it in
 //	POST /graphs/unload            admin: drain a graph out of service
 //	GET  /stats                    instance, hierarchy, cache, and catalog statistics
-//	GET  /metrics                  per-endpoint + engine + catalog metrics, Thorup trace
+//	GET  /metrics                  per-endpoint + engine + catalog + tracing + runtime metrics
+//	GET  /debug/traces             retained request traces (span trees), filterable
 //	GET  /healthz                  liveness
 //
 // Graphs live in an internal/catalog: background workers build hierarchies
@@ -40,6 +41,15 @@
 // queries execute at once and excess load is shed with 503 + Retry-After.
 // Each request carries a -timeout context deadline (exceeded queries answer
 // 504). SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// Every query request is traced (internal/trace): the X-Trace-Id request
+// header is honoured (or an ID generated and echoed back), spans record
+// admission, catalog acquire, engine stages, and solver phases, and finished
+// traces are tail-sampled (1 in -trace-sample, plus everything slower than
+// -slow-query and everything with a client-supplied ID) into a ring of
+// -trace-ring traces served by GET /debug/traces. Profiling via
+// net/http/pprof is opt-in on a separate -pprof-addr listener so a CPU
+// profile can never compete with query admission.
 package main
 
 import (
@@ -50,6 +60,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -65,6 +76,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -85,6 +97,10 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte budget per graph (0 = entry-bounded only)")
 		memBudget    = flag.Int64("mem-budget", 0, "memory budget in bytes for ready graphs; idle graphs are evicted LRU-first beyond it (0 = unlimited)")
 		buildWorkers = flag.Int("build-workers", 2, "background graph build workers")
+		traceSample  = flag.Int("trace-sample", 100, "tail-sample 1 in N finished query traces into /debug/traces (0 disables tracing)")
+		traceRing    = flag.Int("trace-ring", 256, "retained-trace ring buffer capacity for /debug/traces")
+		slowQuery    = flag.Duration("slow-query", 0, "log and always retain query traces at least this slow (0 disables the slow-query log)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty disables profiling)")
 	)
 	flag.Parse()
 
@@ -117,8 +133,13 @@ func main() {
 		engine:       engine.Config{CacheEntries: *cacheEntries, CacheBytes: *cacheBytes},
 		memBudget:    *memBudget,
 		buildWorkers: *buildWorkers,
+		trace:        trace.Config{SampleN: *traceSample, RingSize: *traceRing, SlowQuery: *slowQuery},
 	})
 	defer srv.cat.Close()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -185,6 +206,24 @@ type serverOptions struct {
 	engine       engine.Config
 	memBudget    int64
 	buildWorkers int
+	trace        trace.Config
+}
+
+// servePprof serves net/http/pprof on its own listener, explicitly routed so
+// none of the profiling handlers ever appear on the query listener: a CPU
+// profile or heap dump must not compete with query admission for connection
+// or worker capacity.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("ssspd: pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("ssspd: pprof listener: %v", err)
+	}
 }
 
 // server fronts the graph catalog: every query resolves ?graph= (default:
@@ -197,6 +236,7 @@ type server struct {
 	ecfg         engine.Config
 
 	metrics *obs.Registry
+	tracer  *trace.Tracer
 	sem     chan struct{} // admission: one token per in-flight query
 	timeout time.Duration
 }
@@ -223,12 +263,17 @@ func newServer(g *graph.Graph, h *ch.Hierarchy, name string, src catalog.Source,
 	if _, err := cat.AddPrebuilt(name, src, g, h); err != nil {
 		panic(err) // fresh catalog: the only failure is a duplicate name
 	}
+	tcfg := opts.trace
+	if tcfg.Logf == nil {
+		tcfg.Logf = func(format string, args ...any) { log.Printf("ssspd: "+format, args...) }
+	}
 	return &server{
 		cat:          cat,
 		defaultGraph: name,
 		ecfg:         opts.engine,
 		metrics: obs.NewRegistry("healthz", "stats", "metrics", "sssp", "dist", "st", "table", "batch",
-			"graphs", "graphs_load", "graphs_reload", "graphs_unload"),
+			"graphs", "graphs_load", "graphs_reload", "graphs_unload", "debug_traces"),
+		tracer:  trace.New(tcfg),
 		sem:     make(chan struct{}, opts.maxInflight),
 		timeout: opts.timeout,
 	}
@@ -250,13 +295,20 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("POST /graphs/load", s.instrument("graphs_load", false, s.handleGraphLoad))
 	m.HandleFunc("POST /graphs/reload", s.instrument("graphs_reload", false, s.handleGraphReload))
 	m.HandleFunc("POST /graphs/unload", s.instrument("graphs_unload", false, s.handleGraphUnload))
+	m.HandleFunc("GET /debug/traces", s.instrument("debug_traces", false, s.handleDebugTraces))
 	return m
 }
 
 // instrument wraps a handler with the daemon's middleware: in-flight gauge,
 // request counting, latency histogram, status classing, structured access
-// logging, and — for query endpoints (admit=true) — semaphore admission
-// control and the per-request context deadline.
+// logging, and — for query endpoints (admit=true) — request tracing,
+// semaphore admission control, and the per-request context deadline.
+//
+// Tracing covers query endpoints only: a trace is started per request (under
+// the client's X-Trace-Id when one is supplied; the resolved ID is echoed in
+// the response header either way), the admission decision is recorded as an
+// "admission_wait" span, and the finished trace is handed to the tracer for
+// tail sampling, slow-query logging, and the stage histograms.
 func (s *server) instrument(name string, admit bool, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.metrics.Endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -265,17 +317,27 @@ func (s *server) instrument(name string, admit bool, h http.HandlerFunc) http.Ha
 		defer ep.InFlight.Dec()
 		rw := &statusWriter{ResponseWriter: w}
 
+		var tr *trace.Trace
 		if admit {
+			tr = s.tracer.StartRequest(r.Header.Get("X-Trace-Id"), name)
+			if tr != nil {
+				rw.Header().Set("X-Trace-Id", tr.ID())
+				r = r.WithContext(trace.NewContext(r.Context(), tr))
+			}
+			adm := tr.StartSpan("admission_wait")
 			select {
 			case s.sem <- struct{}{}:
+				adm.End()
 				defer func() { <-s.sem }()
 			default:
 				// Saturated: shed instead of queueing unboundedly. The client
 				// is told when to come back; a well-behaved one backs off.
+				adm.SetAttr("shed", true)
+				adm.End()
 				ep.Shed.Inc()
 				rw.Header().Set("Retry-After", "1")
 				httpError(rw, http.StatusServiceUnavailable, "overloaded: query admission limit reached")
-				s.finish(name, ep, rw, r, start)
+				s.finish(name, ep, rw, r, start, tr)
 				return
 			}
 			if s.timeout > 0 {
@@ -285,13 +347,13 @@ func (s *server) instrument(name string, admit bool, h http.HandlerFunc) http.Ha
 			}
 		}
 		h(rw, r)
-		s.finish(name, ep, rw, r, start)
+		s.finish(name, ep, rw, r, start, tr)
 	}
 }
 
-// finish records the completed request in the endpoint metrics and emits one
-// structured access-log line.
-func (s *server) finish(name string, ep *obs.Endpoint, rw *statusWriter, r *http.Request, start time.Time) {
+// finish records the completed request in the endpoint metrics, seals its
+// trace, and emits one structured access-log line.
+func (s *server) finish(name string, ep *obs.Endpoint, rw *statusWriter, r *http.Request, start time.Time, tr *trace.Trace) {
 	d := time.Since(start)
 	ep.Requests.Inc()
 	ep.Latency.Observe(d)
@@ -299,6 +361,7 @@ func (s *server) finish(name string, ep *obs.Endpoint, rw *statusWriter, r *http
 	if rw.Status() == http.StatusGatewayTimeout {
 		ep.Timeout.Inc()
 	}
+	s.tracer.Finish(tr, rw.Status())
 	log.Printf("ssspd: access endpoint=%s method=%s path=%q status=%d bytes=%d dur=%s remote=%s",
 		name, r.Method, truncate(r.URL.RequestURI(), 256), rw.Status(), rw.bytes, d.Round(time.Microsecond), r.RemoteAddr)
 }
@@ -351,7 +414,7 @@ func (s *server) graphFor(w http.ResponseWriter, r *http.Request) (*catalog.Gene
 	if name == "" {
 		name = s.defaultGraph
 	}
-	gen, release, err := s.cat.Acquire(name)
+	gen, release, err := s.cat.AcquireTraced(r.Context(), name)
 	if err == nil {
 		return gen, release, true
 	}
@@ -467,6 +530,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"inflight_limit": cap(s.sem),
 		"endpoints":      s.metrics.Snapshot(),
 		"catalog":        s.cat.StatsSnapshot(),
+		"tracing":        s.tracer.StatsSnapshot(),
+		"runtime":        obs.ReadRuntimeStats(),
 	}
 	// Engine and Thorup sections come from the default graph's current
 	// generation; while it is unavailable (draining, reloading after a
@@ -490,6 +555,36 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		release()
 	}
 	writeJSON(w, doc)
+}
+
+// handleDebugTraces serves the retained request traces, newest first.
+// Filters: ?min_ms= keeps traces at least that slow, ?graph= and ?solver=
+// match the trace's resolved graph and solver, ?limit= caps the count
+// (default 50).
+func (s *server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := trace.Filter{Graph: q.Get("graph"), Solver: q.Get("solver"), Limit: 50}
+	if raw := q.Get("min_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, "min_ms must be a non-negative number of milliseconds")
+			return
+		}
+		f.MinDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		f.Limit = n
+	}
+	writeJSON(w, map[string]any{
+		"enabled": s.tracer.Enabled(),
+		"held":    s.tracer.Retained(),
+		"traces":  s.tracer.Traces(f),
+	})
 }
 
 func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
@@ -763,6 +858,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = engine.Request{Sources: srcs, Solver: name}
 	}
+	// Every item inherits the request's trace ID: batch items are spans of
+	// the parent trace, not traces of their own, so one slow item is found
+	// by the one ID the client already holds.
+	traceID := trace.FromContext(r.Context()).ID()
 	runWithDeadline(w, r, release, func() any {
 		results := gen.Engine.Batch(r.Context(), reqs)
 		out := make([]map[string]any, len(results))
@@ -770,13 +869,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if br.Err != nil {
 				qe := errResp(br.Err).(queryError)
 				out[i] = map[string]any{"error": qe.msg, "status": qe.code}
-				continue
+			} else {
+				out[i] = summary(br.Res, br.Via)
+				if breq.Full {
+					out[i]["dist"] = json.RawMessage(br.Res.DistJSON())
+				}
 			}
-			item := summary(br.Res, br.Via)
-			if breq.Full {
-				item["dist"] = json.RawMessage(br.Res.DistJSON())
+			if traceID != "" {
+				out[i]["trace_id"] = traceID
 			}
-			out[i] = item
 		}
 		return map[string]any{"results": out}
 	})

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/ch"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// traceBenchVerts sizes the overhead-measurement graph: mid-size, so a query
+// costs what serving actually costs (solve + encode dominate) rather than the
+// micro graph the batch benchmarks use to isolate per-request overhead.
+const traceBenchVerts = 1 << 11
+
+// tracedBenchServer is benchServer with a tracing config: sampleN 0 is the
+// disabled baseline, 100 the production default (1-in-100 tail sampling).
+func tracedBenchServer(tb testing.TB, sampleN int) (*httptest.Server, func()) {
+	tb.Helper()
+	g := gen.Random(traceBenchVerts, 1<<13, 1<<10, gen.UWD, 99)
+	srv := newServer(g, ch.BuildKruskal(g), "bench", catalog.Source{}, serverOptions{
+		workers: 2, maxInflight: 256, timeout: time.Minute,
+		engine: engine.Config{CacheEntries: 0},
+		trace:  trace.Config{SampleN: sampleN, RingSize: 256, Logf: func(string, ...any) {}},
+	})
+	ts := httptest.NewServer(srv.mux())
+	old := log.Writer()
+	log.SetOutput(io.Discard)
+	return ts, func() {
+		ts.Close()
+		srv.cat.Close()
+		log.SetOutput(old)
+	}
+}
+
+// sampleLatencies runs count sequential queries and returns each one's
+// client-observed wall time.
+func sampleLatencies(tb testing.TB, ts *httptest.Server, client *http.Client, count int) []time.Duration {
+	out := make([]time.Duration, count)
+	for i := 0; i < count; i++ {
+		start := time.Now()
+		resp, err := client.Get(fmt.Sprintf("%s/sssp?src=%d&solver=dijkstra", ts.URL, i%traceBenchVerts))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		out[i] = time.Since(start)
+		if resp.StatusCode != 200 {
+			tb.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	return out
+}
+
+func percentile(samples []time.Duration, p float64) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+// TestWriteTraceBenchJSON emits BENCH_trace.json when BENCH_TRACE_OUT is set
+// (see `make bench-trace`): client-observed query latency with tracing at the
+// default 1-in-100 sampling versus tracing disabled. Rounds alternate between
+// the two servers so machine drift (frequency scaling, background load) hits
+// both sides equally; p50 over all rounds is the headline number. The tracing
+// layer records spans for every request when enabled — sampling only gates
+// retention — so this measures the full per-request recording cost.
+func TestWriteTraceBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_TRACE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_TRACE_OUT=path to write the tracing benchmark JSON")
+	}
+
+	const (
+		rounds   = 8
+		perRound = 150
+	)
+	tsOff, doneOff := tracedBenchServer(t, 0)
+	defer doneOff()
+	tsOn, doneOn := tracedBenchServer(t, 100)
+	defer doneOn()
+	clientOff, clientOn := tsOff.Client(), tsOn.Client()
+
+	// Warm both sides: connection setup, first-solve page faults, JIT'd maps.
+	sampleLatencies(t, tsOff, clientOff, perRound)
+	sampleLatencies(t, tsOn, clientOn, perRound)
+
+	var off, on []time.Duration
+	for r := 0; r < rounds; r++ {
+		off = append(off, sampleLatencies(t, tsOff, clientOff, perRound)...)
+		on = append(on, sampleLatencies(t, tsOn, clientOn, perRound)...)
+	}
+
+	p50Off, p50On := percentile(off, 0.50), percentile(on, 0.50)
+	p99Off, p99On := percentile(off, 0.99), percentile(on, 0.99)
+	overheadPct := 100 * (float64(p50On) - float64(p50Off)) / float64(p50Off)
+
+	doc := map[string]any{
+		"sample_n":          100,
+		"rounds":            rounds,
+		"queries_per_round": perRound,
+		"tracing_off": map[string]any{
+			"p50_us": p50Off.Microseconds(), "p99_us": p99Off.Microseconds(),
+		},
+		"tracing_on": map[string]any{
+			"p50_us": p50On.Microseconds(), "p99_us": p99On.Microseconds(),
+		},
+		"p50_overhead_pct": overheadPct,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: p50 off=%s on=%s overhead=%.2f%%", out, p50Off, p50On, overheadPct)
+	if overheadPct >= 5 {
+		t.Errorf("tracing p50 overhead %.2f%% at 1-in-100 sampling, want < 5%%", overheadPct)
+	}
+}

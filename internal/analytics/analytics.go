@@ -1,9 +1,3 @@
-// Package analytics implements the graph-analysis workloads the paper's
-// introduction motivates ("unstructured networks, such as social networks and
-// economic transaction networks"): centrality and distance statistics that
-// consume many shortest-path trees. Every routine is built on batched
-// shared-Component-Hierarchy Thorup queries — the access pattern the paper's
-// Figure 5 shows this system is built for.
 package analytics
 
 import (

@@ -1,0 +1,9 @@
+// Package analytics implements the graph-analysis workloads the paper's
+// introduction motivates ("unstructured networks, such as social networks and
+// economic transaction networks"): centrality and distance statistics that
+// consume many shortest-path trees. Every routine is built on batched
+// shared-Component-Hierarchy Thorup queries — the access pattern the paper's
+// Figure 5 shows this system is built for.
+//
+// See DESIGN.md §3 ("System inventory") for how this package fits the system.
+package analytics

@@ -1,0 +1,14 @@
+// Package bfs provides breadth-first search, the other flagship kernel of
+// the MTGL on the MTA-2 (the paper's companion work, Bader/Madduri's
+// "Designing Multithreaded Algorithms for Breadth-First Search and
+// st-connectivity on the Cray MTA-2", shares this code lineage). BFS is the
+// unweighted special case of SSSP and doubles as an oracle: on a unit-weight
+// graph every solver in this repository must produce exactly these levels.
+//
+// The parallel variant is level-synchronous: each frontier expands in one
+// parallel sweep, discoveries are claimed with a CAS on the level array, and
+// the next frontier is compacted through an atomic cursor — the MTA
+// int_fetch_add idiom.
+//
+// See DESIGN.md §3 ("System inventory") for how this package fits the system.
+package bfs

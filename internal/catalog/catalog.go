@@ -1,17 +1,3 @@
-// Package catalog manages a set of named shortest-path instances — graph,
-// Component Hierarchy, and query engine — behind one serving surface. The
-// paper's two-phase shape (build the hierarchy once, answer many queries)
-// makes the build the expensive step, so the catalog keeps it entirely off
-// the request path: background workers load snapshots or build hierarchies,
-// warm the fresh engine, and then install the result with a single atomic
-// generation swap. In-flight queries keep the generation they acquired until
-// they release it, so a reload never fails a running query and never lets a
-// query observe a mix of old and new state.
-//
-// Each graph moves through an explicit lifecycle (see State), and the
-// catalog enforces a memory budget by evicting the least-recently-used idle
-// graph; evicted graphs remember their source and can be loaded again on
-// demand.
 package catalog
 
 import (
@@ -31,6 +17,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/snapshot"
 	"repro/internal/solver"
+	"repro/internal/trace"
 )
 
 // ErrUnknownGraph marks queries that name a graph the catalog has never
@@ -401,6 +388,27 @@ func (c *Catalog) Acquire(name string) (*Generation, func(), error) {
 	c.counters.C(cAcquires).Inc()
 	var once sync.Once
 	return gen, func() { once.Do(gen.release) }, nil
+}
+
+// AcquireTraced is Acquire with request tracing: when ctx carries a trace,
+// the acquire is recorded as a "catalog_acquire" span under the context's
+// current span, annotated with the resolved generation (or the failure), and
+// the trace is tagged with the graph name for /debug/traces?graph= filtering.
+func (c *Catalog) AcquireTraced(ctx context.Context, name string) (*Generation, func(), error) {
+	sp := trace.SpanFromContext(ctx)
+	if sp == nil {
+		return c.Acquire(name)
+	}
+	acq := sp.StartChild("catalog_acquire")
+	gen, release, err := c.Acquire(name)
+	if err != nil {
+		acq.SetAttr("error", err.Error())
+	} else {
+		acq.SetAttr("gen", gen.Gen)
+		sp.Trace().SetGraph(name)
+	}
+	acq.End()
+	return gen, release, err
 }
 
 // runJob executes one background build: load the source, build the

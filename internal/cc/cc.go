@@ -1,29 +1,3 @@
-// Package cc provides connected-components kernels, the substrate the paper's
-// Component Hierarchy construction is built on (paper §3.1: "Our
-// implementation relies on repeated calls of a connected components
-// algorithm, and we use the bully algorithm for connected components
-// available in the MultiThreaded Graph Library").
-//
-// Four kernels are provided:
-//
-//   - SerialBFS: a queue-based serial sweep; the correctness oracle.
-//   - UnionFind: serial union-find with path halving; the fast serial choice.
-//   - ShiloachVishkin: the classic PRAM algorithm (hook roots onto smaller
-//     labels, then pointer-jump). On the MTA-2 its root label is a memory
-//     hot spot.
-//   - Bully: an aggressive-grafting variant in the spirit of MTGL's bully
-//     algorithm, which spreads updates across grandparent pointers instead
-//     of funnelling them through component roots, avoiding the hot spot and
-//     converging in fewer rounds.
-//
-// Every kernel takes an exclusive weight bound: only edges with weight < below
-// participate. This is exactly the operation Algorithm 1 of the paper needs
-// at each level of the hierarchy ("remove edges of weight >= 2^i ... find the
-// connected components").
-//
-// All kernels return a dense component labelling (label[v] in [0, count)) in
-// which labels are assigned in order of the smallest vertex id per component,
-// so all four kernels produce the identical labelling for the same input.
 package cc
 
 import (

@@ -1,7 +1,3 @@
-// Package cli holds the instance-specification logic shared by the command
-// line tools (cmd/sssp, cmd/gengraph, cmd/chstat): parsing a generator spec
-// or loading a DIMACS file, with uniform naming and errors. Factoring it here
-// keeps the tools thin and makes the logic unit-testable.
 package cli
 
 import (

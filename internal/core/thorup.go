@@ -1,42 +1,3 @@
-// Package core implements the paper's primary contribution: a multithreaded
-// version of Thorup's linear-time single-source shortest path algorithm for
-// undirected graphs with positive integer weights, driven by the Component
-// Hierarchy of internal/ch.
-//
-// # Algorithm
-//
-// Thorup's insight (his Lemma, restated as Lemma 1 in the paper) is that if
-// the vertex set splits into components whose crossing edges all weigh at
-// least delta = 2^(i-1), then any vertex v minimising d(v) within a component
-// whose minimum lies within delta of the global minimum is already settled
-// (d(v) = delta(v)) and may be visited in any order — in particular, in
-// parallel. The Component Hierarchy organises exactly these components: a
-// node at level i buckets its children by minD(child) >> (i-1), and all
-// children in the lowest occupied bucket can be visited concurrently,
-// recursively, until leaves are reached and settled.
-//
-// # Parallel implementation (paper §3.2, §3.3)
-//
-//   - d and minD are maintained with atomic CAS-min; a successful relaxation
-//     propagates its value from the leaf toward the root, stopping early at
-//     the first ancestor that is already low enough (the paper locks minD
-//     and observes values are "not propagated very far up the CH in
-//     practice" — the early stop is the same phenomenon).
-//   - Buckets are virtual: no bucket lists exist. A node's current bucket is
-//     minD >> shift and membership is discovered by scanning its children —
-//     the paper's Figure 3 loop. Insertion is therefore a single store and
-//     needs no concurrent data structure.
-//   - minD increases (bucket advances) are performed only by the node's
-//     visitor at quiescent points, with a rescan after each raise to close
-//     the race against concurrent CAS-min decreases.
-//   - The toVisit set is built by one of two strategies: Naive always runs
-//     the scan as an all-processor loop (the paper's "Thorup A"), Selective
-//     picks serial / single-processor / all-processors from the child count
-//     (the paper's "Thorup B", its §3.3 contribution, ~2x in Table 6).
-//
-// A Solver wraps one Component Hierarchy and hands out independent Query
-// objects; any number of queries may run concurrently against the shared
-// hierarchy (the paper's Figure 5 experiment and its motivating use case).
 package core
 
 import (

@@ -40,6 +40,23 @@ func (t Trace) HopsPerRelaxation() float64 {
 	return float64(t.PropagationHops) / float64(t.Relaxations)
 }
 
+// AttrMap shapes the counters as span attributes for a request-tracing
+// layer: the solver-phase breakdown (settled vertices, relaxations, upward
+// minD propagation, toVisit gathers, bucket expansions) of one traversal,
+// keyed like the /metrics "thorup" section.
+func (t Trace) AttrMap() map[string]any {
+	return map[string]any{
+		"settled":          t.Settled,
+		"relaxations":      t.Relaxations,
+		"propagation_hops": t.PropagationHops,
+		"gathers":          t.Gathers,
+		"gather_scanned":   t.GatherScanned,
+		"gather_taken":     t.GatherTaken,
+		"bucket_advances":  t.BucketAdvances,
+		"max_tovisit":      t.MaxTovisit,
+	}
+}
+
 func (t Trace) String() string {
 	return fmt.Sprintf("trace{settled=%d relax=%d hops/relax=%.2f gathers=%d advances=%d maxTovisit=%d}",
 		t.Settled, t.Relaxations, t.HopsPerRelaxation(), t.Gathers, t.BucketAdvances, t.MaxTovisit)

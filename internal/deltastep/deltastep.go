@@ -1,21 +1,3 @@
-// Package deltastep implements delta-stepping (Meyer & Sanders), the parallel
-// Dijkstra variant of Madduri et al. that the paper compares Thorup's
-// algorithm against (Table 5 and Figure 5).
-//
-// Delta-stepping groups queued vertices into buckets of width Delta. The
-// smallest non-empty bucket is emptied in sub-phases that relax only light
-// edges (weight < Delta; these may re-insert vertices into the current
-// bucket); once the bucket stays empty, the heavy edges (weight >= Delta) of
-// every vertex removed from it are relaxed in one final parallel phase.
-// Within a sub-phase all requests are independent, which is where the
-// parallelism comes from.
-//
-// The implementation is written against par.Runtime, so the same code runs
-// with real goroutines (relaxation via CAS-min) or on the simulated MTA-2
-// cost model. Bucket membership is lazy: insertions append (possibly
-// duplicate) candidates and the scan filters by the vertex's current bucket,
-// which avoids the concurrent-deletion problem the paper notes buckets have
-// on parallel machines.
 package deltastep
 
 import (

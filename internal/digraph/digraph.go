@@ -1,11 +1,3 @@
-// Package digraph provides the directed-graph substrate: the DIMACS
-// Challenge .gr format is natively a directed-arc format, and the
-// delta-stepping kernel the paper builds on (Madduri, Bader, Berry, Crobak)
-// was written "for solving large-scale instances" of *directed* graphs
-// before the paper adapted it to the undirected setting Thorup requires.
-// This package keeps that original form available: a CSR digraph, directed
-// Dijkstra and delta-stepping, and conversion to/from the undirected
-// representation.
 package digraph
 
 import (

@@ -1,11 +1,3 @@
-// Package dijkstra implements Dijkstra's algorithm, the classical comparison
-// point for every solver in this repository and the correctness oracle of the
-// test suite.
-//
-// Two priority queues are provided: a lazy binary heap (entries are never
-// decreased, stale entries are skipped on pop) and an indexed 4-ary heap with
-// true decrease-key. Their outputs are identical; the bench suite compares
-// their constants.
 package dijkstra
 
 import (

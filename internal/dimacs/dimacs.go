@@ -1,13 +1,3 @@
-// Package dimacs reads and writes the 9th DIMACS Implementation Challenge
-// shortest-path file formats, the formats of the instances the paper
-// evaluates on (paper §4.2):
-//
-//   - .gr graph files:   "c <comment>", "p sp <n> <m>", "a <u> <v> <w>"
-//   - .ss source files:  "c <comment>", "p aux sp ss <k>", "s <v>"
-//
-// Vertices are 1-based in the files and 0-based in memory. The Challenge's
-// .gr files list each undirected edge as two arcs; ReadGraph accepts both
-// that convention (pairs are collapsed) and single-arc-per-edge files.
 package dimacs
 
 import (

@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // BatchResult is the outcome of one batch item: either a shared Result or a
@@ -35,6 +37,10 @@ func (e *Engine) Batch(ctx context.Context, queries []Request) []BatchResult {
 	if workers > len(queries) {
 		workers = len(queries)
 	}
+	// When the batch request is traced, each item records an "item" span
+	// under the batch's current span, so the parent trace ID reaches every
+	// item; the per-trace span cap bounds what a 4096-item batch can attach.
+	parent := trace.SpanFromContext(ctx)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -45,7 +51,15 @@ func (e *Engine) Batch(ctx context.Context, queries []Request) []BatchResult {
 				// Workers always drain the channel; cancellation is observed
 				// per item (Query checks ctx up front), so the feeder below
 				// never blocks forever.
-				res, via, err := e.Query(ctx, queries[i])
+				ictx := ctx
+				var isp *trace.Span
+				if parent != nil {
+					isp = parent.StartChild("item")
+					isp.SetAttr("index", i)
+					ictx = trace.WithSpan(ctx, isp)
+				}
+				res, via, err := e.Query(ictx, queries[i])
+				isp.End()
 				out[i] = BatchResult{Res: res, Via: via, Err: err}
 			}
 		}()

@@ -1,0 +1,25 @@
+// Package engine is the query-execution plane between a serving layer
+// (cmd/ssspd's HTTP handlers) and the SSSP solvers. The paper's service shape
+// — one immutable Component Hierarchy, many cheap concurrent traversals — is
+// throughput-bound by per-query setup once traffic is heavy, so the engine
+// amortizes or eliminates every per-query cost it can:
+//
+//   - a query-state pool (sync.Pool) reuses Thorup query instances, Dijkstra
+//     scratch, and delta-stepping state instead of allocating per request;
+//     instances are scrubbed with their Reset methods when returned;
+//   - singleflight deduplication coalesces concurrent identical queries into
+//     one solver execution whose result every caller shares;
+//   - a bounded LRU cache (entry- and byte-budgeted) keeps recent distance
+//     vectors, together with their serialized JSON form, so repeated sources
+//     are answered without solving or re-marshaling;
+//   - a batch executor fans many sources of one request across a worker pool
+//     that shares the hierarchy, amortizing per-request overhead;
+//   - a solver-selection policy picks the cheapest applicable solver per
+//     query (BFS on unit weights, delta-stepping vs Thorup by instance
+//     shape), overridable per request.
+//
+// Results are immutable and shared between the cache and all callers: never
+// mutate Result.Dist.
+//
+// See DESIGN.md §8 ("Query engine") for how this package fits the system.
+package engine

@@ -1,25 +1,3 @@
-// Package engine is the query-execution plane between a serving layer
-// (cmd/ssspd's HTTP handlers) and the SSSP solvers. The paper's service shape
-// — one immutable Component Hierarchy, many cheap concurrent traversals — is
-// throughput-bound by per-query setup once traffic is heavy, so the engine
-// amortizes or eliminates every per-query cost it can:
-//
-//   - a query-state pool (sync.Pool) reuses Thorup query instances, Dijkstra
-//     scratch, and delta-stepping state instead of allocating per request;
-//     instances are scrubbed with their Reset methods when returned;
-//   - singleflight deduplication coalesces concurrent identical queries into
-//     one solver execution whose result every caller shares;
-//   - a bounded LRU cache (entry- and byte-budgeted) keeps recent distance
-//     vectors, together with their serialized JSON form, so repeated sources
-//     are answered without solving or re-marshaling;
-//   - a batch executor fans many sources of one request across a worker pool
-//     that shares the hierarchy, amortizing per-request overhead;
-//   - a solver-selection policy picks the cheapest applicable solver per
-//     query (BFS on unit weights, delta-stepping vs Thorup by instance
-//     shape), overridable per request.
-//
-// Results are immutable and shared between the cache and all callers: never
-// mutate Result.Dist.
 package engine
 
 import (
@@ -36,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/solver"
+	"repro/internal/trace"
 )
 
 // ErrBadQuery marks request errors (out-of-range vertices, unknown or
@@ -252,6 +231,12 @@ func (r *Result) DistJSON() []byte {
 // then a pooled solver execution. Waiters honour ctx; the execution itself
 // is not cancellable (a Thorup traversal cannot stop mid-flight), so the
 // leader always completes and caches its result even if its own ctx expires.
+//
+// When the context carries a request trace (internal/trace), the stages are
+// recorded as spans under the context's current span: "cache_lookup" (with a
+// hit attribute), then either "solve" (this caller was the singleflight
+// leader; pool checkout and solver-phase counters nest under it) or
+// "singleflight_wait" (this caller joined a leader's execution).
 func (e *Engine) Query(ctx context.Context, req Request) (*Result, Via, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, ViaSolve, err
@@ -260,14 +245,26 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, Via, error) {
 	if err != nil {
 		return nil, ViaSolve, err
 	}
-	if res, ok := e.cache.get(key); ok {
+	parent := trace.SpanFromContext(ctx)
+	parent.Trace().SetSolver(name)
+	lk := parent.StartChild("cache_lookup")
+	res, ok := e.cache.get(key)
+	lk.SetAttr("hit", ok)
+	lk.End()
+	if ok {
 		e.counters.C(cCacheHits).Inc()
 		return res, ViaCache, nil
 	}
 	e.counters.C(cCacheMisses).Inc()
+	// The wait span is only attached when this caller actually waited on
+	// another's execution; a leader's time is the solve span instead.
+	wait := parent.StartChild("singleflight_wait")
 	res, shared, err := e.flight.do(ctx, key, func() *Result {
-		return e.solve(name, srcs, key)
+		return e.solve(parent, name, srcs, key)
 	})
+	if shared {
+		wait.End()
+	}
 	if err != nil {
 		return nil, ViaDedup, err
 	}
@@ -321,35 +318,54 @@ func (e *Engine) plan(req Request) (name string, srcs []int32, key string, err e
 }
 
 // solve runs the named solver on the canonical source set with pooled state,
-// detaches the result, and caches it.
-func (e *Engine) solve(name string, srcs []int32, key string) *Result {
+// detaches the result, and caches it. parent is the singleflight leader's
+// trace position (nil when untraced): the execution is recorded as a "solve"
+// span with a nested "pool_checkout", annotated with the solver name, source
+// count, and — for Thorup — the solver-phase counters of core.Trace.
+func (e *Engine) solve(parent *trace.Span, name string, srcs []int32, key string) *Result {
 	e.counters.C(cSolves).Inc()
 	if c, ok := e.solverRuns[name]; ok {
 		c.Inc()
 	}
+	sp := parent.StartChild("solve")
+	sp.SetAttr("solver", name)
+	sp.SetAttr("sources", len(srcs))
+	defer sp.End()
 	var dist []int64
 	switch name {
 	case "thorup":
+		pc := sp.StartChild("pool_checkout")
 		q := e.qpool.Get().(*core.Query)
+		pc.End()
 		d := q.RunFromSources(srcs)
 		dist = append(make([]int64, 0, len(d)), d...)
 		if tr := q.Trace(); tr != nil {
-			e.traceAgg.Merge(tr.Snapshot())
+			snap := tr.Snapshot()
+			e.traceAgg.Merge(snap)
 			e.thorupRuns.Inc()
+			if sp != nil {
+				for k, v := range snap.AttrMap() {
+					sp.SetAttr(k, v)
+				}
+			}
 		}
 		if !e.cfg.DisablePool {
 			q.Reset()
 			e.qpool.Put(q)
 		}
 	case "dijkstra":
+		pc := sp.StartChild("pool_checkout")
 		sc := e.dpool.Get().(*dijkstra.Scratch)
+		pc.End()
 		dist = foldPooled(func(s int32) []int64 { return sc.SSSP(e.in.G, s) }, srcs)
 		if !e.cfg.DisablePool {
 			sc.Reset()
 			e.dpool.Put(sc)
 		}
 	case "delta":
+		pc := sp.StartChild("pool_checkout")
 		st := e.spool.Get().(*deltastep.State)
+		pc.End()
 		dist = foldPooled(func(s int32) []int64 {
 			d, _ := st.Run(e.in.RT, e.in.G, s, e.delta)
 			return d

@@ -1,0 +1,24 @@
+// Package gen generates the synthetic graph instances the paper evaluates on,
+// following the 9th DIMACS Implementation Challenge generators (paper §4.2):
+//
+//   - Random graphs: a Hamiltonian cycle plus m-n edges chosen uniformly at
+//     random; the generator may produce parallel edges and self-loops, and we
+//     keep them, exactly like the Challenge generator.
+//   - Scale-free graphs (R-MAT): the recursive adjacency-matrix model of
+//     Chakrabarti, Zhan and Faloutsos, producing an inverse-power-law degree
+//     distribution.
+//
+// Both families fix m = 4n in the paper's experimental design. Edge weights
+// come from one of two distributions over [1, C]:
+//
+//   - UWD: uniform integers in [1, C];
+//   - PWD: poly-logarithmic, 2^i with i uniform in [1, log2 C] (paper §4.2).
+//
+// Additional deterministic families (Path, Cycle, Star, Complete, Grid) serve
+// the test suite and the road-network extension experiment (paper §6).
+//
+// Instances are named with the paper's convention <class>-<dist>-<n>-<C>,
+// e.g. "Rand-UWD-2^20-2^20".
+//
+// See DESIGN.md §3 ("System inventory") for how this package fits the system.
+package gen

@@ -1,0 +1,15 @@
+// Package graph provides the compact undirected weighted graph representation
+// shared by every algorithm in this repository.
+//
+// Graphs are stored in compressed sparse row (CSR) form: a single offsets
+// array plus flat target/weight arrays with each undirected edge stored in
+// both endpoints' adjacency lists. This is the representation used by the
+// MTGL on the Cray MTA-2 and it is the natural layout for the flat parallel
+// loops the paper's algorithms are built from.
+//
+// Edge weights are positive integers (Thorup's algorithm requires positive
+// integer weights; zero-weight edges must be contracted first, see
+// ContractZeroEdges). Vertices are identified by dense int32 indices.
+//
+// See DESIGN.md §3 ("System inventory") for how this package fits the system.
+package graph

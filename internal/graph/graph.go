@@ -1,15 +1,3 @@
-// Package graph provides the compact undirected weighted graph representation
-// shared by every algorithm in this repository.
-//
-// Graphs are stored in compressed sparse row (CSR) form: a single offsets
-// array plus flat target/weight arrays with each undirected edge stored in
-// both endpoints' adjacency lists. This is the representation used by the
-// MTGL on the Cray MTA-2 and it is the natural layout for the flat parallel
-// loops the paper's algorithms are built from.
-//
-// Edge weights are positive integers (Thorup's algorithm requires positive
-// integer weights; zero-weight edges must be contracted first, see
-// ContractZeroEdges). Vertices are identified by dense int32 indices.
 package graph
 
 import (
@@ -159,8 +147,8 @@ func (g *Graph) Validate() error {
 
 // Builder accumulates an edge list and produces a CSR Graph. The DIMACS
 // random generator "may produce parallel edges as well as self-loops"
-// (paper §4.2); the builder preserves both unless DropParallel/DropLoops are
-// set, matching the instances the paper studies.
+// (paper §4.2); the builder preserves both unless DropParallelEdges/
+// DropSelfLoops are set, matching the instances the paper studies.
 type Builder struct {
 	n            int32
 	edges        []Edge

@@ -1,0 +1,14 @@
+// Package harness defines and runs the paper's experiments: one function per
+// table and figure of the evaluation section (Tables 1–6, Figures 4–5), plus
+// the ablations DESIGN.md calls out. Each experiment returns a Table that
+// prints in the paper's layout and can also be emitted as CSV for plotting.
+//
+// Times come in two flavours, reported side by side where relevant:
+//
+//   - wall-clock seconds on the host (meaningful for serial comparisons such
+//     as Table 1);
+//   - simulated MTA-2 seconds, i.e. modelled cycles / 220 MHz, for everything
+//     that depends on the 40-processor machine (Tables 3–6, Figures 4–5).
+//
+// See DESIGN.md §3 ("System inventory") for how this package fits the system.
+package harness

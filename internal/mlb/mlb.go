@@ -1,19 +1,3 @@
-// Package mlb implements Goldberg's multi-level bucket shortest path
-// algorithm, the algorithm behind the DIMACS Challenge reference solver the
-// paper compares against in Table 1 ("an implementation of Goldberg's
-// multilevel bucket shortest path algorithm, which has an expected running
-// time of O(n) on random graphs with uniform weight distributions").
-//
-// The bucket structure is the radix-heap formulation of multi-level buckets:
-// bucket i holds keys in [mu + 2^(i-1), mu + 2^i), where mu is the largest
-// key extracted so far; since Dijkstra keys are monotone, extracted minima
-// only redistribute downwards, giving O(m + n log C) worst case.
-//
-// Goldberg's linear-average-time twist is the caliber heuristic: a vertex v
-// whose tentative distance is at most mu + caliber(v) (the minimum weight of
-// any edge into v) can be settled immediately without ever entering the
-// bucket structure. SSSP enables it; SSSPNoCaliber is the plain multi-level
-// bucket variant kept for the ablation bench.
 package mlb
 
 import (

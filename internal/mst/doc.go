@@ -1,0 +1,12 @@
+// Package mst computes minimum spanning forests. Thorup's linear-time
+// component-hierarchy construction is built on the minimum spanning tree
+// (paper §3.1); this package provides the substrate for that construction
+// path, which the repository implements as an ablation against the paper's
+// naive repeated-connected-components construction.
+//
+// Two algorithms are provided: Kruskal (serial, sort + union-find) and
+// Borůvka (parallel rounds of minimum-outgoing-edge selection, the natural
+// MST algorithm for the MTA-2's flat loops).
+//
+// See DESIGN.md §3 ("System inventory") for how this package fits the system.
+package mst

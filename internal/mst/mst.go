@@ -1,12 +1,3 @@
-// Package mst computes minimum spanning forests. Thorup's linear-time
-// component-hierarchy construction is built on the minimum spanning tree
-// (paper §3.1); this package provides the substrate for that construction
-// path, which the repository implements as an ablation against the paper's
-// naive repeated-connected-components construction.
-//
-// Two algorithms are provided: Kruskal (serial, sort + union-find) and
-// Borůvka (parallel rounds of minimum-outgoing-edge selection, the natural
-// MST algorithm for the MTA-2's flat loops).
 package mst
 
 import (

@@ -1,26 +1,3 @@
-// Package mta models the Cray MTA-2, the machine the paper's experiments ran
-// on, closely enough to reproduce the *shapes* of its parallel results on
-// commodity hardware.
-//
-// The MTA-2 is a massively multithreaded machine: each 220 MHz processor holds
-// 128 hardware thread contexts ("streams") and the network retires one memory
-// reference per processor per cycle, so performance is governed by available
-// parallelism and loop-management overhead rather than by caches. The paper's
-// findings — insufficient parallelism in small instances, loop fork cost
-// dominating small toVisit loops (Table 6), throughput saturation for
-// simultaneous queries (Figure 5) — are all consequences of this model.
-//
-// Package mta provides:
-//
-//   - Machine: the cost parameters of a simulated MTA-2 configuration.
-//   - Acct: work/span accounting for parallel regions executed serially,
-//     with makespan estimated by Brent's bound
-//     T_p = fork + work/lanes + span.
-//   - FECell: the MTA's full/empty-bit synchronized memory word, implemented
-//     with mutex+condvar, for the real-execution mode.
-//
-// The accounting side is driven by internal/par's simulation runtime; the
-// algorithms themselves never import this package directly.
 package mta
 
 import "fmt"

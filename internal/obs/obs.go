@@ -1,9 +1,3 @@
-// Package obs provides the observability primitives of the query daemon:
-// atomic counters and gauges, fixed-bucket latency histograms, and a
-// per-endpoint registry whose snapshots serialise directly to JSON for a
-// /metrics endpoint. Everything is stdlib-only and lock-free on the hot
-// path — recording a request is a handful of atomic adds, cheap enough to
-// sit in front of sub-millisecond shortest-path queries.
 package obs
 
 import (

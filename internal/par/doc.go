@@ -1,0 +1,28 @@
+// Package par is the parallel runtime every algorithm in this repository is
+// written against. It plays the role the MTA-2 compiler/runtime plays in the
+// paper: algorithms express loops with a requested degree of parallelism
+// (serial, single-processor, all-processors — exactly the three choices the
+// paper's §3.3 describes) and the runtime decides how to execute and account
+// for them.
+//
+// A Runtime operates in one of two modes:
+//
+//   - Exec mode (NewExec): loops really run on goroutines, bounded by a token
+//     bucket so that nested parallel loops degrade gracefully to inline
+//     execution instead of deadlocking or oversubscribing. This mode is used
+//     by the public API, the examples, and the -race-validated concurrency
+//     tests.
+//
+//   - Sim mode (NewSim): loops execute serially (and therefore
+//     deterministically) while the runtime performs work/span accounting
+//     against an mta.Machine cost model. The simulated elapsed time of the
+//     computation is the span of the root region. This mode reproduces the
+//     paper's 40-processor scaling results on a host with any number of
+//     cores.
+//
+// Algorithms charge abstract cost units (≈ memory references) via Charge;
+// each loop iteration is additionally charged one unit automatically. In exec
+// mode Charge is a no-op.
+//
+// See DESIGN.md §3 ("System inventory") for how this package fits the system.
+package par

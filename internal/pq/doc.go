@@ -1,0 +1,13 @@
+// Package pq provides the monotone priority queues used and compared by the
+// sequential shortest-path solvers: a pairing heap (comparison-based,
+// decrease-key in O(1) amortised) and Dial's bucket queue (one bucket per
+// distance value, the degenerate single-level version of the multi-level
+// buckets in internal/mlb).
+//
+// Both implement the same vertex-keyed interface as the heaps embedded in
+// internal/dijkstra, so the bench suite can attribute constant factors to the
+// queue choice — the axis along which the paper's Table 1 comparison
+// (Thorup vs bucket-based reference solver) differs.
+//
+// See DESIGN.md §3 ("System inventory") for how this package fits the system.
+package pq

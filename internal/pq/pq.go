@@ -1,20 +1,10 @@
-// Package pq provides the monotone priority queues used and compared by the
-// sequential shortest-path solvers: a pairing heap (comparison-based,
-// decrease-key in O(1) amortised) and Dial's bucket queue (one bucket per
-// distance value, the degenerate single-level version of the multi-level
-// buckets in internal/mlb).
-//
-// Both implement the same vertex-keyed interface as the heaps embedded in
-// internal/dijkstra, so the bench suite can attribute constant factors to the
-// queue choice — the axis along which the paper's Table 1 comparison
-// (Thorup vs bucket-based reference solver) differs.
 package pq
 
 import "fmt"
 
 // VertexQueue is a monotone priority queue over dense int32 vertex ids with
-// int64 keys. Keys passed to DecreaseKey must not be below the last popped
-// key (Dijkstra's monotonicity).
+// int64 keys. Keys passed to InsertOrDecrease must not be below the last
+// popped key (Dijkstra's monotonicity).
 type VertexQueue interface {
 	// InsertOrDecrease inserts v with the key, or lowers v's key if already
 	// queued (higher keys are ignored).

@@ -1,0 +1,19 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used by the graph generators, the experiment harness, and the
+// property-based tests.
+//
+// Two generators are provided:
+//
+//   - SplitMix64: a tiny, stateless-stepping generator. It is primarily used
+//     to seed other generators and to derive independent streams from a single
+//     experiment seed.
+//   - Xoshiro256: xoshiro256** 1.0, the general-purpose generator used by the
+//     workload generators. It is seeded via SplitMix64 as recommended by its
+//     authors.
+//
+// All generators in this package are deterministic given their seed, so every
+// experiment in the repository is exactly reproducible. None of them are safe
+// for concurrent use; derive one stream per goroutine with NewStream.
+//
+// See DESIGN.md §3 ("System inventory") for how this package fits the system.
+package rng

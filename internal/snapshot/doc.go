@@ -1,0 +1,37 @@
+// Package snapshot persists a (graph, Component Hierarchy) pair as one
+// versioned binary artifact — the compiled form of an instance in the serving
+// stack. The paper's pipeline is two-phase (build the hierarchy once, answer
+// many queries); a snapshot makes the first phase a one-time compile step:
+// loading a snapshot is a sequential binary read plus cheap validation,
+// roughly an order of magnitude faster than re-parsing text DIMACS and
+// rebuilding the hierarchy, which is what lets a catalog bring graphs into
+// service (or back after eviction) off the request path and fast.
+//
+// Format (all little-endian):
+//
+//	magic    [8]byte  "SSSPSNAP"
+//	version  uint32   (currently 1)
+//	fpN      uint32   graph fingerprint: vertices
+//	fpM      uint64   graph fingerprint: undirected edges
+//	fpCRC    uint64   graph fingerprint: CRC-64/ECMA over the CSR arrays
+//	section "GRPH":
+//	    tag     [4]byte
+//	    length  uint64   payload bytes
+//	    payload          n uint32, arcs uint64,
+//	                     offsets [n+1]int64, targets [arcs]int32,
+//	                     weights [arcs]uint32
+//	    crc     uint64   CRC-64/ECMA of the payload
+//	section "CHIE":
+//	    tag     [4]byte
+//	    length  uint64
+//	    payload          the ch.WriteTo byte stream (self-checksummed,
+//	                     carries its own graph fingerprint)
+//	    crc     uint64   CRC-64/ECMA of the payload
+//
+// Every section is independently checksummed, so corruption is localized in
+// error reports and detected before any derived structure is built. The
+// leading fingerprint identifies the instance without reading the arrays
+// (ReadFingerprint), and is cross-checked against the decoded graph.
+//
+// See DESIGN.md §9 ("Graph catalog & snapshots") for how this package fits the system.
+package snapshot

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dijkstra"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/solver"
+	"repro/internal/trace"
 )
 
 // checkEngine drives the query-execution engine (internal/engine) with a
@@ -22,6 +24,14 @@ import (
 func checkEngine(cfg Config, name string, g *graph.Graph, sources []int32, in *solver.Instance) *Failure {
 	n := g.NumVertices()
 	e := engine.New(in, engine.Config{CacheEntries: 8, BatchWorkers: 2, Solvers: cfg.Solvers})
+	// Every query runs traced with a deliberately tiny ring, so the tracing
+	// layer shares this stage's race coverage: concurrent span recording on
+	// the dedup path (followers and leader touch the same trace tree) and
+	// concurrent ring writes far past its capacity.
+	tracer := trace.New(trace.Config{
+		SampleN: 1, RingSize: 4, SlowQuery: time.Nanosecond,
+		Logf: func(string, ...any) {},
+	})
 
 	oracle := func(srcs []int32) []int64 {
 		out := dijkstra.SSSP(g, srcs[0])
@@ -82,7 +92,9 @@ func checkEngine(cfg Config, name string, g *graph.Graph, sources []int32, in *s
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			res, _, err := e.Query(ctx, j.req)
+			tr := tracer.StartRequest("", "stress")
+			res, _, err := e.Query(trace.NewContext(ctx, tr), j.req)
+			tracer.Finish(tr, 200)
 			if err != nil {
 				report(fail("engine-mixed", "%s: %v", j.label, err))
 				return
@@ -100,7 +112,10 @@ func checkEngine(cfg Config, name string, g *graph.Graph, sources []int32, in *s
 		for i, j := range jobs {
 			reqs[i] = j.req
 		}
-		for i, br := range e.Batch(ctx, reqs) {
+		tr := tracer.StartRequest("", "stress-batch")
+		results := e.Batch(trace.NewContext(ctx, tr), reqs)
+		tracer.Finish(tr, 200)
+		for i, br := range results {
 			if br.Err != nil {
 				report(fail("engine-mixed", "batch %s: %v", jobs[i].label, br.Err))
 				continue
@@ -112,5 +127,16 @@ func checkEngine(cfg Config, name string, g *graph.Graph, sources []int32, in *s
 		}
 	}()
 	wg.Wait()
+	if first != nil {
+		return first
+	}
+	// Structural invariant of the trace ring: concurrent writers overflowed a
+	// 4-slot ring many times over, yet retention never exceeds the bound.
+	if held := tracer.Retained(); held > 4 {
+		return fail("engine-trace", "trace ring holds %d entries, bound is 4", held)
+	}
+	if started := tracer.Counter("traces_started"); started != int64(len(jobs))+1 {
+		return fail("engine-trace", "traces_started = %d, want %d", started, len(jobs)+1)
+	}
 	return first
 }

@@ -1,33 +1,3 @@
-// Package stress is the differential and metamorphic stress-testing harness
-// for every SSSP solver in the repository. It is the correctness gate behind
-// `make stress` and cmd/stress.
-//
-// One instance check layers four independent oracles:
-//
-//   - differential: every registered solver (internal/solver) computes the
-//     same distance vector, compared pairwise; bidirectional Dijkstra is
-//     cross-checked on sampled s-t pairs.
-//   - certification: each vector is certified by internal/verify's
-//     feasibility+tightness rules, which are as strong as re-running
-//     Dijkstra but independent of every solver implementation.
-//   - metamorphic: predictable distance transformations must hold under
-//     uniform weight scaling, vertex relabeling, edge splitting, and merging
-//     sources into one multi-source query (internal/stress/metamorphic.go).
-//   - structural: the Component Hierarchy passes ch.Validate after
-//     construction and core.Query.CheckInvariants after traversal, and
-//     concurrent queries over one shared hierarchy (the paper's Figure 5
-//     workload) reproduce the serial answers — run under -race by `make
-//     stress`.
-//   - engine: the query-execution plane (internal/engine) answers a
-//     concurrent mixed workload — singleflight races, cache hits, explicit
-//     solvers, batches — identically to Dijkstra (engine.go).
-//   - catalog: the multi-graph catalog (internal/catalog) survives reloads,
-//     loads, and unloads racing beneath live queries without ever failing an
-//     acquire on a ready graph or serving a stale generation's distances
-//     (catalog.go).
-//
-// Failures are minimized by a built-in shrinker (shrink.go) and emitted as
-// self-contained DIMACS repro files (repro.go) that cmd/stress can replay.
 package stress
 
 import (

@@ -1,0 +1,20 @@
+// Package trace is the request-tracing and profiling layer of the query
+// daemon: per-request span trees that attribute one query's latency to the
+// stages it passed through — admission wait, catalog generation acquire,
+// engine cache lookup, singleflight wait, pool checkout, solve — plus the
+// solver-phase counters (core.Trace) attached to the solve span.
+//
+// Every traced request gets a Trace carrying an ID (client-supplied via the
+// X-Trace-Id header or generated), a root span, and children recorded by the
+// layers the request crosses; the Trace travels in the context.Context. Span
+// recording is always on while the Tracer is enabled — cheap enough for every
+// request — and retention is tail-based: a finished trace is kept in a
+// bounded lock-free ring buffer when it is slow (Config.SlowQuery), carries a
+// client-supplied ID, or lands on the 1-in-Config.SampleN counter sample.
+// Slow traces additionally emit one structured slow-query log line. Every
+// finished trace — retained or not — feeds the per-stage latency histograms
+// that a /metrics endpoint exposes.
+//
+// See DESIGN.md §10 "Request tracing & profiling" for the design rationale
+// and OPERATIONS.md for the operator-facing knobs and endpoints.
+package trace

@@ -1,0 +1,353 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every recording call must be a no-op on nil receivers: instrumentation
+	// sites never branch on whether tracing is enabled.
+	var tr *Trace
+	var sp *Span
+	tr.SetGraph("g")
+	tr.SetSolver("s")
+	sp = tr.StartSpan("x")
+	sp.SetAttr("k", 1)
+	sp.End()
+	sp.StartChild("y").End()
+	if tr.ID() != "" || tr.Root() != nil || tr.Export() != nil || sp.Trace() != nil {
+		t.Fatal("nil trace accessors must return zero values")
+	}
+	var tc *Tracer
+	if tc.Enabled() {
+		t.Fatal("nil tracer is disabled")
+	}
+	tc.Finish(nil, 200)
+	if tc.Traces(Filter{}) != nil || tc.Retained() != 0 {
+		t.Fatal("nil tracer holds no traces")
+	}
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil || FromContext(ctx) != nil {
+		t.Fatal("untraced context must yield nil span and trace")
+	}
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Fatal("NewContext(nil) must return ctx unchanged")
+	}
+	if got := WithSpan(ctx, nil); got != ctx {
+		t.Fatal("WithSpan(nil) must return ctx unchanged")
+	}
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	tc := New(Config{SampleN: 1, RingSize: 4})
+	tr := tc.StartRequest("", "sssp")
+	if tr == nil {
+		t.Fatal("enabled tracer returned nil trace")
+	}
+	if tr.ID() == "" {
+		t.Fatal("generated ID is empty")
+	}
+	adm := tr.StartSpan("admission_wait")
+	adm.End()
+	solve := tr.StartSpan("solve")
+	solve.SetAttr("solver", "thorup")
+	pool := solve.StartChild("pool_checkout")
+	pool.End()
+	solve.End()
+	tr.SetGraph("g1")
+	tr.SetSolver("thorup")
+	tc.Finish(tr, 200)
+
+	got := tc.Traces(Filter{})
+	if len(got) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(got))
+	}
+	j := got[0]
+	if j.Graph != "g1" || j.Solver != "thorup" || j.Status != 200 || j.Endpoint != "sssp" {
+		t.Fatalf("trace metadata = %+v", j)
+	}
+	if len(j.Spans.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(j.Spans.Children))
+	}
+	if j.Spans.Children[0].Name != "admission_wait" || j.Spans.Children[1].Name != "solve" {
+		t.Fatalf("children = %v, %v", j.Spans.Children[0].Name, j.Spans.Children[1].Name)
+	}
+	sv := j.Spans.Children[1]
+	if sv.Attrs["solver"] != "thorup" {
+		t.Fatalf("solve attrs = %v", sv.Attrs)
+	}
+	if len(sv.Children) != 1 || sv.Children[0].Name != "pool_checkout" {
+		t.Fatalf("solve children = %+v", sv.Children)
+	}
+	// Stage durations never exceed the trace's wall time.
+	var sum int64
+	for _, c := range j.Spans.Children {
+		sum += c.DurUS
+	}
+	if float64(sum)/1e3 > j.DurMS+0.001 {
+		t.Fatalf("stage sum %dus exceeds wall %fms", sum, j.DurMS)
+	}
+}
+
+func TestUnendedSpanNeverAppears(t *testing.T) {
+	tc := New(Config{SampleN: 1})
+	tr := tc.StartRequest("", "sssp")
+	tr.StartSpan("abandoned") // e.g. a singleflight wait by the leader itself
+	tr.StartSpan("kept").End()
+	tc.Finish(tr, 200)
+	j := tc.Traces(Filter{})[0]
+	if len(j.Spans.Children) != 1 || j.Spans.Children[0].Name != "kept" {
+		t.Fatalf("children = %+v, want only 'kept'", j.Spans.Children)
+	}
+}
+
+func TestSpansAfterFinishAreDropped(t *testing.T) {
+	tc := New(Config{SampleN: 1})
+	tr := tc.StartRequest("", "sssp")
+	late := tr.StartSpan("background_solve")
+	tc.Finish(tr, 504)
+	late.End() // the query outlived its deadline and finished later
+	j := tc.Traces(Filter{})[0]
+	if len(j.Spans.Children) != 0 {
+		t.Fatalf("post-finish span was attached: %+v", j.Spans.Children)
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tc := New(Config{SampleN: 1})
+	tr := tc.StartRequest("", "batch")
+	for i := 0; i < maxSpans+100; i++ {
+		tr.StartSpan("item").End()
+	}
+	tc.Finish(tr, 200)
+	j := tc.Traces(Filter{})[0]
+	if len(j.Spans.Children) != maxSpans-1 { // root occupies one slot
+		t.Fatalf("attached %d spans, want %d", len(j.Spans.Children), maxSpans-1)
+	}
+	if j.DroppedSpans != 101 {
+		t.Fatalf("dropped %d spans, want 101", j.DroppedSpans)
+	}
+	if tc.Counter("spans_dropped") != 101 {
+		t.Fatalf("spans_dropped counter = %d", tc.Counter("spans_dropped"))
+	}
+}
+
+func TestExplicitIDValidationAndRetention(t *testing.T) {
+	tc := New(Config{SampleN: 1 << 30}) // sampling effectively off
+	ok := tc.StartRequest("req-1234.ABC", "sssp")
+	if ok.ID() != "req-1234.ABC" {
+		t.Fatalf("valid client ID replaced: %q", ok.ID())
+	}
+	bad := tc.StartRequest("evil\nheader", "sssp")
+	if bad.ID() == "evil\nheader" || bad.ID() == "" {
+		t.Fatalf("invalid client ID accepted: %q", bad.ID())
+	}
+	tc.Finish(ok, 200)
+	tc.Finish(bad, 200)
+	got := tc.Traces(Filter{})
+	if len(got) != 1 || got[0].ID != "req-1234.ABC" {
+		t.Fatalf("explicit-ID retention: got %+v", got)
+	}
+}
+
+func TestTailSampling(t *testing.T) {
+	tc := New(Config{SampleN: 10, RingSize: 64})
+	for i := 0; i < 100; i++ {
+		tc.Finish(tc.StartRequest("", "sssp"), 200)
+	}
+	if n := tc.Counter("traces_sampled"); n != 10 {
+		t.Fatalf("sampled %d of 100 at 1-in-10, want 10", n)
+	}
+	if n := tc.Retained(); n != 10 {
+		t.Fatalf("retained %d, want 10", n)
+	}
+}
+
+func TestSlowQueryLogAndRetention(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	tc := New(Config{
+		SampleN:   1 << 30,
+		SlowQuery: time.Nanosecond, // everything is slow
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	tr := tc.StartRequest("slow-abc", "dist")
+	tr.SetGraph("g1")
+	tr.SetSolver("dijkstra")
+	sp := tr.StartSpan("solve")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tc.Finish(tr, 200)
+	if tc.Counter("slow_queries") != 1 {
+		t.Fatal("slow query not counted")
+	}
+	if len(lines) != 1 {
+		t.Fatalf("slow log lines = %v", lines)
+	}
+	for _, want := range []string{"trace=slow-abc", "endpoint=dist", `graph="g1"`, "solver=dijkstra", "solve="} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("slow log line %q missing %q", lines[0], want)
+		}
+	}
+	if got := tc.Traces(Filter{MinDur: time.Millisecond}); len(got) != 1 || got[0].ID != "slow-abc" {
+		t.Fatalf("slow trace not retained/filterable: %+v", got)
+	}
+}
+
+func TestTracesFilter(t *testing.T) {
+	tc := New(Config{SampleN: 1, RingSize: 16})
+	mk := func(graph, solver string) {
+		tr := tc.StartRequest("", "sssp")
+		tr.SetGraph(graph)
+		tr.SetSolver(solver)
+		tc.Finish(tr, 200)
+	}
+	mk("a", "thorup")
+	mk("b", "thorup")
+	mk("a", "delta")
+	if got := tc.Traces(Filter{Graph: "a"}); len(got) != 2 {
+		t.Fatalf("graph filter: %d, want 2", len(got))
+	}
+	if got := tc.Traces(Filter{Solver: "delta"}); len(got) != 1 {
+		t.Fatalf("solver filter: %d, want 1", len(got))
+	}
+	if got := tc.Traces(Filter{Limit: 1}); len(got) != 1 {
+		t.Fatalf("limit: %d, want 1", len(got))
+	}
+	if got := tc.Traces(Filter{MinDur: time.Hour}); len(got) != 0 {
+		t.Fatalf("min duration filter: %d, want 0", len(got))
+	}
+}
+
+// TestRingBoundConcurrentWriters is the issue's bound guarantee: the ring
+// never exceeds its capacity no matter how many writers race into it.
+func TestRingBoundConcurrentWriters(t *testing.T) {
+	const ringSize = 32
+	tc := New(Config{SampleN: 1, RingSize: ringSize})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := tc.StartRequest("", "sssp")
+				tr.StartSpan("solve").End()
+				tc.Finish(tr, 200)
+				if n := tc.Retained(); n > ringSize {
+					t.Errorf("ring holds %d > bound %d", n, ringSize)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := tc.Retained(); n != ringSize {
+		t.Fatalf("ring holds %d after 3200 writes, want full bound %d", n, ringSize)
+	}
+	if got := tc.Counter("traces_retained"); got != 16*200 {
+		t.Fatalf("retained counter = %d, want 3200", got)
+	}
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	// Batch workers record spans into one trace concurrently; meaningful
+	// under -race (make race covers this package).
+	tc := New(Config{SampleN: 1})
+	tr := tc.StartRequest("", "batch")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				sp := tr.StartSpan("item")
+				sp.SetAttr("i", i)
+				sp.StartChild("cache_lookup").End()
+				sp.End()
+				tr.SetSolver("thorup")
+			}
+		}(w)
+	}
+	wg.Wait()
+	tc.Finish(tr, 200)
+	j := tc.Traces(Filter{})[0]
+	if len(j.Spans.Children) == 0 {
+		t.Fatal("no spans recorded")
+	}
+}
+
+func TestStageHistogramsAggregateUnretained(t *testing.T) {
+	// Stage histograms must see every finished trace, retained or not.
+	tc := New(Config{SampleN: 1 << 30})
+	for i := 0; i < 5; i++ {
+		tr := tc.StartRequest("", "sssp")
+		tr.StartSpan("solve").End()
+		tc.Finish(tr, 200)
+	}
+	if tc.Retained() != 0 {
+		t.Fatal("nothing should be retained at this sample rate")
+	}
+	stages := tc.StatsSnapshot()["stages"].(map[string]obs.HistogramSnapshot)
+	if stages["solve"].Count != 5 {
+		t.Fatalf("solve stage count = %d, want 5", stages["solve"].Count)
+	}
+	if stages["sssp"].Count != 5 { // the root span observes under the endpoint name
+		t.Fatalf("root stage count = %d, want 5", stages["sssp"].Count)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	tc := New(Config{SampleN: 100, RingSize: 8, SlowQuery: time.Second})
+	tr := tc.StartRequest("", "sssp")
+	tr.StartSpan("solve").End()
+	tc.Finish(tr, 200)
+	snap := tc.StatsSnapshot()
+	if snap["enabled"] != true || snap["sample_n"] != 100 || snap["ring_size"] != 8 {
+		t.Fatalf("snapshot config = %+v", snap)
+	}
+	if snap["traces_started"].(int64) != 1 {
+		t.Fatalf("traces_started = %v", snap["traces_started"])
+	}
+	if _, ok := snap["stages"].(map[string]obs.HistogramSnapshot); !ok {
+		t.Fatalf("stages section missing: %T", snap["stages"])
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"abc":                   true,
+		"A-b_c.9":               true,
+		"":                      false,
+		"with space":            false,
+		"new\nline":             false,
+		strings.Repeat("x", 64): true,
+		strings.Repeat("x", 65): false,
+	} {
+		if ValidID(id) != want {
+			t.Errorf("ValidID(%q) = %v, want %v", id, !want, want)
+		}
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	tc := New(Config{SampleN: 1})
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := tc.NewID()
+		if len(id) != 16 || seen[id] {
+			t.Fatalf("bad or duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,26 @@
+// Package verify certifies single-source (and multi-source) shortest path
+// results in linear time, without re-running a solver.
+//
+// A distance labelling d is THE shortest-path distance function from a source
+// set S if and only if:
+//
+//  1. d(s) = 0 exactly for s in S (and nowhere else);
+//  2. feasibility: d(v) <= d(u) + w for every edge (u,v) with d(u) finite
+//     (in an undirected graph this also forces |d(u)-d(v)| <= w and that no
+//     finite vertex neighbours an infinite one);
+//  3. tightness: every vertex with 0 < d(v) < Inf has a neighbour u with
+//     d(u) + w(u,v) = d(v).
+//
+// Sufficiency: applying (2) edge by edge along any path from a source shows
+// d(v) <= delta(v). Conversely (3) plus positive integer weights makes every
+// finite d(v) the length of an actual path: follow tight edges downhill — d
+// strictly decreases by at least 1 per step, so the walk terminates at a
+// d = 0 vertex, which (1) forces to be a source — hence d(v) >= delta(v).
+// Infinite labels are correct because (2) forbids a finite/infinite
+// adjacency, so the infinite region is exactly the part not reachable from S.
+//
+// The checks cost one parallel sweep over the arcs. This is what
+// `cmd/sssp -certify` and the harness's verification mode use.
+//
+// See DESIGN.md §7 ("Correctness methodology") for how this package fits the system.
+package verify
