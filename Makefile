@@ -32,9 +32,10 @@ bench-engine:
 	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json \
 		$(GO) test -run TestWriteEngineBenchJSON -count=1 -v ./cmd/ssspd
 
-# Catalog comparison benchmarks (binary snapshot load vs text parse + CH
-# rebuild, warmed vs cold first query after a swap), written to
-# BENCH_catalog.json.
+# Catalog comparison benchmarks (the graph-activation ladder: text parse +
+# CH rebuild, v1/v2 snapshot copy loads, cold and warm mmap loads; plus
+# warmed vs cold first query after a swap), written to BENCH_catalog.json.
+# Gates: v2 copy load >= 10x over text, warm mmap >= 50x over v1 copy.
 bench-catalog:
 	BENCH_CATALOG_OUT=$(CURDIR)/BENCH_catalog.json \
 		$(GO) test -run TestWriteCatalogBenchJSON -count=1 -v ./internal/catalog
@@ -78,6 +79,7 @@ stress:
 fuzz:
 	$(GO) test -fuzz FuzzReadGraph -fuzztime 10s ./internal/dimacs
 	$(GO) test -fuzz FuzzReadSources -fuzztime 10s ./internal/dimacs
+	$(GO) test -fuzz FuzzSnapshotRead -fuzztime 10s ./internal/snapshot
 	$(GO) test -fuzz FuzzThorupVsDijkstra -fuzztime 10s ./internal/core
 	$(GO) test -fuzz FuzzDeltaStepVsDijkstra -fuzztime 10s ./internal/core
 	$(GO) test -fuzz FuzzMLBVsDijkstra -fuzztime 10s ./internal/core

@@ -12,6 +12,9 @@
 // Hierarchy is also built and the (graph, hierarchy) pair written as one
 // binary snapshot — the compiled artifact ssspd's catalog loads an order of
 // magnitude faster than re-parsing text and rebuilding the hierarchy.
+// Snapshots are written in format v2 (page-aligned sections), which ssspd
+// can serve zero-copy via mmap; rewrite old v1 snapshots through this flag
+// to pick up the mmap fast path.
 package main
 
 import (

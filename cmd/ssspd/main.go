@@ -32,6 +32,10 @@
 // Graphs live in an internal/catalog: background workers build hierarchies
 // off the request path, swaps are atomic (in-flight queries finish on the
 // generation they acquired), and a -mem-budget evicts idle graphs LRU-first.
+// Format-v2 snapshots are served zero-copy straight from an mmap of the
+// file (-mmap, default on); v1 snapshots and mmap-less platforms fall back
+// to the copy read, and an unmap happens only after a retired generation's
+// last in-flight query has released.
 // Query execution runs through the internal/engine query plane: pooled
 // solver state, singleflight deduplication of concurrent identical queries,
 // a bounded LRU result cache (-cache-entries / -cache-bytes), and a
@@ -97,6 +101,7 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result cache byte budget per graph (0 = entry-bounded only)")
 		memBudget    = flag.Int64("mem-budget", 0, "memory budget in bytes for ready graphs; idle graphs are evicted LRU-first beyond it (0 = unlimited)")
 		buildWorkers = flag.Int("build-workers", 2, "background graph build workers")
+		useMmap      = flag.Bool("mmap", true, "serve v2 snapshots zero-copy via mmap (v1 snapshots and mmap-less platforms fall back to the copy read)")
 		traceSample  = flag.Int("trace-sample", 100, "tail-sample 1 in N finished query traces into /debug/traces (0 disables tracing)")
 		traceRing    = flag.Int("trace-ring", 256, "retained-trace ring buffer capacity for /debug/traces")
 		slowQuery    = flag.Duration("slow-query", 0, "log and always retain query traces at least this slow (0 disables the slow-query log)")
@@ -105,14 +110,23 @@ func main() {
 	flag.Parse()
 
 	var (
-		g    *graph.Graph
-		h    *ch.Hierarchy
-		name string
-		src  catalog.Source
-		err  error
+		g       *graph.Graph
+		h       *ch.Hierarchy
+		mapping *snapshot.Mapping
+		name    string
+		src     catalog.Source
+		err     error
 	)
 	if *snapFile != "" {
-		g, h, err = snapshot.ReadFile(*snapFile)
+		if *useMmap {
+			g, h, mapping, err = snapshot.Map(*snapFile)
+			if errors.Is(err, snapshot.ErrNotMappable) {
+				log.Printf("ssspd: %s not mappable, falling back to copy read: %v", *snapFile, err)
+				g, h, err = snapshot.ReadFile(*snapFile)
+			}
+		} else {
+			g, h, err = snapshot.ReadFile(*snapFile)
+		}
 		name = *snapFile
 		src = catalog.Source{Snapshot: *snapFile}
 	} else {
@@ -133,6 +147,8 @@ func main() {
 		engine:       engine.Config{CacheEntries: *cacheEntries, CacheBytes: *cacheBytes},
 		memBudget:    *memBudget,
 		buildWorkers: *buildWorkers,
+		mmap:         *useMmap,
+		mapping:      mapping,
 		trace:        trace.Config{SampleN: *traceSample, RingSize: *traceRing, SlowQuery: *slowQuery},
 	})
 	defer srv.cat.Close()
@@ -206,7 +222,12 @@ type serverOptions struct {
 	engine       engine.Config
 	memBudget    int64
 	buildWorkers int
-	trace        trace.Config
+	// mmap turns on zero-copy snapshot serving for catalog loads; mapping,
+	// when non-nil, is the startup graph's own mapping (ownership passes to
+	// its catalog generation).
+	mmap    bool
+	mapping *snapshot.Mapping
+	trace   trace.Config
 }
 
 // servePprof serves net/http/pprof on its own listener, explicitly routed so
@@ -253,6 +274,7 @@ func newServer(g *graph.Graph, h *ch.Hierarchy, name string, src catalog.Source,
 		MemoryBudget: opts.memBudget,
 		QueryWorkers: opts.workers,
 		Engine:       opts.engine,
+		MMap:         opts.mmap,
 		Logf:         log.Printf,
 	})
 	if src.Loader == nil && src.Snapshot == "" && src.Spec == (cli.Spec{}) {
@@ -260,7 +282,7 @@ func newServer(g *graph.Graph, h *ch.Hierarchy, name string, src catalog.Source,
 		// reinstall the same prebuilt instance.
 		src = catalog.Source{Loader: func() (*graph.Graph, *ch.Hierarchy, error) { return g, h, nil }}
 	}
-	if _, err := cat.AddPrebuilt(name, src, g, h); err != nil {
+	if _, err := cat.AddPrebuilt(name, src, g, h, opts.mapping); err != nil {
 		panic(err) // fresh catalog: the only failure is a duplicate name
 	}
 	tcfg := opts.trace

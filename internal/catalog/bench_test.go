@@ -18,10 +18,13 @@ import (
 )
 
 // TestWriteCatalogBenchJSON emits BENCH_catalog.json when BENCH_CATALOG_OUT
-// is set (see `make bench-catalog`): snapshot load versus text parse plus
-// hierarchy rebuild — the cost a catalog pays to bring a graph into service —
-// and the first-query latency of a warmed versus a cold engine, the cost the
-// warming phase hides from the first client after a swap.
+// is set (see `make bench-catalog`): the ladder of graph-activation costs a
+// catalog can pay — text parse plus hierarchy rebuild, v1 copy load, v2 copy
+// load, cold mmap (first map of a file: full verification), warm mmap
+// (re-map of a verified file: O(1)) — and the first-query latency of a
+// warmed versus a cold engine, the cost the warming phase hides from the
+// first client after a swap. Gates: v2 copy load >= 10x over text, and warm
+// mmap >= 50x over the v1 copy load it replaces.
 func TestWriteCatalogBenchJSON(t *testing.T) {
 	out := os.Getenv("BENCH_CATALOG_OUT")
 	if out == "" {
@@ -45,6 +48,17 @@ func TestWriteCatalogBenchJSON(t *testing.T) {
 	}
 	snapPath := filepath.Join(dir, "g.snap")
 	if err := snapshot.WriteFile(snapPath, g, h); err != nil {
+		t.Fatal(err)
+	}
+	v1Path := filepath.Join(dir, "g.v1.snap")
+	v1f, err := os.Create(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.WriteV1(v1f, g, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1f.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -72,11 +86,59 @@ func TestWriteCatalogBenchJSON(t *testing.T) {
 		}
 		ch.BuildKruskal(g2)
 	})
+	v1Load := avg(10, func() {
+		if _, _, err := snapshot.ReadFile(v1Path); err != nil {
+			t.Fatal(err)
+		}
+	})
 	snapLoad := avg(10, func() {
 		if _, _, err := snapshot.ReadFile(snapPath); err != nil {
 			t.Fatal(err)
 		}
 	})
+
+	// Cold mmap: the first Map of a never-seen file pays full CRC
+	// verification and a deep hierarchy check. Each rep copies the snapshot
+	// to a fresh path (new inode) so none of them hits the verification
+	// registry.
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldIdx := 0
+	mmapCold := avg(5, func() {
+		coldIdx++
+		p := filepath.Join(dir, "cold", "g"+string(rune('0'+coldIdx))+".snap")
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, m, err := snapshot.Map(p)
+		if err != nil {
+			t.Skipf("mmap unavailable: %v", err)
+		}
+		m.Close()
+	})
+	// Prime the registry, then time the warm path the serving system
+	// actually pays on every reload/evict-restore of an unchanged file.
+	if _, _, m, err := snapshot.Map(snapPath); err != nil {
+		t.Skipf("mmap unavailable: %v", err)
+	} else {
+		m.Close()
+	}
+	var mappings []*snapshot.Mapping
+	mmapWarm := avg(20, func() {
+		_, _, m, err := snapshot.Map(snapPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mappings = append(mappings, m) // Close outside the clock
+	})
+	for _, m := range mappings {
+		m.Close()
+	}
 
 	// First-query latency right after a swap: a cold engine pays core-solver
 	// and pool construction on the first request; a warmed one already did.
@@ -108,14 +170,19 @@ func TestWriteCatalogBenchJSON(t *testing.T) {
 	grInfo, _ := os.Stat(grPath)
 	snapInfo, _ := os.Stat(snapPath)
 	speedup := float64(textLoad) / float64(snapLoad)
+	mmapSpeedup := float64(v1Load) / float64(mmapWarm)
 	doc := map[string]any{
 		"vertices":            g.NumVertices(),
 		"edges":               g.NumEdges(),
 		"gr_bytes":            grInfo.Size(),
 		"snapshot_bytes":      snapInfo.Size(),
 		"text_load_ns":        textLoad.Nanoseconds(),
+		"snapshot_v1_load_ns": v1Load.Nanoseconds(),
 		"snapshot_load_ns":    snapLoad.Nanoseconds(),
 		"snapshot_speedup":    speedup,
+		"mmap_first_load_ns":  mmapCold.Nanoseconds(),
+		"mmap_load_ns":        mmapWarm.Nanoseconds(),
+		"mmap_speedup_vs_v1":  mmapSpeedup,
 		"cold_first_query_ns": cold.Nanoseconds(),
 		"warm_first_query_ns": warmed.Nanoseconds(),
 		"warm_speedup":        float64(cold) / float64(warmed),
@@ -127,9 +194,12 @@ func TestWriteCatalogBenchJSON(t *testing.T) {
 	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: snapshot load %s vs text %s (%.1fx), first query warm %s vs cold %s",
-		out, snapLoad, textLoad, speedup, warmed, cold)
+	t.Logf("wrote %s: loads text %s / v1 copy %s / v2 copy %s / mmap cold %s / mmap warm %s (copy %.1fx, mmap %.0fx vs v1); first query warm %s vs cold %s",
+		out, textLoad, v1Load, snapLoad, mmapCold, mmapWarm, speedup, mmapSpeedup, warmed, cold)
 	if speedup < 10 {
 		t.Errorf("snapshot load speedup %.1fx, want >= 10x over text parse + CH rebuild", speedup)
+	}
+	if mmapSpeedup < 50 {
+		t.Errorf("warm mmap load speedup %.1fx over v1 copy load, want >= 50x", mmapSpeedup)
 	}
 }

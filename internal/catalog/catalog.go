@@ -71,18 +71,34 @@ func (s Source) String() string {
 }
 
 // load resolves the source. The hierarchy may be nil (Spec sources build it
-// in the Building phase); logf narrates cache decisions.
-func (s Source) load(logf func(string, ...any)) (*graph.Graph, *ch.Hierarchy, error) {
+// in the Building phase); logf narrates cache decisions. With mmap set,
+// snapshot sources are mapped zero-copy when the file format and platform
+// allow it, falling back to the copy read otherwise; a non-nil mapping is
+// returned exactly when the instance's arrays alias it, and the caller owns
+// its lifetime.
+func (s Source) load(mmap bool, logf func(string, ...any)) (*graph.Graph, *ch.Hierarchy, *snapshot.Mapping, error) {
 	switch {
 	case s.Loader != nil:
-		return s.Loader()
+		g, h, err := s.Loader()
+		return g, h, nil, err
 	case s.Snapshot != "":
-		return snapshot.ReadFile(s.Snapshot)
+		if mmap {
+			g, h, m, err := snapshot.Map(s.Snapshot)
+			if err == nil {
+				return g, h, m, nil
+			}
+			if !errors.Is(err, snapshot.ErrNotMappable) {
+				return nil, nil, nil, err
+			}
+			logf("catalog: %s not mappable, falling back to copy read: %v", s.Snapshot, err)
+		}
+		g, h, err := snapshot.ReadFile(s.Snapshot)
+		return g, h, nil, err
 	case s.Spec != (cli.Spec{}):
 		g, _, err := s.Spec.Load()
-		return g, nil, err
+		return g, nil, nil, err
 	default:
-		return nil, nil, errors.New("catalog: empty source (need Loader, Snapshot, or Spec)")
+		return nil, nil, nil, errors.New("catalog: empty source (need Loader, Snapshot, or Spec)")
 	}
 }
 
@@ -101,6 +117,10 @@ type Config struct {
 	// Engine is the template engine configuration; KeyPrefix is overwritten
 	// per generation with "name@gen|".
 	Engine engine.Config
+	// MMap serves snapshot sources zero-copy from mmap'd files when the
+	// format and platform allow it (v1 snapshots and mmap-less platforms
+	// silently fall back to the copy read).
+	MMap bool
 	// Logf receives progress lines (default log.Printf).
 	Logf func(string, ...any)
 }
@@ -228,14 +248,18 @@ func (c *Catalog) enqueue(name string) {
 
 // AddPrebuilt installs an already-built instance synchronously as generation
 // 1 — the path for a daemon's startup graph, which is built before the
-// listener opens. src is remembered for later reloads.
-func (c *Catalog) AddPrebuilt(name string, src Source, g *graph.Graph, h *ch.Hierarchy) (*Generation, error) {
+// listener opens. src is remembered for later reloads. When the instance was
+// loaded via snapshot.Map, pass its mapping (nil otherwise): the generation
+// takes ownership and unmaps it after its last query drains.
+func (c *Catalog) AddPrebuilt(name string, src Source, g *graph.Graph, h *ch.Hierarchy, m *snapshot.Mapping) (*Generation, error) {
 	eng := c.newEngine(name, 1, g, h)
-	gen := newGeneration(name, 1, g, h, eng)
+	gen := newGeneration(name, 1, g, h, eng, m)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[name]; ok {
+		// The rejected generation still owns the mapping; release it.
+		gen.retire()
 		return nil, fmt.Errorf("catalog: graph %q already exists", name)
 	}
 	c.clock++
@@ -429,7 +453,7 @@ func (c *Catalog) runJob(name string) {
 	c.mu.Unlock()
 
 	start := time.Now()
-	g, h, err := src.load(c.logf)
+	g, h, m, err := src.load(c.cfg.MMap, c.logf)
 	if err != nil {
 		c.failJob(name, fmt.Errorf("load %s: %w", src, err))
 		return
@@ -441,7 +465,7 @@ func (c *Catalog) runJob(name string) {
 	c.counters.C(cBuilds).Inc()
 
 	eng := c.newEngine(name, genNum, g, h)
-	gen := newGeneration(name, genNum, g, h, eng)
+	gen := newGeneration(name, genNum, g, h, eng, m)
 	c.advance(name, StateWarming, isReload)
 	c.warm(eng, g)
 
@@ -469,8 +493,12 @@ func (c *Catalog) runJob(name string) {
 	if old != nil {
 		old.retire()
 	}
-	c.logf("catalog: %s gen %d ready from %s (n=%d m=%d, %d bytes, %s)",
-		name, genNum, src, g.NumVertices(), g.NumEdges(), gen.Bytes, time.Since(start).Round(time.Millisecond))
+	residence := "heap"
+	if gen.Mapped() {
+		residence = "mmap"
+	}
+	c.logf("catalog: %s gen %d ready from %s (n=%d m=%d, %d bytes %s, %s)",
+		name, genNum, src, g.NumVertices(), g.NumEdges(), gen.Bytes, residence, time.Since(start).Round(time.Millisecond))
 }
 
 // advance moves an initial load to its next lifecycle phase; reloads keep
@@ -606,9 +634,13 @@ type GraphStatus struct {
 	Vertices int    `json:"vertices,omitempty"`
 	Edges    int64  `json:"edges,omitempty"`
 	Bytes    int64  `json:"bytes,omitempty"`
-	InFlight int64  `json:"in_flight,omitempty"`
-	Pending  bool   `json:"pending,omitempty"`
-	Error    string `json:"error,omitempty"`
+	// HeapBytes/MappedBytes split Bytes by residence: process heap for
+	// copy-loaded generations, mmap'd page cache for zero-copy ones.
+	HeapBytes   int64  `json:"heap_bytes,omitempty"`
+	MappedBytes int64  `json:"mapped_bytes,omitempty"`
+	InFlight    int64  `json:"in_flight,omitempty"`
+	Pending     bool   `json:"pending,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // Status lists every known graph, sorted by name.
@@ -628,6 +660,8 @@ func (c *Catalog) Status() []GraphStatus {
 			gs.Vertices = e.gen.G.NumVertices()
 			gs.Edges = e.gen.G.NumEdges()
 			gs.Bytes = e.gen.Bytes
+			gs.HeapBytes = e.gen.HeapBytes
+			gs.MappedBytes = e.gen.MappedBytes
 			gs.InFlight = e.gen.InFlight()
 		}
 		if e.err != nil {
@@ -652,16 +686,20 @@ func (c *Catalog) StatsSnapshot() map[string]any {
 	}
 	c.mu.Lock()
 	var ready int
-	var bytes int64
+	var bytes, heapBytes, mappedBytes int64
 	for _, e := range c.entries {
 		if e.state == StateReady && e.gen != nil {
 			ready++
 			bytes += e.gen.Bytes
+			heapBytes += e.gen.HeapBytes
+			mappedBytes += e.gen.MappedBytes
 		}
 	}
 	out["graphs"] = len(c.entries)
 	out["ready"] = ready
 	out["ready_bytes"] = bytes
+	out["ready_heap_bytes"] = heapBytes
+	out["ready_mapped_bytes"] = mappedBytes
 	c.mu.Unlock()
 	out["memory_budget"] = c.cfg.MemoryBudget
 	out["build_workers"] = c.cfg.Workers

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ch"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/snapshot"
 )
 
 // State is a graph's position in the catalog lifecycle:
@@ -93,9 +94,24 @@ type Generation struct {
 	G      *graph.Graph
 	H      *ch.Hierarchy
 	Engine *engine.Engine
-	// Bytes is the resident footprint charged against the memory budget
-	// (CSR arrays plus hierarchy arrays).
+	// Bytes is the resident footprint charged against the memory budget:
+	// HeapBytes + MappedBytes.
 	Bytes int64
+	// HeapBytes is what the instance costs in process heap (CSR plus
+	// hierarchy arrays for copy-loaded generations; zero for mapped ones,
+	// whose arrays alias the file mapping).
+	HeapBytes int64
+	// MappedBytes is the size of the mmap'd snapshot backing the instance
+	// (zero for copy-loaded generations). Mapped pages are reclaimable page
+	// cache, not heap, but still count against the budget: they are the
+	// working set a query touches.
+	MappedBytes int64
+
+	// mapping, when non-nil, owns the mmap'd file the arrays alias. It is
+	// closed exactly once, after the generation is retired and the last
+	// in-flight query has released — never while a query can still read the
+	// arrays.
+	mapping *snapshot.Mapping
 
 	refs        atomic.Int64
 	retired     atomic.Bool
@@ -103,16 +119,39 @@ type Generation struct {
 	drained     chan struct{}
 }
 
-func newGeneration(name string, gen uint64, g *graph.Graph, h *ch.Hierarchy, eng *engine.Engine) *Generation {
-	return &Generation{
+func newGeneration(name string, gen uint64, g *graph.Graph, h *ch.Hierarchy, eng *engine.Engine, m *snapshot.Mapping) *Generation {
+	gn := &Generation{
 		Name:    name,
 		Gen:     gen,
 		G:       g,
 		H:       h,
 		Engine:  eng,
-		Bytes:   g.MemoryBytes() + h.ComputeStats().CHBytes,
+		mapping: m,
 		drained: make(chan struct{}),
 	}
+	if m != nil {
+		gn.MappedBytes = m.Bytes()
+	} else {
+		gn.HeapBytes = g.MemoryBytes() + h.ComputeStats().CHBytes
+	}
+	gn.Bytes = gn.HeapBytes + gn.MappedBytes
+	return gn
+}
+
+// Mapped reports whether this generation serves straight from an mmap'd
+// snapshot.
+func (g *Generation) Mapped() bool { return g.mapping != nil }
+
+// finishDrain runs the end-of-life sequence exactly once: unmap the backing
+// file (no query can hold the arrays anymore — the last reference is gone
+// and the generation is retired), then announce drained.
+func (g *Generation) finishDrain() {
+	g.drainedOnce.Do(func() {
+		if g.mapping != nil {
+			g.mapping.Close()
+		}
+		close(g.drained)
+	})
 }
 
 // acquire takes a reference. Callers hold the catalog lock, which is what
@@ -120,27 +159,28 @@ func newGeneration(name string, gen uint64, g *graph.Graph, h *ch.Hierarchy, eng
 // the entry's current one, and retire happens after the swap.
 func (g *Generation) acquire() { g.refs.Add(1) }
 
-// release drops a reference; the last release of a retired generation closes
-// the drained channel. Safe after the query outlives its HTTP deadline — the
-// generation stays valid until this returns.
+// release drops a reference; the last release of a retired generation unmaps
+// its backing file and closes the drained channel. Safe after the query
+// outlives its HTTP deadline — the generation (and its mapping) stays valid
+// until this returns.
 func (g *Generation) release() {
 	if g.refs.Add(-1) == 0 && g.retired.Load() {
-		g.drainedOnce.Do(func() { close(g.drained) })
+		g.finishDrain()
 	}
 }
 
 // retire marks the generation as no longer current. In-flight queries keep
 // their references and finish normally; once the count reaches zero the
-// drained channel closes. Idempotent.
+// mapping is unmapped and the drained channel closes. Idempotent.
 func (g *Generation) retire() {
 	g.retired.Store(true)
 	if g.refs.Load() == 0 {
-		g.drainedOnce.Do(func() { close(g.drained) })
+		g.finishDrain()
 	}
 }
 
-// Drained is closed once the generation is retired and its last in-flight
-// query has released.
+// Drained is closed once the generation is retired, its last in-flight
+// query has released, and any backing mapping is unmapped.
 func (g *Generation) Drained() <-chan struct{} { return g.drained }
 
 // InFlight reports the current reference count.

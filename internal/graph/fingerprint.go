@@ -147,3 +147,39 @@ func FromCSRWithFingerprint(offsets []int64, targets []int32, weights []uint32, 
 	g.fpOnce.Do(func() { g.fp = fp })
 	return g, nil
 }
+
+// FromCSRTrusted adopts CSR arrays in O(1), skipping the per-arc validation
+// scan of FromCSR. It exists for the mmap snapshot fast path: the caller must
+// hold proof that these exact bytes previously passed FromCSRWithFingerprint
+// (a verified checksum binding the arrays to fp — the snapshot package's
+// once-per-file verification registry). The derived scalars FromCSR would
+// recompute (edge count, weight range) are supplied from the same verified
+// artifact. Only shape checks that cost O(1) are performed; handing this
+// function unproven arrays forfeits the package's validity invariants.
+func FromCSRTrusted(offsets []int64, targets []int32, weights []uint32, fp Fingerprint, minW, maxW uint32) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: csr: empty offsets")
+	}
+	n := len(offsets) - 1
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: csr: %d vertices exceed int32", n)
+	}
+	if int32(n) != fp.N {
+		return nil, fmt.Errorf("graph: csr: offsets describe %d vertices, fingerprint says %d", n, fp.N)
+	}
+	if len(targets) != len(weights) {
+		return nil, fmt.Errorf("graph: csr: %d targets but %d weights", len(targets), len(weights))
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: csr: offsets[0] = %d, want 0", offsets[0])
+	}
+	if offsets[n] != int64(len(targets)) {
+		return nil, fmt.Errorf("graph: csr: offsets end %d, want %d", offsets[n], len(targets))
+	}
+	if fp.M < 0 || fp.M > int64(len(targets)) {
+		return nil, fmt.Errorf("graph: csr: fingerprint edge count %d implausible for %d arcs", fp.M, len(targets))
+	}
+	g := &Graph{n: int32(n), m: fp.M, offsets: offsets, targets: targets, weights: weights, minW: minW, maxW: maxW}
+	g.fpOnce.Do(func() { g.fp = fp })
+	return g, nil
+}

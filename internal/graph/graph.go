@@ -98,15 +98,24 @@ func (g *Graph) String() string {
 }
 
 // Validate checks internal consistency of the CSR arrays. It is used by the
-// test suite and by the DIMACS reader on untrusted input.
+// test suite and by the DIMACS reader on untrusted input. The zero value is
+// the empty graph and validates: nil arrays are the CSR form of zero vertices.
 func (g *Graph) Validate() error {
+	if g.n == 0 && len(g.offsets) == 0 {
+		// The zero value stores no offsets array at all; constructed empty
+		// graphs store the canonical [0] instead. Both are the empty graph.
+		if len(g.targets) != 0 || len(g.weights) != 0 {
+			return fmt.Errorf("graph: zero-vertex graph with %d targets and %d weights", len(g.targets), len(g.weights))
+		}
+		return nil
+	}
 	if int32(len(g.offsets)) != g.n+1 {
 		return fmt.Errorf("graph: offsets length %d, want %d", len(g.offsets), g.n+1)
 	}
 	if len(g.targets) != len(g.weights) {
 		return fmt.Errorf("graph: %d targets but %d weights", len(g.targets), len(g.weights))
 	}
-	if g.n >= 0 && g.offsets[0] != 0 {
+	if g.offsets[0] != 0 {
 		return errors.New("graph: offsets[0] != 0")
 	}
 	for v := int32(0); v < g.n; v++ {

@@ -32,6 +32,19 @@ func TestEmptyGraph(t *testing.T) {
 	}
 }
 
+// The zero value is a valid empty graph: deserializers (snapshot, tests)
+// may hand Validate a Graph whose slices were never allocated, and that must
+// be indistinguishable from NewBuilder(0).Build().
+func TestZeroValueGraphValidates(t *testing.T) {
+	var g Graph
+	if err := g.Validate(); err != nil {
+		t.Fatalf("zero-value Graph failed Validate: %v", err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("zero-value graph has n=%d m=%d arcs=%d", g.NumVertices(), g.NumEdges(), g.NumArcs())
+	}
+}
+
 func TestSingleVertexNoEdges(t *testing.T) {
 	g := mustBuild(t, 1, nil)
 	if g.Degree(0) != 0 {

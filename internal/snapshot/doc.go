@@ -1,37 +1,85 @@
 // Package snapshot persists a (graph, Component Hierarchy) pair as one
 // versioned binary artifact — the compiled form of an instance in the serving
 // stack. The paper's pipeline is two-phase (build the hierarchy once, answer
-// many queries); a snapshot makes the first phase a one-time compile step:
-// loading a snapshot is a sequential binary read plus cheap validation,
-// roughly an order of magnitude faster than re-parsing text DIMACS and
-// rebuilding the hierarchy, which is what lets a catalog bring graphs into
-// service (or back after eviction) off the request path and fast.
+// many queries); a snapshot makes the first phase a one-time compile step.
+// Format v2 goes further: its graph section is laid out byte-for-byte as the
+// in-memory CSR arrays, page-aligned, so Map can mmap the file and serve the
+// arrays zero-copy — load is a page mapping plus validation, and resident
+// graphs cost page cache instead of heap.
 //
-// Format (all little-endian):
+// # Format v2 (all little-endian)
 //
-//	magic    [8]byte  "SSSPSNAP"
-//	version  uint32   (currently 1)
-//	fpN      uint32   graph fingerprint: vertices
-//	fpM      uint64   graph fingerprint: undirected edges
-//	fpCRC    uint64   graph fingerprint: CRC-64/ECMA over the CSR arrays
-//	section "GRPH":
-//	    tag     [4]byte
-//	    length  uint64   payload bytes
-//	    payload          n uint32, arcs uint64,
-//	                     offsets [n+1]int64, targets [arcs]int32,
-//	                     weights [arcs]uint32
-//	    crc     uint64   CRC-64/ECMA of the payload
-//	section "CHIE":
-//	    tag     [4]byte
-//	    length  uint64
-//	    payload          the ch.WriteTo byte stream (self-checksummed,
-//	                     carries its own graph fingerprint)
-//	    crc     uint64   CRC-64/ECMA of the payload
+// Fixed 96-byte header:
 //
-// Every section is independently checksummed, so corruption is localized in
-// error reports and detected before any derived structure is built. The
-// leading fingerprint identifies the instance without reading the arrays
-// (ReadFingerprint), and is cross-checked against the decoded graph.
+//	off  0  magic      [8]byte  "SSSPSNAP"
+//	off  8  version    uint32   2
+//	off 12  fpN        uint32   graph fingerprint: vertices (≤ MaxInt32)
+//	off 16  fpM        uint64   graph fingerprint: undirected edges
+//	off 24  fpCRC      uint64   graph fingerprint: CRC-64/ECMA over the CSR arrays
+//	off 32  arcs       uint64   stored arc count (= len(targets) = len(weights))
+//	off 40  minW       uint32   smallest edge weight (0 iff no edges)
+//	off 44  maxW       uint32   largest edge weight
+//	off 48  grphOff    uint64   graph section offset, always 4096 (page-aligned)
+//	off 56  grphLen    uint64   graph section length = (fpN+1)*8 + arcs*8
+//	off 64  chieOff    uint64   hierarchy section offset = grphOff + grphLen
+//	off 72  chieLen    uint64   hierarchy section length
+//	off 80  chieCRC    uint64   CRC-64/ECMA over the hierarchy section
+//	off 88  headerCRC  uint64   CRC-64/ECMA over header bytes [0, 88)
+//
+// Bytes [96, 4096) are zero padding (verified zero on read — they sit outside
+// both section checksums).
+//
+// Graph section at grphOff: offsets [fpN+1]int64, targets [arcs]int32,
+// weights [arcs]uint32, concatenated with no framing. These are exactly the
+// bytes graph.Fingerprint hashes, so fpCRC doubles as this section's checksum
+// and no separate field is needed. grphLen is a multiple of 8, so chieOff is
+// 8-aligned and every array in both sections starts at an offset aligned for
+// its element type — the alignment contract the mmap views rely on.
+//
+// Hierarchy section at chieOff — a 40-byte header:
+//
+//	off  0  nodes     uint32  total CH nodes (leaves + internal)
+//	off  4  leaves    uint32  leaf count (= graph vertices)
+//	off  8  root      int32   root node id (-1 iff nodes == 0)
+//	off 12  maxLevel  int32
+//	off 16  virtual   uint32  1 if the root is virtual (disconnected graph)
+//	off 20  childLen  uint32  total child links
+//	off 24  fpM       uint64  owning graph's fingerprint (binds the section:
+//	off 32  fpCRC     uint64  a CH spliced from another snapshot is refused)
+//
+// followed by level, parent, vertexCount (each [nodes]int32), childStart
+// [nodes-leaves+1]int32, children [childLen]int32. The file ends exactly at
+// chieOff+chieLen; readers with access to the file size reject any mismatch.
+//
+// # Read paths
+//
+// Map (v2 only) mmaps the file and hands out graph/hierarchy arrays aliasing
+// the mapping via unsafe.Slice. The first Map of a file verifies everything —
+// header CRC and geometry, zero padding, both section CRCs, the O(n+m) CSR
+// validation scan, structural hierarchy checks — then records the file's
+// identity (device, inode, size, mtime) in a small registry; re-mapping the
+// same unchanged file skips straight to O(1) shape checks. The returned
+// Mapping owns the mapped bytes and must outlive the graph.
+//
+// Read/ReadFile decode either version into fresh heap arrays (the fallback
+// for v1 files and platforms without mmap). Declared section lengths are
+// bounded by the remaining file size — or read chunk-by-chunk when the size
+// is unknown — so a corrupt header cannot force a giant allocation, and a
+// header vertex count above MaxInt32 is rejected outright.
+//
+// # Format v1 (legacy, read-only in practice)
+//
+// The same 32-byte header prefix (version 1, no fields past fpCRC), then two
+// framed sections, each tag[4] + length uint64 + payload + crc uint64: tag
+// "GRPH" (n uint32, arcs uint64, then the three CSR arrays) and tag "CHIE"
+// (the ch.WriteTo byte stream, which carries its own fingerprint binding).
+// v1 payloads are unaligned, so Map refuses them with ErrNotMappable;
+// WriteV1 remains available for migration tests and benchmarks.
+//
+// Every section in both formats is independently checksummed, so corruption
+// is localized in error reports and detected before any derived structure is
+// built. The leading fingerprint identifies the instance without reading the
+// arrays (ReadFingerprint) and is cross-checked against the decoded graph.
 //
 // See DESIGN.md §9 ("Graph catalog & snapshots") for how this package fits the system.
 package snapshot

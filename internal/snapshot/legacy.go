@@ -1,0 +1,224 @@
+package snapshot
+
+// Format v1 support. v1 is a tagged stream: the 32-byte header prefix shared
+// with v2, then two sections each framed as tag[4] + length u64 + payload +
+// crc u64. It cannot be mmap'd (arrays are not aligned or laid out in their
+// in-memory form), so Read decodes it through the copy path and Map refuses
+// it with ErrNotMappable. WriteV1 is retained so migration tests and the
+// catalog benchmark can still produce v1 files; everything else in the
+// serving stack writes v2.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+
+	"repro/internal/ch"
+	"repro/internal/graph"
+)
+
+var (
+	tagGraph = [4]byte{'G', 'R', 'P', 'H'}
+	tagCH    = [4]byte{'C', 'H', 'I', 'E'}
+)
+
+// WriteV1 serialises g and h in the legacy v1 stream format.
+func WriteV1(w io.Writer, g *graph.Graph, h *ch.Hierarchy) (int64, error) {
+	if h.Graph() != g {
+		return 0, errors.New("snapshot: hierarchy was built for a different graph value")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	fp := g.Fingerprint()
+	for _, v := range []any{magic, uint32(1), uint32(fp.N), uint64(fp.M), fp.CRC} {
+		if err := put(v); err != nil {
+			return written, fmt.Errorf("snapshot: write header: %w", err)
+		}
+	}
+
+	// Graph section. The payload length is arithmetic over the array lengths,
+	// so it is emitted before the payload without double-buffering.
+	offsets, targets, weights := g.AdjOffsets(), g.Targets(), g.Weights()
+	glen := 4 + 8 + int64(len(offsets))*8 + int64(len(targets))*4 + int64(len(weights))*4
+	if err := writeSectionV1(bw, &written, tagGraph, glen, func(sw io.Writer) error {
+		for _, v := range []any{uint32(g.NumVertices()), uint64(len(targets)), offsets, targets, weights} {
+			if err := binary.Write(sw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return written, fmt.Errorf("snapshot: write graph section: %w", err)
+	}
+
+	// CH section: ch.WriteTo's byte stream, measured first (its length is not
+	// arithmetic from outside the ch package).
+	var chBuf countingDiscard
+	if _, err := h.WriteTo(&chBuf); err != nil {
+		return written, fmt.Errorf("snapshot: measure hierarchy: %w", err)
+	}
+	if err := writeSectionV1(bw, &written, tagCH, chBuf.n, func(sw io.Writer) error {
+		_, err := h.WriteTo(sw)
+		return err
+	}); err != nil {
+		return written, fmt.Errorf("snapshot: write ch section: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("snapshot: flush: %w", err)
+	}
+	return written, nil
+}
+
+// countingDiscard measures a serialisation without storing it.
+type countingDiscard struct{ n int64 }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// crcTee forwards writes while accumulating their CRC and length.
+type crcTee struct {
+	w   io.Writer
+	crc uint64
+	n   int64
+}
+
+func (t *crcTee) Write(p []byte) (int, error) {
+	t.crc = crc64.Update(t.crc, crcTab, p)
+	t.n += int64(len(p))
+	return t.w.Write(p)
+}
+
+func writeSectionV1(w io.Writer, written *int64, tag [4]byte, length int64, body func(io.Writer) error) error {
+	if err := binary.Write(w, binary.LittleEndian, tag); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(length)); err != nil {
+		return err
+	}
+	tee := &crcTee{w: w}
+	if err := body(tee); err != nil {
+		return err
+	}
+	if tee.n != length {
+		return fmt.Errorf("section %s body wrote %d bytes, declared %d", tag, tee.n, length)
+	}
+	if err := binary.Write(w, binary.LittleEndian, tee.crc); err != nil {
+		return err
+	}
+	*written += 4 + 8 + length + 8
+	return nil
+}
+
+// readV1 decodes the two tagged sections following an already-parsed header.
+// remaining is the file size minus the header when known, -1 otherwise; it
+// bounds every declared section length (readCapped), closing the old hole
+// where a corrupt length drove a giant pre-checksum allocation.
+func readV1(r io.Reader, fp graph.Fingerprint, remaining int64) (*graph.Graph, *ch.Hierarchy, error) {
+	gpayload, remaining, err := readSectionV1(r, tagGraph, remaining)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := decodeGraphV1(gpayload, fp)
+	if err != nil {
+		return nil, nil, err
+	}
+	chPayload, _, err := readSectionV1(r, tagCH, remaining)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := ch.ReadFrom(bytes.NewReader(chPayload), g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: ch section: %w", err)
+	}
+	return g, h, nil
+}
+
+// readSectionV1 reads one tagged, length-prefixed, checksummed payload and
+// returns the remaining byte budget after it.
+func readSectionV1(r io.Reader, want [4]byte, remaining int64) ([]byte, int64, error) {
+	name := string(want[:])
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, remaining, fmt.Errorf("snapshot: read section %s header: %w", name, err)
+	}
+	var tag [4]byte
+	copy(tag[:], hdr[:4])
+	if tag != want {
+		return nil, remaining, fmt.Errorf("snapshot: section %q where %q expected (truncated or reordered file)",
+			tag[:], name)
+	}
+	length := binary.LittleEndian.Uint64(hdr[4:])
+	budget := int64(-1)
+	if remaining >= 0 {
+		// Charge the section framing (12-byte header + 8-byte checksum)
+		// before the payload.
+		budget = remaining - 12 - 8
+		if budget < 0 {
+			return nil, remaining, fmt.Errorf("snapshot: section %s truncated", name)
+		}
+	}
+	payload, err := readCapped(r, length, budget, name)
+	if err != nil {
+		return nil, remaining, err
+	}
+	var crcBuf [8]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, remaining, fmt.Errorf("snapshot: read section %s checksum: %w", name, err)
+	}
+	if crc64.Checksum(payload, crcTab) != binary.LittleEndian.Uint64(crcBuf[:]) {
+		return nil, remaining, fmt.Errorf("snapshot: section %s checksum mismatch (corrupted file)", name)
+	}
+	if remaining >= 0 {
+		remaining -= 12 + int64(length) + 8
+	}
+	return payload, remaining, nil
+}
+
+// decodeGraphV1 rebuilds the CSR graph from a verified v1 graph-section
+// payload. The header fingerprint is adopted rather than recomputed: the
+// section CRC already proves the arrays are exactly what the writer hashed,
+// the counts are cross-checked against the decoded arrays, and the CH
+// section's own stored fingerprint re-verifies the CRC — so the second
+// O(n+m) hashing pass a recompute would cost is pure redundancy on the load
+// path.
+func decodeGraphV1(payload []byte, fp graph.Fingerprint) (*graph.Graph, error) {
+	r := bytes.NewReader(payload)
+	var n uint32
+	var arcs uint64
+	for _, v := range []any{&n, &arcs} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("snapshot: graph section header: %w", err)
+		}
+	}
+	wantLen := uint64(12) + (uint64(n)+1)*8 + arcs*4 + arcs*4
+	if uint64(len(payload)) != wantLen {
+		return nil, fmt.Errorf("snapshot: graph section length %d does not match n=%d arcs=%d (want %d)",
+			len(payload), n, arcs, wantLen)
+	}
+	offsets := make([]int64, n+1)
+	targets := make([]int32, arcs)
+	weights := make([]uint32, arcs)
+	for _, v := range []any{offsets, targets, weights} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("snapshot: graph section arrays: %w", err)
+		}
+	}
+	g, err := graph.FromCSRWithFingerprint(offsets, targets, weights, fp)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("snapshot: mmap unsupported on this platform")
+}
+
+func munmap(b []byte) error { return nil }
+
+func fileID(fi os.FileInfo) (vkey, bool) { return vkey{}, false }

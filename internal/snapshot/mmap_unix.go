@@ -1,0 +1,36 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. MAP_SHARED keeps the pages backed
+// by the file (page cache), not anonymous memory.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// fileID derives the verification-registry key from stat. A false ok means
+// the platform's stat does not expose device/inode and the caller must treat
+// the file as never verified.
+func fileID(fi os.FileInfo) (vkey, bool) {
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok {
+		return vkey{}, false
+	}
+	return vkey{
+		dev:       uint64(st.Dev),
+		ino:       uint64(st.Ino),
+		size:      fi.Size(),
+		mtimeNano: fi.ModTime().UnixNano(),
+	}, true
+}

@@ -2,8 +2,12 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/ch"
@@ -107,7 +111,8 @@ func flip(b []byte, at int) []byte {
 }
 
 // Splicing the CH section of one snapshot onto the graph of another must be
-// refused even though both sections are individually well-checksummed.
+// refused even when the splicer fixes up every framing field — the hierarchy
+// payload's stored graph fingerprint is what binds it to its graph.
 func TestReadRejectsSplicedSections(t *testing.T) {
 	ga, ha := buildPair(t, gen.Random(200, 800, 256, gen.UWD, 1))
 	gb, hb := buildPair(t, gen.Random(200, 800, 256, gen.UWD, 2))
@@ -118,15 +123,152 @@ func TestReadRejectsSplicedSections(t *testing.T) {
 	if _, err := Write(&b, gb, hb); err != nil {
 		t.Fatal(err)
 	}
-	// Find the CH section start (the "CHIE" tag) in both files.
+	le := binary.LittleEndian
+	chieOffA := le.Uint64(a.Bytes()[64:])
+	chieOffB := le.Uint64(b.Bytes()[64:])
+	spliced := append([]byte(nil), a.Bytes()[:chieOffA]...)
+	spliced = append(spliced, b.Bytes()[chieOffB:]...)
+	// A consistent forgery would also rewrite the framing: copy B's chieLen
+	// and chieCRC into A's header and recompute the header checksum.
+	copy(spliced[72:80], b.Bytes()[72:80])
+	copy(spliced[80:88], b.Bytes()[80:88])
+	le.PutUint64(spliced[88:], crc64.Checksum(spliced[:88], crcTab))
+	if _, _, err := Read(bytes.NewReader(spliced)); err == nil {
+		t.Fatal("accepted a snapshot whose CH section belongs to a different graph")
+	}
+
+	// Same attack against the v1 stream framing.
+	a.Reset()
+	b.Reset()
+	if _, err := WriteV1(&a, ga, ha); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteV1(&b, gb, hb); err != nil {
+		t.Fatal(err)
+	}
 	ai := bytes.Index(a.Bytes(), []byte("CHIE"))
 	bi := bytes.Index(b.Bytes(), []byte("CHIE"))
 	if ai < 0 || bi < 0 {
 		t.Fatal("CHIE tag not found")
 	}
-	spliced := append(append([]byte(nil), a.Bytes()[:ai]...), b.Bytes()[bi:]...)
-	if _, _, err := Read(bytes.NewReader(spliced)); err == nil {
-		t.Fatal("accepted a snapshot whose CH section belongs to a different graph")
+	splicedV1 := append(append([]byte(nil), a.Bytes()[:ai]...), b.Bytes()[bi:]...)
+	if _, _, err := Read(bytes.NewReader(splicedV1)); err == nil {
+		t.Fatal("accepted a v1 snapshot whose CH section belongs to a different graph")
+	}
+}
+
+// v1 files written by earlier releases must keep loading through Read, with
+// the identical instance coming back.
+func TestReadAcceptsLegacyV1(t *testing.T) {
+	g, h := buildPair(t, gen.Random(300, 1200, 256, gen.UWD, 11))
+	var buf bytes.Buffer
+	if _, err := WriteV1(&buf, g, h); err != nil {
+		t.Fatal(err)
+	}
+	g2, h2, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read(v1): %v", err)
+	}
+	if g2.Fingerprint() != g.Fingerprint() || h2.NumNodes() != h.NumNodes() {
+		t.Fatal("v1 round trip changed the instance")
+	}
+	// And via ReadFile, which bounds sections by the real file size.
+	path := filepath.Join(t.TempDir(), "v1.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(path); err != nil {
+		t.Fatalf("ReadFile(v1): %v", err)
+	}
+}
+
+// Regression: a header vertex count above MaxInt32 used to be narrowed to a
+// negative int32 and handed downstream; it must be rejected by every entry
+// point, with the header otherwise internally consistent so the rejection is
+// provably the overflow check and not a checksum side effect.
+func TestRejectsVertexCountOverflow(t *testing.T) {
+	g, h := buildPair(t, gen.Random(100, 400, 16, gen.UWD, 9))
+	var buf bytes.Buffer
+	if _, err := Write(&buf, g, h); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	le := binary.LittleEndian
+	le.PutUint32(raw[12:], 1<<31) // fpN = MaxInt32+1
+	le.PutUint64(raw[88:], crc64.Checksum(raw[:88], crcTab))
+
+	if _, err := ReadFingerprint(bytes.NewReader(raw[:32])); err == nil {
+		t.Error("ReadFingerprint accepted n > MaxInt32")
+	} else if !strings.Contains(err.Error(), "int32") {
+		t.Errorf("ReadFingerprint error %q does not name the overflow", err)
+	}
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("Read accepted n > MaxInt32")
+	}
+	path := filepath.Join(t.TempDir(), "overflow.snap")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Map(path); err == nil {
+		t.Error("Map accepted n > MaxInt32")
+	}
+
+	// The same corruption in a v1 header.
+	buf.Reset()
+	if _, err := WriteV1(&buf, g, h); err != nil {
+		t.Fatal(err)
+	}
+	rawV1 := append([]byte(nil), buf.Bytes()...)
+	le.PutUint32(rawV1[12:], 1<<31)
+	if _, err := ReadFingerprint(bytes.NewReader(rawV1[:32])); err == nil {
+		t.Error("ReadFingerprint accepted v1 n > MaxInt32")
+	}
+	if _, _, err := Read(bytes.NewReader(rawV1)); err == nil {
+		t.Error("Read accepted v1 n > MaxInt32")
+	}
+}
+
+// Regression: a corrupt v1 section length used to drive a pre-checksum
+// allocation of the declared size (up to 1 TiB). With the file size known the
+// declaration is refused outright; from a plain reader the read is chunked,
+// so a short stream bounds the allocation regardless of the lie.
+func TestV1RejectsInflatedSectionLength(t *testing.T) {
+	g, h := buildPair(t, gen.Random(200, 800, 64, gen.UWD, 4))
+	var buf bytes.Buffer
+	if _, err := WriteV1(&buf, g, h); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	// The GRPH section header starts right after the 32-byte file header:
+	// tag at [32,36), declared length at [36,44).
+	if string(raw[32:36]) != "GRPH" {
+		t.Fatalf("GRPH tag not at offset 32: %q", raw[32:36])
+	}
+	binary.LittleEndian.PutUint64(raw[36:], 512<<30) // declare 512 GiB
+
+	path := filepath.Join(t.TempDir(), "inflated.snap")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(path); err == nil {
+		t.Error("ReadFile accepted a section longer than the file")
+	} else if !strings.Contains(err.Error(), "remain") {
+		t.Errorf("ReadFile error %q should reject the length against the file size", err)
+	}
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("Read accepted a section longer than the stream")
+	}
+
+	// Truncation mid-section must also fail cleanly at both entry points.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if err := os.WriteFile(path, trunc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(path); err == nil {
+		t.Error("ReadFile accepted a truncated v1 file")
+	}
+	if _, _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("Read accepted a truncated v1 stream")
 	}
 }
 
@@ -151,6 +293,12 @@ func TestWriteFileAtomicAndReadFile(t *testing.T) {
 	if g2.Fingerprint() != g.Fingerprint() || h2.NumNodes() != h.NumNodes() {
 		t.Fatal("ReadFile returned a different instance")
 	}
+	// The published snapshot must be world-readable, not CreateTemp's 0600.
+	if fi, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	} else if perm := fi.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("snapshot mode %o, want 644", perm)
+	}
 	// Unwritable destination: no stray temp files.
 	if err := WriteFile(filepath.Join(dir, "missing", "x.snap"), g, h); err == nil {
 		t.Fatal("expected error for unwritable directory")
@@ -158,6 +306,39 @@ func TestWriteFileAtomicAndReadFile(t *testing.T) {
 	entries, _ = os.ReadDir(dir)
 	if len(entries) != 1 {
 		t.Fatalf("stray files: %v", entries)
+	}
+}
+
+// A snapshot whose bytes never reached stable storage must not be renamed
+// into place: when fsync fails, WriteFile reports the failure and leaves
+// neither the destination nor a stray temp file behind.
+func TestWriteFileSyncFailure(t *testing.T) {
+	g, h := buildPair(t, gen.Random(100, 400, 64, gen.UWD, 6))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.snap")
+
+	orig := syncFile
+	syncFile = func(f *os.File) error { return errors.New("injected fsync failure") }
+	defer func() { syncFile = orig }()
+
+	err := WriteFile(path, g, h)
+	if err == nil || !strings.Contains(err.Error(), "injected fsync failure") {
+		t.Fatalf("WriteFile = %v, want the injected fsync failure", err)
+	}
+	entries, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed write left files behind: %v", entries)
+	}
+
+	syncFile = orig
+	if err := WriteFile(path, g, h); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(path); err != nil {
+		t.Fatal(err)
 	}
 }
 
