@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine bench-catalog bench-trace check docs-check stress fuzz experiments examples clean
+.PHONY: all build vet test race bench bench-engine bench-catalog bench-trace bench-serve bench-serve-smoke check docs-check stress fuzz experiments examples clean
 
 all: build vet test
 
@@ -21,7 +21,7 @@ race:
 	$(GO) test -race ./internal/core ./internal/cc ./internal/deltastep \
 		./internal/par ./internal/bfs ./internal/mta ./internal/digraph \
 		./internal/obs ./internal/engine ./internal/catalog ./internal/snapshot \
-		./internal/trace ./cmd/ssspd .
+		./internal/trace ./internal/loadgen ./cmd/ssspd .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -47,6 +47,22 @@ bench-trace:
 	BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace.json \
 		$(GO) test -run TestWriteTraceBenchJSON -count=1 -v ./cmd/ssspd
 
+# Service-level benchmarks: the committed workload specs in
+# testdata/workloads (Zipf single-query, batch-heavy, cache-hostile) run at
+# full size against a hermetic ssspd via the open/closed-loop load generator
+# (cmd/loadgen), written to BENCH_serve.json. FAILS if any workload violates
+# its committed SLO (p99 latency, error rate, achieved-rate fraction) — this
+# is the serving-path regression gate.
+bench-serve:
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
+		$(GO) test -run TestWriteServeBenchJSON -count=1 -v ./cmd/ssspd
+
+# Shrunk always-on slice of bench-serve: every committed workload spec
+# parses, matches the bench catalog, and passes its SLO at smoke size.
+bench-serve-smoke:
+	$(GO) test -run 'TestServeWorkloadSmoke|TestServeWorkloadsExpandDeterministically|TestServeStallInjectionTripsGate' \
+		-count=1 ./cmd/ssspd
+
 # Fast pre-merge gate: static checks, the documentation linter, the race
 # detector over the concurrent traversal core, the query engine, the graph
 # catalog and snapshot format, the tracing layer, and the daemon middleware,
@@ -56,7 +72,8 @@ check:
 	$(MAKE) docs-check
 	$(GO) test -race ./internal/core/... ./internal/engine/... \
 		./internal/catalog/... ./internal/snapshot/... ./internal/trace/... \
-		./cmd/ssspd/...
+		./internal/loadgen/... ./cmd/ssspd/...
+	$(MAKE) bench-serve-smoke
 	$(MAKE) stress
 
 # Documentation lint: every intra-repo markdown link must resolve and every
@@ -80,6 +97,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadGraph -fuzztime 10s ./internal/dimacs
 	$(GO) test -fuzz FuzzReadSources -fuzztime 10s ./internal/dimacs
 	$(GO) test -fuzz FuzzSnapshotRead -fuzztime 10s ./internal/snapshot
+	$(GO) test -fuzz FuzzWorkloadSpec -fuzztime 10s ./internal/loadgen
 	$(GO) test -fuzz FuzzThorupVsDijkstra -fuzztime 10s ./internal/core
 	$(GO) test -fuzz FuzzDeltaStepVsDijkstra -fuzztime 10s ./internal/core
 	$(GO) test -fuzz FuzzMLBVsDijkstra -fuzztime 10s ./internal/core

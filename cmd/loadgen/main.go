@@ -1,0 +1,191 @@
+// Command loadgen generates or replays a recorded workload against a live
+// ssspd and reports latency percentiles, achieved vs offered rate, error and
+// shed counts, and SLO verdicts. Exit status 1 means an SLO gate was
+// violated (or the run failed outright), so it slots directly into CI.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -spec testdata/workloads/zipf-single.jsonl
+//	loadgen -url ... -spec wl.jsonl -record run.jsonl     # save the exact sequence
+//	loadgen -url ... -replay run.jsonl                    # re-run it identically
+//	loadgen -spec wl.jsonl -record run.jsonl              # expand only, no run
+//	loadgen -url ... -spec wl.jsonl -slo-p99 50 -slo-error-rate 0
+//
+// A workload file is JSON lines: a spec header (seed, request count,
+// open/closed mode, rate or workers, Zipf skew or cache-hostile striding,
+// graph/endpoint/solver mixes, optional SLO gates), optionally followed by
+// the concrete request lines of a recording. A header-only spec expands
+// deterministically — same seed, same bytes — so committed specs pin traffic
+// shapes; see internal/loadgen.
+//
+// The run stamps every request with X-Trace-Id <prefix>-<index> (so slow
+// outliers join against the daemon's GET /debug/traces), and scrapes
+// GET /metrics before and after to attribute sheds, cache hits and
+// evictions to the run (disable with -no-metrics against non-ssspd
+// servers).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		baseURL   = flag.String("url", "", "base URL of the ssspd under load (empty: expand/record only, no run)")
+		specFile  = flag.String("spec", "", "workload spec file (header-only specs are expanded deterministically)")
+		replay    = flag.String("replay", "", "recorded workload to replay; must contain request lines (alternative to -spec)")
+		record    = flag.String("record", "", "write the concrete expanded request sequence to this file")
+		outFile   = flag.String("out", "", "write the JSON report here (default stdout)")
+		seed      = flag.Uint64("seed", 0, "override the spec's seed (0 keeps the spec's)")
+		requests  = flag.Int("requests", 0, "override the spec's request count (0 keeps the spec's)")
+		rate      = flag.Float64("rate", 0, "override the spec's open-loop rate in requests/second (0 keeps the spec's)")
+		workers   = flag.Int("workers", 0, "override the spec's closed-loop worker count (0 keeps the spec's)")
+		mode      = flag.String("mode", "", "override the spec's mode: open or closed (empty keeps the spec's)")
+		sloP99    = flag.Float64("slo-p99", 0, "p99 latency gate in milliseconds (0 keeps the spec's SLO)")
+		sloErrs   = flag.Float64("slo-error-rate", -1, "error-rate gate as a fraction (negative keeps the spec's SLO)")
+		sloSheds  = flag.Float64("slo-shed-rate", -1, "shed-rate gate as a fraction (negative keeps the spec's SLO)")
+		timeout   = flag.Duration("timeout", 0, "client-side per-request timeout (0: rely on the daemon's -timeout)")
+		tracePfx  = flag.String("trace-prefix", "loadgen", "X-Trace-Id prefix stamped on every request (empty disables)")
+		noMetrics = flag.Bool("no-metrics", false, "skip the before/after GET /metrics scrape")
+	)
+	flag.Parse()
+
+	w, err := loadWorkload(*specFile, *replay)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	applyOverrides(w, *seed, *requests, *rate, *workers, *mode)
+	if err := w.Spec.Validate(); err != nil {
+		log.Fatalf("loadgen: after overrides: %v", err)
+	}
+	if err := w.Expand(); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	if *record != "" {
+		if err := w.WriteFile(*record); err != nil {
+			log.Fatalf("loadgen: record: %v", err)
+		}
+		log.Printf("loadgen: recorded %d requests to %s", len(w.Requests), *record)
+	}
+	if *baseURL == "" {
+		if *record == "" {
+			log.Fatalf("loadgen: nothing to do: give -url to run, or -record to expand")
+		}
+		return
+	}
+	applySLOOverrides(w, *sloP99, *sloErrs, *sloSheds)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	outcome, err := loadgen.Run(ctx, w, loadgen.Options{
+		BaseURL:       *baseURL,
+		Client:        &http.Client{Timeout: *timeout},
+		TracePrefix:   *tracePfx,
+		ScrapeMetrics: !*noMetrics,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: run: %v", err)
+	}
+	report := loadgen.BuildReport(w, outcome)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *outFile == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*outFile, buf, 0o644); err != nil {
+		log.Fatalf("loadgen: write report: %v", err)
+	}
+	log.Printf("loadgen: %s: %d requests in %.2fs (%.1f/s achieved), ok=%d shed=%d timeout=%d err=%d p99=%.2fms",
+		report.Workload, report.Requests, report.WallSeconds, report.AchievedRate,
+		report.OK, report.Shed, report.Timeouts, report.Errors, report.Latency.P99Ms)
+	if len(report.Violations) > 0 {
+		for _, v := range report.Violations {
+			log.Printf("loadgen: SLO VIOLATION: %s", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// loadWorkload reads the workload from -spec or -replay (exactly one).
+// -replay additionally requires the file to be a real recording: a
+// header-only file would regenerate, which is what -spec is for.
+func loadWorkload(spec, replay string) (*loadgen.Workload, error) {
+	switch {
+	case spec != "" && replay != "":
+		return nil, fmt.Errorf("give -spec or -replay, not both")
+	case spec != "":
+		return loadgen.ReadFile(spec)
+	case replay != "":
+		w, err := loadgen.ReadFile(replay)
+		if err != nil {
+			return nil, err
+		}
+		if w.Requests == nil {
+			return nil, fmt.Errorf("%s is a header-only spec, not a recording; use -spec to expand it", replay)
+		}
+		return w, nil
+	default:
+		return nil, fmt.Errorf("a workload file is required: -spec or -replay")
+	}
+}
+
+// applyOverrides rewrites spec knobs from flags. Any override invalidates a
+// recording's concrete requests (the sequence would no longer match the
+// spec), so Requests is dropped and re-expanded.
+func applyOverrides(w *loadgen.Workload, seed uint64, requests int, rate float64, workers int, mode string) {
+	changed := false
+	if seed != 0 && seed != w.Spec.Seed {
+		w.Spec.Seed = seed
+		changed = true
+	}
+	if requests != 0 && requests != w.Spec.Requests {
+		w.Spec.Requests = requests
+		changed = true
+	}
+	if rate != 0 && rate != w.Spec.Rate {
+		w.Spec.Rate = rate
+		changed = true
+	}
+	if workers != 0 && workers != w.Spec.Workers {
+		w.Spec.Workers = workers
+		changed = true
+	}
+	if mode != "" && mode != w.Spec.Mode {
+		w.Spec.Mode = mode
+		changed = true
+	}
+	if changed {
+		w.Requests = nil
+	}
+}
+
+func applySLOOverrides(w *loadgen.Workload, p99, errRate, shedRate float64) {
+	if p99 <= 0 && errRate < 0 && shedRate < 0 {
+		return
+	}
+	if w.Spec.SLO == nil {
+		w.Spec.SLO = &loadgen.SLO{}
+	}
+	if p99 > 0 {
+		w.Spec.SLO.P99Ms = p99
+	}
+	if errRate >= 0 {
+		w.Spec.SLO.MaxErrorRate = &errRate
+	}
+	if shedRate >= 0 {
+		w.Spec.SLO.MaxShedRate = &shedRate
+	}
+}

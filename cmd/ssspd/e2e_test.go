@@ -1,0 +1,348 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/ch"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/loadgen"
+	"repro/internal/par"
+	"repro/internal/solver"
+)
+
+// groundTruth answers dijkstra distance vectors for the bench catalog's
+// graphs via internal/solver — the reference the serving path is judged
+// against — memoizing per (graph, source).
+type groundTruth struct {
+	mu        sync.Mutex
+	instances map[string]*solver.Instance
+	dist      map[string]map[int32][]int64
+	solve     solver.Solver
+}
+
+func newGroundTruth(tb testing.TB, graphs map[string]*graph.Graph) *groundTruth {
+	tb.Helper()
+	sv, ok := solver.ByName("dijkstra")
+	if !ok {
+		tb.Fatal("no dijkstra in the solver registry")
+	}
+	gt := &groundTruth{
+		instances: make(map[string]*solver.Instance),
+		dist:      make(map[string]map[int32][]int64),
+		solve:     sv,
+	}
+	for name, g := range graphs {
+		gt.instances[name] = solver.NewInstance(g, par.NewExec(1))
+		gt.dist[name] = make(map[int32][]int64)
+	}
+	return gt
+}
+
+func (gt *groundTruth) of(tb testing.TB, graphName string, src int32) []int64 {
+	tb.Helper()
+	gt.mu.Lock()
+	defer gt.mu.Unlock()
+	if d, ok := gt.dist[graphName][src]; ok {
+		return d
+	}
+	in := gt.instances[graphName]
+	if in == nil {
+		tb.Fatalf("no ground-truth instance for graph %q", graphName)
+	}
+	d := gt.solve.Solve(in, []int32{src})
+	gt.dist[graphName][src] = d
+	return d
+}
+
+func reachedOf(dist []int64) int {
+	n := 0
+	for _, d := range dist {
+		if d < graph.Inf {
+			n++
+		}
+	}
+	return n
+}
+
+// End-to-end serving-path correctness: a loadgen-generated workload covering
+// every endpoint, both graphs, and solver overrides runs through
+// HTTP → catalog → engine → solver → response, and every returned distance
+// equals internal/solver Dijkstra ground truth computed directly on the same
+// graphs.
+func TestE2EServingPathGroundTruth(t *testing.T) {
+	ts, _ := serveBenchBoot(t)
+	gt := newGroundTruth(t, serveWorkloadGraphs())
+
+	w := &loadgen.Workload{Spec: loadgen.Spec{
+		Name: "e2e", Version: 1, Seed: 11, Requests: 60,
+		Mode: loadgen.ModeClosed, Workers: 4,
+		FullFraction: 1, // every sssp answer carries the full vector to check
+		BatchSize:    4,
+		Graphs: []loadgen.GraphMix{
+			{Graph: "wl-a", N: 512, Weight: 1},
+			{Graph: "wl-b", N: 384, Weight: 1},
+		},
+		Endpoints: []loadgen.Weighted{
+			{Name: loadgen.EndpointSSSP, Weight: 1},
+			{Name: loadgen.EndpointDist, Weight: 1},
+			{Name: loadgen.EndpointBatch, Weight: 1},
+		},
+		Solvers: []loadgen.Weighted{{Name: "", Weight: 1}, {Name: "dijkstra", Weight: 1}},
+	}}
+	out, err := loadgen.Run(context.Background(), w, loadgen.Options{
+		BaseURL: ts.URL, Client: ts.Client(),
+		TracePrefix: "e2e", CaptureBodies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	covered := map[string]int{}
+	for i := range out.Results {
+		res := &out.Results[i]
+		req := &w.Requests[i] // results are indexed like the sequence
+		if res.Status != 200 {
+			t.Fatalf("request %d (%s %s): status %d err %q body %s",
+				i, req.Endpoint, req.Graph, res.Status, res.Err, res.Body)
+		}
+		covered[req.Endpoint]++
+		want := gt.of(t, req.Graph, req.Src)
+		switch req.Endpoint {
+		case loadgen.EndpointSSSP:
+			var resp struct {
+				Src     int32   `json:"src"`
+				Reached int     `json:"reached"`
+				Dist    []int64 `json:"dist"`
+			}
+			if err := json.Unmarshal(res.Body, &resp); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			if resp.Src != req.Src || resp.Reached != reachedOf(want) {
+				t.Fatalf("request %d: src/reached %d/%d, want %d/%d",
+					i, resp.Src, resp.Reached, req.Src, reachedOf(want))
+			}
+			if len(resp.Dist) != len(want) {
+				t.Fatalf("request %d: dist length %d, want %d", i, len(resp.Dist), len(want))
+			}
+			for v, d := range want {
+				wd := d
+				if d >= graph.Inf {
+					wd = -1
+				}
+				if resp.Dist[v] != wd {
+					t.Fatalf("request %d: dist[%d] = %d, dijkstra says %d (graph %s src %d)",
+						i, v, resp.Dist[v], wd, req.Graph, req.Src)
+				}
+			}
+		case loadgen.EndpointDist:
+			var resp struct {
+				Dist      int64 `json:"dist"`
+				Reachable bool  `json:"reachable"`
+			}
+			if err := json.Unmarshal(res.Body, &resp); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			wd, reach := want[req.Dst], want[req.Dst] < graph.Inf
+			if !reach {
+				wd = -1
+			}
+			if resp.Dist != wd || resp.Reachable != reach {
+				t.Fatalf("request %d: dist(%s, %d→%d) = %d/%v, dijkstra says %d/%v",
+					i, req.Graph, req.Src, req.Dst, resp.Dist, resp.Reachable, wd, reach)
+			}
+		case loadgen.EndpointBatch:
+			var resp struct {
+				Results []struct {
+					Reached int    `json:"reached"`
+					Error   string `json:"error"`
+				} `json:"results"`
+			}
+			if err := json.Unmarshal(res.Body, &resp); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			if len(resp.Results) != len(req.Srcs) {
+				t.Fatalf("request %d: %d batch results for %d queries", i, len(resp.Results), len(req.Srcs))
+			}
+			for j, item := range resp.Results {
+				if item.Error != "" {
+					t.Fatalf("request %d item %d: %s", i, j, item.Error)
+				}
+				wantItem := gt.of(t, req.Graph, req.Srcs[j])
+				if item.Reached != reachedOf(wantItem) {
+					t.Fatalf("request %d item %d: reached %d, dijkstra says %d",
+						i, j, item.Reached, reachedOf(wantItem))
+				}
+			}
+		}
+	}
+	for _, ep := range []string{loadgen.EndpointSSSP, loadgen.EndpointDist, loadgen.EndpointBatch} {
+		if covered[ep] == 0 {
+			t.Fatalf("workload never exercised %s (coverage %v)", ep, covered)
+		}
+	}
+}
+
+// Drain under load: unloading a graph mid-run (the drain path a SIGTERM
+// also walks) must answer every in-flight request, refuse later ones with
+// 503 + Retry-After, and return the generation's refcount to zero.
+func TestDrainUnderLoad(t *testing.T) {
+	ts, srv := serveBenchBoot(t)
+	gen, release, err := srv.cat.Acquire("wl-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release() // we keep the pointer, not a reference
+
+	w := &loadgen.Workload{Spec: loadgen.Spec{
+		Name: "drain", Version: 1, Seed: 5, Requests: 300,
+		Mode: loadgen.ModeOpen, Rate: 1000,
+		Graphs: []loadgen.GraphMix{{Graph: "wl-b", N: 384, Weight: 1}},
+	}}
+	type runOut struct {
+		out *loadgen.Outcome
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		out, err := loadgen.Run(context.Background(), w, loadgen.Options{
+			BaseURL: ts.URL, Client: ts.Client(),
+		})
+		done <- runOut{out, err}
+	}()
+
+	time.Sleep(100 * time.Millisecond) // ~a third of the schedule in flight
+	resp, err := ts.Client().Post(ts.URL+"/graphs/unload", "application/json",
+		strings.NewReader(`{"name":"wl-b"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("unload: status %d", resp.StatusCode)
+	}
+
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	var ok, refused int
+	for i := range r.out.Results {
+		res := &r.out.Results[i]
+		switch {
+		case res.Status == 200:
+			ok++
+		case res.Status == 503 && res.RetryAfter:
+			refused++
+		default:
+			t.Fatalf("request %d dropped or mis-answered: status %d err %q (drain must 200 or 503+Retry-After)",
+				i, res.Status, res.Err)
+		}
+	}
+	if ok == 0 || refused == 0 {
+		t.Fatalf("drain split ok=%d refused=%d, want both > 0 (unload landed mid-run)", ok, refused)
+	}
+
+	select {
+	case <-gen.Drained():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("generation never drained; %d references still held", gen.InFlight())
+	}
+	if n := gen.InFlight(); n != 0 {
+		t.Fatalf("drained generation holds %d references", n)
+	}
+
+	// The graph stays refused (not 404: it existed and may come back).
+	code := func() int {
+		resp, err := ts.Client().Get(ts.URL + "/sssp?src=0&graph=wl-b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("post-drain refusal carries no Retry-After")
+		}
+		return resp.StatusCode
+	}()
+	if code != 503 {
+		t.Fatalf("post-drain query: status %d, want 503", code)
+	}
+}
+
+// Admission correctness under deliberate overload: a heavy cache-hostile
+// open-loop run against maxInflight=2 must answer every request with one of
+// 200, 503 + Retry-After, or 504; the daemon's shed counters must match the
+// client's observed 503s exactly; and no answered request may exceed the
+// daemon's -timeout by more than a scheduling epsilon.
+func TestAdmissionShedCorrectness(t *testing.T) {
+	const timeout = 500 * time.Millisecond
+	const epsilon = 2 * time.Second // CI scheduling noise bound, not a perf claim
+
+	g := gen.Random(30000, 120000, 1<<10, gen.UWD, 33)
+	srv := newServer(g, ch.BuildKruskal(g), "heavy", catalog.Source{}, serverOptions{
+		workers: 2, maxInflight: 2, timeout: timeout,
+		engine: engine.Config{CacheEntries: 0}, // every query pays its solve
+	})
+	t.Cleanup(srv.cat.Close)
+	ts := httptest.NewServer(srv.mux())
+	oldLog := log.Writer()
+	log.SetOutput(io.Discard)
+	t.Cleanup(func() {
+		ts.Close()
+		log.SetOutput(oldLog)
+	})
+
+	w := &loadgen.Workload{Spec: loadgen.Spec{
+		Name: "overload", Version: 1, Seed: 21, Requests: 200,
+		Mode: loadgen.ModeOpen, Rate: 1500, CacheHostile: true,
+		Graphs:  []loadgen.GraphMix{{Graph: "heavy", N: 30000, Weight: 1}},
+		Solvers: []loadgen.Weighted{{Name: "dijkstra", Weight: 1}},
+	}}
+	out, err := loadgen.Run(context.Background(), w, loadgen.Options{
+		BaseURL: ts.URL, Client: ts.Client(), ScrapeMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.BuildReport(w, out)
+
+	for i := range out.Results {
+		res := &out.Results[i]
+		switch {
+		case res.Status == 200, res.Status == 504:
+			if res.Latency > timeout+epsilon {
+				t.Fatalf("request %d: answered %d after %v, > timeout %v + epsilon %v",
+					i, res.Status, res.Latency, timeout, epsilon)
+			}
+		case res.Status == 503:
+			if !res.RetryAfter {
+				t.Fatalf("request %d: shed without Retry-After", i)
+			}
+		default:
+			t.Fatalf("request %d: status %d err %q outside the admission contract {200, 503, 504}",
+				i, res.Status, res.Err)
+		}
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("offered 1500/s against maxInflight=2 and nothing shed: %+v", rep.StatusCounts)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("no metrics delta")
+	}
+	if daemonShed := rep.Metrics.TotalShed(); daemonShed != int64(rep.Shed) {
+		t.Fatalf("daemon shed counters say %d, client observed %d 503s", daemonShed, rep.Shed)
+	}
+	if daemonTimeouts := rep.Metrics.TotalTimeouts(); daemonTimeouts != int64(rep.Timeouts) {
+		t.Fatalf("daemon timeout counters say %d, client observed %d 504s", daemonTimeouts, rep.Timeouts)
+	}
+}

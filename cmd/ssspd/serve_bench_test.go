@@ -1,0 +1,243 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/ch"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/loadgen"
+)
+
+// The committed service workloads (testdata/workloads/*.jsonl) name two
+// graphs; serveBenchBoot must serve exactly these shapes or the specs'
+// declared vertex counts would drift from reality (the smoke test asserts
+// they match).
+var serveWorkloadFiles = []string{"zipf-single.jsonl", "batch-heavy.jsonl", "cache-hostile.jsonl"}
+
+func serveWorkloadGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"wl-a": gen.Random(512, 2048, 1<<10, gen.UWD, 101),
+		"wl-b": gen.Random(384, 1536, 1<<10, gen.UWD, 102),
+	}
+}
+
+// serveBenchBoot starts a hermetic ssspd serving the catalog the committed
+// workload specs are written against: graphs wl-a and wl-b, generous
+// admission, the daemon's -timeout active. The returned server answers on
+// every endpoint the load generator can emit.
+func serveBenchBoot(tb testing.TB) (*httptest.Server, *server) {
+	tb.Helper()
+	graphs := serveWorkloadGraphs()
+	ga := graphs["wl-a"]
+	srv := newServer(ga, ch.BuildKruskal(ga), "wl-a", catalog.Source{}, serverOptions{
+		workers: 4, maxInflight: 256, timeout: 30 * time.Second,
+		engine: engine.Config{CacheEntries: 64, CacheBytes: 8 << 20},
+	})
+	gb := graphs["wl-b"]
+	if _, err := srv.cat.AddPrebuilt("wl-b", catalog.Source{}, gb, ch.BuildKruskal(gb), nil); err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	old := log.Writer()
+	log.SetOutput(io.Discard) // thousands of access-log lines otherwise
+	tb.Cleanup(func() {
+		ts.Close()
+		srv.cat.Close()
+		log.SetOutput(old)
+	})
+	return ts, srv
+}
+
+func readServeWorkload(tb testing.TB, file string) *loadgen.Workload {
+	tb.Helper()
+	w, err := loadgen.ReadFile(filepath.Join("..", "..", "testdata", "workloads", file))
+	if err != nil {
+		tb.Fatalf("%s: %v", file, err)
+	}
+	return w
+}
+
+func runServeWorkload(tb testing.TB, ts *httptest.Server, w *loadgen.Workload) *loadgen.Report {
+	tb.Helper()
+	out, err := loadgen.Run(context.Background(), w, loadgen.Options{
+		BaseURL:       ts.URL,
+		Client:        ts.Client(),
+		TracePrefix:   "bench-" + w.Spec.Name,
+		ScrapeMetrics: true,
+	})
+	if err != nil {
+		tb.Fatalf("%s: %v", w.Spec.Name, err)
+	}
+	return loadgen.BuildReport(w, out)
+}
+
+// Always-on smoke: every committed workload spec parses, matches the bench
+// catalog's real graph shapes, and a shrunk run of it passes its own SLO
+// with clean attribution (client-observed counts match the daemon's
+// counters). `make bench-serve-smoke` and `make check` run this.
+func TestServeWorkloadSmoke(t *testing.T) {
+	graphs := serveWorkloadGraphs()
+	for _, file := range serveWorkloadFiles {
+		t.Run(file, func(t *testing.T) {
+			w := readServeWorkload(t, file)
+			for _, gm := range w.Spec.Graphs {
+				g := graphs[gm.Graph]
+				if g == nil {
+					t.Fatalf("spec names graph %q, which serveBenchBoot does not serve", gm.Graph)
+				}
+				if int32(g.NumVertices()) != gm.N {
+					t.Fatalf("spec declares %s with %d vertices, bench catalog has %d",
+						gm.Graph, gm.N, g.NumVertices())
+				}
+			}
+			// Shrink to smoke size; overrides invalidate nothing (the specs
+			// are header-only) but keep the spec's shape and SLO.
+			w.Spec.Requests = 80
+			if w.Spec.Mode == loadgen.ModeOpen {
+				w.Spec.Rate = 400
+			}
+			ts, _ := serveBenchBoot(t)
+			rep := runServeWorkload(t, ts, w)
+			if len(rep.Violations) != 0 {
+				t.Fatalf("smoke run violates its own SLO: %v", rep.Violations)
+			}
+			if rep.OK != 80 || rep.Errors != 0 || rep.Shed != 0 {
+				t.Fatalf("smoke run not clean: ok=%d errors=%d shed=%d status=%v",
+					rep.OK, rep.Errors, rep.Shed, rep.StatusCounts)
+			}
+			// Attribution: the daemon counted exactly the requests we sent.
+			if rep.Metrics == nil {
+				t.Fatal("no metrics delta")
+			}
+			var daemonSaw int64
+			for _, name := range []string{"sssp", "dist", "batch"} {
+				daemonSaw += rep.Metrics.Endpoints[name].Requests
+			}
+			if daemonSaw != 80 {
+				t.Fatalf("daemon counted %d query requests, client sent 80", daemonSaw)
+			}
+			if w.Spec.CacheHostile && rep.Metrics.Engine.CacheHits != 0 {
+				// The strider never repeats a source within a graph's vertex
+				// count, so a cache-hostile run must not hit the result cache.
+				t.Fatalf("cache-hostile run scored %d cache hits", rep.Metrics.Engine.CacheHits)
+			}
+		})
+	}
+}
+
+// Deterministic expansion is what makes a committed spec a pinned traffic
+// shape: the same file must expand to the same sequence in every session.
+func TestServeWorkloadsExpandDeterministically(t *testing.T) {
+	for _, file := range serveWorkloadFiles {
+		w1 := readServeWorkload(t, file)
+		w2 := readServeWorkload(t, file)
+		if err := w1.Expand(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Expand(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(w1.Requests, w2.Requests) {
+			t.Fatalf("%s: expansions differ", file)
+		}
+	}
+}
+
+// The gate actually trips: a daemon with an injected 25ms stall on every
+// query must violate a 5ms p99 SLO. This is the regression-detection
+// mechanism `make bench-serve` relies on — remove the stall and the same
+// machinery passes (TestServeWorkloadSmoke).
+func TestServeStallInjectionTripsGate(t *testing.T) {
+	ts, _ := serveBenchBoot(t)
+	stalled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(25 * time.Millisecond)
+		req, err := http.NewRequest(r.Method, ts.URL+r.URL.RequestURI(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer stalled.Close()
+
+	w := readServeWorkload(t, "zipf-single.jsonl")
+	w.Spec.Requests = 40
+	w.Spec.Rate = 400
+	w.Spec.SLO = &loadgen.SLO{P99Ms: 5}
+	out, err := loadgen.Run(context.Background(), w, loadgen.Options{
+		BaseURL: stalled.URL, Client: stalled.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.BuildReport(w, out)
+	if rep.Latency.P99Ms < 20 {
+		t.Fatalf("injected stall invisible: p99 %.2fms", rep.Latency.P99Ms)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("25ms stall did not trip the 5ms p99 gate")
+	}
+}
+
+// TestWriteServeBenchJSON runs the three committed workload specs at full
+// size against a hermetic daemon and writes BENCH_serve.json. Run via
+// `make bench-serve`; skipped unless BENCH_SERVE_OUT is set. The test FAILS
+// if any workload violates its committed SLO — this is the service-level
+// regression gate.
+func TestWriteServeBenchJSON(t *testing.T) {
+	outPath := os.Getenv("BENCH_SERVE_OUT")
+	if outPath == "" {
+		t.Skip("set BENCH_SERVE_OUT to write BENCH_serve.json (make bench-serve)")
+	}
+	doc := struct {
+		Graphs    map[string]int             `json:"graphs"`
+		Workloads map[string]*loadgen.Report `json:"workloads"`
+	}{
+		Graphs:    map[string]int{},
+		Workloads: map[string]*loadgen.Report{},
+	}
+	for name, g := range serveWorkloadGraphs() {
+		doc.Graphs[name] = g.NumVertices()
+	}
+	for _, file := range serveWorkloadFiles {
+		w := readServeWorkload(t, file)
+		ts, _ := serveBenchBoot(t) // fresh daemon per workload: no cross-warming
+		rep := runServeWorkload(t, ts, w)
+		doc.Workloads[w.Spec.Name] = rep
+		t.Logf("%s: %d requests, %.1f/s achieved (offered %.1f/s), p50=%.2fms p99=%.2fms ok=%d shed=%d err=%d",
+			w.Spec.Name, rep.Requests, rep.AchievedRate, rep.OfferedRate,
+			rep.Latency.P50Ms, rep.Latency.P99Ms, rep.OK, rep.Shed, rep.Errors)
+		for _, v := range rep.Violations {
+			t.Errorf("%s: SLO violation: %s", w.Spec.Name, v)
+		}
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", outPath)
+}

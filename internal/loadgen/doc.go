@@ -1,0 +1,27 @@
+// Package loadgen is the workload model and load generator for ssspd: it
+// turns a small, committed JSON-lines spec into a deterministic sequence of
+// HTTP requests (Zipf-skewed or cache-hostile source vertices, a weighted
+// graph mix across catalog entries, a single/batch/?solver= endpoint mix)
+// and drives that sequence against a live daemon either open-loop (fixed
+// offered arrival rate, unbounded concurrency — real queueing is measured,
+// not hidden behind blocked workers) or closed-loop (a fixed worker count,
+// each issuing the next request as soon as the previous one answers).
+//
+// A workload file is JSON lines: the first line is the Spec, optional
+// further lines are the concrete expanded Request sequence. A header-only
+// file is a generative spec — expansion from (spec, seed) is deterministic,
+// byte-for-byte, so the committed artifact fully pins the traffic shape — and
+// a file with request lines is a recording that replays identically
+// (Workload.WriteTo / ReadWorkload are exact inverses).
+//
+// Runs stamp each request with a derived X-Trace-Id (so a slow outlier found
+// in a report joins against the daemon's /debug/traces), optionally scrape
+// GET /metrics before and after (obs.ScrapeMetrics) to attribute sheds,
+// cache hits and evictions to the run, and produce a Report: exact
+// p50/p95/p99/p999 latency, achieved vs offered rate, error/shed/timeout
+// counts, a per-endpoint breakdown, and machine-checkable SLO assertions
+// (SLO.Check) that `make bench-serve` turns into a regression gate.
+//
+// See DESIGN.md §11 ("Load generation & service benchmarks") and
+// EXPERIMENTS.md ("Service benchmarks") for how the reports are read.
+package loadgen

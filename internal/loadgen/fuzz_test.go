@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzWorkloadSpec feeds arbitrary bytes through the workload-file parser.
+// Invariants: never panic, never accept a workload whose spec fails
+// Validate, and anything accepted must round-trip — WriteTo then ReadWorkload
+// yields the same workload — and (for small specs) expand without error.
+func FuzzWorkloadSpec(f *testing.F) {
+	for _, seed := range workloadFuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		w, err := ReadWorkload(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := w.Spec.Validate(); err != nil {
+			t.Fatalf("accepted workload fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := w.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted workload fails to re-serialize: %v", err)
+		}
+		w2, err := ReadWorkload(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized workload rejected: %v", err)
+		}
+		if !reflect.DeepEqual(w.Spec, w2.Spec) || !reflect.DeepEqual(w.Requests, w2.Requests) {
+			t.Fatal("workload changed through a write/read round trip")
+		}
+		// Expansion must succeed for any accepted spec; only run it when the
+		// expansion is small enough to be cheap under the fuzzer.
+		if w.Requests == nil && w.Spec.Requests <= 512 && maxMixN(&w.Spec) <= 4096 {
+			if err := w.Expand(); err != nil {
+				t.Fatalf("accepted header-only spec fails to expand: %v", err)
+			}
+			if len(w.Requests) != w.Spec.Requests {
+				t.Fatalf("expanded %d requests, spec says %d", len(w.Requests), w.Spec.Requests)
+			}
+		}
+	})
+}
+
+func maxMixN(s *Spec) int32 {
+	var n int32
+	for _, g := range s.Graphs {
+		if g.N > n {
+			n = g.N
+		}
+	}
+	return n
+}
+
+// workloadFuzzSeeds builds the structured starting points: header-only specs
+// across the generator's feature space, a full recording, and mangled
+// variants. The committed corpus under testdata/fuzz/FuzzWorkloadSpec is
+// generated from the same list (see TestSeedFuzzCorpus), so plain `go test`
+// replays it even without -fuzz.
+func workloadFuzzSeeds() [][]byte {
+	var seeds [][]byte
+	add := func(b []byte) { seeds = append(seeds, append([]byte(nil), b...)) }
+	dump := func(w *Workload) []byte {
+		var buf bytes.Buffer
+		if _, err := w.WriteTo(&buf); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+
+	zero := 0.0
+	specs := []Spec{
+		{Name: "seed-open", Version: 1, Seed: 1, Requests: 40, Mode: ModeOpen, Rate: 500,
+			ZipfS: 1.1, FullFraction: 0.25,
+			Graphs:    []GraphMix{{Graph: "a", N: 64, Weight: 3}, {Graph: "b", N: 48, Weight: 1}},
+			Endpoints: []Weighted{{Name: EndpointSSSP, Weight: 2}, {Name: EndpointDist, Weight: 1}},
+			Solvers:   []Weighted{{Name: "", Weight: 1}, {Name: "dijkstra", Weight: 1}},
+			SLO:       &SLO{P99Ms: 100, MaxErrorRate: &zero, MinAchievedFraction: 0.5}},
+		{Name: "seed-closed", Version: 1, Seed: 2, Requests: 30, Mode: ModeClosed, Workers: 4,
+			CacheHostile: true, BatchSize: 8,
+			Graphs:    []GraphMix{{Graph: "g", N: 100, Weight: 1}},
+			Endpoints: []Weighted{{Name: EndpointBatch, Weight: 1}}},
+	}
+	for i := range specs {
+		add(dump(&Workload{Spec: specs[i]}))
+	}
+
+	// A full recording: spec plus its own expansion.
+	rec := &Workload{Spec: specs[0]}
+	if err := rec.Expand(); err != nil {
+		panic(err)
+	}
+	full := dump(rec)
+	add(full)
+	add(full[:len(full)/2])                                                   // truncated mid-recording
+	add(bytes.Replace(full, []byte(`"ep":"sssp"`), []byte(`"ep":"nope"`), 1)) // foreign endpoint
+	header := dump(&Workload{Spec: specs[0]})
+	add(append(header, []byte("{not json}\n")...)) // garbage request line
+	add([]byte(`{"workload":"x","v":2}` + "\n"))   // wrong version
+	add([]byte("\n\n"))
+	add(nil)
+	return seeds
+}
+
+// TestSeedFuzzCorpus regenerates the committed seed corpus. Run with
+// LOADGEN_WRITE_CORPUS=1 after a format change; otherwise it only checks
+// the corpus directory exists.
+func TestSeedFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzWorkloadSpec")
+	if os.Getenv("LOADGEN_WRITE_CORPUS") == "" {
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("seed corpus missing (regenerate with LOADGEN_WRITE_CORPUS=1): %v", err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range workloadFuzzSeeds() {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		name := fmt.Sprintf("seed-%02d", i)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The corpus replay must include at least one record that parses as a valid
+// workload — guards against a corpus regenerated from a broken seed list.
+func TestFuzzSeedsContainValidWorkloads(t *testing.T) {
+	valid := 0
+	for _, seed := range workloadFuzzSeeds() {
+		if w, err := ReadWorkload(bytes.NewReader(seed)); err == nil {
+			if !strings.HasPrefix(w.Spec.Name, "seed-") {
+				t.Fatalf("unexpected workload name %q in seeds", w.Spec.Name)
+			}
+			valid++
+		}
+	}
+	if valid < 3 {
+		t.Fatalf("only %d of the fuzz seeds parse; the structured seeds are broken", valid)
+	}
+}

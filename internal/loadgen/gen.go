@@ -1,0 +1,225 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// picker samples from a weighted choice list by cumulative-weight binary
+// search. Weights were validated to be finite, non-negative, positive-sum.
+type picker struct {
+	cum []float64
+}
+
+func newPicker(weights []float64) *picker {
+	cum := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cum[i] = sum
+	}
+	return &picker{cum: cum}
+}
+
+func (p *picker) pick(r *rng.Xoshiro256) int {
+	total := p.cum[len(p.cum)-1]
+	u := r.Float64() * total
+	i := sort.SearchFloat64s(p.cum, math.Nextafter(u, math.Inf(1)))
+	if i >= len(p.cum) { // u rounded up to the total: clamp to the last choice
+		i = len(p.cum) - 1
+	}
+	return i
+}
+
+// zipfSampler draws ranks in [0, n) with P(k) ∝ 1/(k+1)^s via a precomputed
+// cumulative table — exact, allocation-bounded by MaxVertices, and free of
+// the s>1 restriction of rejection-inversion samplers. Rank k maps straight
+// to vertex k: the hot set is the low vertex ids, which is what makes the
+// skew visible in cache hit rates without any extra permutation state.
+type zipfSampler struct {
+	cum []float64
+}
+
+func newZipfSampler(n int32, s float64) *zipfSampler {
+	cum := make([]float64, n)
+	sum := 0.0
+	for k := int32(0); k < n; k++ {
+		sum += math.Exp(-s * math.Log(float64(k)+1))
+		cum[k] = sum
+	}
+	return &zipfSampler{cum: cum}
+}
+
+func (z *zipfSampler) sample(r *rng.Xoshiro256) int32 {
+	total := z.cum[len(z.cum)-1]
+	u := r.Float64() * total
+	i := sort.SearchFloat64s(z.cum, math.Nextafter(u, math.Inf(1)))
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return int32(i)
+}
+
+// strider enumerates [0, n) in a scrambled order with no repeats within n
+// draws: the cache-hostile source model. The stride is chosen near the
+// golden-ratio point and bumped until coprime with n, so consecutive draws
+// are far apart in vertex-id space (no accidental locality) while still
+// visiting every vertex exactly once per cycle.
+type strider struct {
+	n, stride, next int64
+}
+
+func newStrider(n int32, seed uint64) *strider {
+	nn := int64(n)
+	stride := int64(float64(nn)*0.6180339887498949) | 1
+	if stride < 1 {
+		stride = 1
+	}
+	for gcd(stride, nn) != 1 {
+		stride += 2
+		if stride >= nn {
+			stride = 1 // n is a power of two or tiny; any odd works, 1 worst case
+			break
+		}
+	}
+	return &strider{n: nn, stride: stride, next: int64(seed % uint64(nn))}
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func (s *strider) sample() int32 {
+	v := s.next
+	s.next = (s.next + s.stride) % s.n
+	return int32(v)
+}
+
+// sourceModel is the per-graph source-vertex distribution: one of Zipf,
+// uniform, or cache-hostile striding.
+type sourceModel struct {
+	n    int32
+	zipf *zipfSampler
+	str  *strider
+}
+
+func (m *sourceModel) sample(r *rng.Xoshiro256) int32 {
+	switch {
+	case m.str != nil:
+		return m.str.sample()
+	case m.zipf != nil:
+		return m.zipf.sample(r)
+	default:
+		return int32(r.Uint64n(uint64(m.n)))
+	}
+}
+
+// Expand generates the workload's concrete request sequence from its spec.
+// Generation is deterministic: the same spec (same seed included) always
+// yields the byte-identical sequence, on any platform — every random choice
+// flows from one internal/rng stream seeded by Spec.Seed, and all float
+// work is straight-line IEEE arithmetic. Calling Expand on a workload that
+// already has requests (a recording) is a no-op.
+func (w *Workload) Expand() error {
+	if w.Requests != nil {
+		return nil
+	}
+	reqs, err := w.Spec.Generate()
+	if err != nil {
+		return err
+	}
+	w.Requests = reqs
+	return nil
+}
+
+// Generate expands the spec into its deterministic request sequence.
+func (s *Spec) Generate() ([]Request, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(s.Seed)
+
+	gw := make([]float64, len(s.Graphs))
+	models := make([]*sourceModel, len(s.Graphs))
+	for i, g := range s.Graphs {
+		gw[i] = g.Weight
+		m := &sourceModel{n: g.N}
+		switch {
+		case s.CacheHostile:
+			// Derive the stride offset from the main stream so two graphs
+			// never walk in lockstep.
+			m.str = newStrider(g.N, r.Uint64())
+		case s.ZipfS > 0:
+			m.zipf = newZipfSampler(g.N, s.ZipfS)
+		}
+		models[i] = m
+	}
+	graphPick := newPicker(gw)
+
+	endpoints := s.Endpoints
+	if len(endpoints) == 0 {
+		endpoints = []Weighted{{Name: EndpointSSSP, Weight: 1}}
+	}
+	ew := make([]float64, len(endpoints))
+	for i, e := range endpoints {
+		ew[i] = e.Weight
+	}
+	epPick := newPicker(ew)
+
+	solvers := s.Solvers
+	if len(solvers) == 0 {
+		solvers = []Weighted{{Name: "", Weight: 1}}
+	}
+	sw := make([]float64, len(solvers))
+	for i, sv := range solvers {
+		sw[i] = sv.Weight
+	}
+	solverPick := newPicker(sw)
+
+	batch := s.BatchSize
+	if batch == 0 {
+		batch = 16
+	}
+
+	reqs := make([]Request, s.Requests)
+	at := 0.0 // seconds
+	for i := range reqs {
+		if s.Mode == ModeOpen {
+			// Poisson arrivals: exponential inter-arrival with mean 1/rate.
+			// 1-u keeps the argument in (0,1] so Log never sees zero.
+			at += -math.Log(1-r.Float64()) / s.Rate
+		}
+		gi := graphPick.pick(r)
+		model := models[gi]
+		req := Request{
+			Index:    i,
+			AtUS:     int64(at * 1e6),
+			Endpoint: endpoints[epPick.pick(r)].Name,
+			Graph:    s.Graphs[gi].Graph,
+			Solver:   solvers[solverPick.pick(r)].Name,
+		}
+		switch req.Endpoint {
+		case EndpointSSSP:
+			req.Src = model.sample(r)
+			req.Full = s.FullFraction > 0 && r.Float64() < s.FullFraction
+		case EndpointDist:
+			req.Src = model.sample(r)
+			req.Dst = int32(r.Uint64n(uint64(model.n))) // targets are uniform: skew is a source property
+		case EndpointBatch:
+			req.Srcs = make([]int32, batch)
+			for j := range req.Srcs {
+				req.Srcs[j] = model.sample(r)
+			}
+		default:
+			return nil, fmt.Errorf("loadgen: unreachable endpoint %q", req.Endpoint)
+		}
+		reqs[i] = req
+	}
+	return reqs, nil
+}

@@ -1,0 +1,470 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:     "unit",
+		Version:  1,
+		Seed:     7,
+		Requests: 200,
+		Mode:     ModeOpen,
+		Rate:     5000,
+		ZipfS:    1.1,
+		Graphs: []GraphMix{
+			{Graph: "a", N: 500, Weight: 3},
+			{Graph: "b", N: 300, Weight: 1},
+		},
+		Endpoints: []Weighted{
+			{Name: EndpointSSSP, Weight: 4},
+			{Name: EndpointDist, Weight: 2},
+			{Name: EndpointBatch, Weight: 1},
+		},
+		Solvers:   []Weighted{{Name: "", Weight: 3}, {Name: "dijkstra", Weight: 1}},
+		BatchSize: 8,
+	}
+}
+
+// Same seed + spec must expand to the byte-identical request sequence — the
+// property that makes a committed header-only spec a pinned traffic shape.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := testSpec()
+	r1, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("two expansions of the same spec differ")
+	}
+	b1 := marshalAll(t, r1)
+	b2 := marshalAll(t, r2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("serialized expansions differ byte-wise")
+	}
+	// A different seed must actually change the sequence.
+	spec.Seed = 8
+	r3, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(r1, r3) {
+		t.Fatal("changing the seed did not change the sequence")
+	}
+}
+
+func marshalAll(t *testing.T, reqs []Request) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := range reqs {
+		b, err := json.Marshal(&reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// A recorded workload must replay identically: WriteTo then ReadWorkload
+// yields an equal workload, and re-serializing gives identical bytes.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	w := &Workload{Spec: testSpec()}
+	if err := w.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	var rec bytes.Buffer
+	if _, err := w.WriteTo(&rec); err != nil {
+		t.Fatal(err)
+	}
+	recorded := append([]byte(nil), rec.Bytes()...)
+
+	w2, err := ReadWorkload(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Spec, w2.Spec) {
+		t.Fatalf("spec changed through the round trip:\n%+v\n%+v", w.Spec, w2.Spec)
+	}
+	if !reflect.DeepEqual(w.Requests, w2.Requests) {
+		t.Fatal("request sequence changed through the round trip")
+	}
+	var rec2 bytes.Buffer
+	if _, err := w2.WriteTo(&rec2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recorded, rec2.Bytes()) {
+		t.Fatal("recording is not byte-stable through read+rewrite")
+	}
+
+	// A header-only file expands to the same sequence as the recording.
+	header := &Workload{Spec: testSpec()}
+	var hdr bytes.Buffer
+	if _, err := header.WriteTo(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := ReadWorkload(&hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.Requests != nil {
+		t.Fatal("header-only workload came back with requests")
+	}
+	if err := w3.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Requests, w3.Requests) {
+		t.Fatal("header-only expansion differs from the recording")
+	}
+}
+
+// The Zipf source model must actually skew: the most popular source of a
+// skewed workload takes far more than a uniform share, and every generated
+// vertex stays in range.
+func TestZipfSkewAndRanges(t *testing.T) {
+	spec := testSpec()
+	spec.Requests = 2000
+	spec.Endpoints = []Weighted{{Name: EndpointSSSP, Weight: 1}}
+	reqs, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]map[int32]int{"a": {}, "b": {}}
+	for i := range reqs {
+		r := &reqs[i]
+		n, ok := spec.graphN(r.Graph)
+		if !ok {
+			t.Fatalf("request %d targets unknown graph %q", i, r.Graph)
+		}
+		if r.Src < 0 || r.Src >= n {
+			t.Fatalf("request %d src %d out of range [0,%d)", i, r.Src, n)
+		}
+		counts[r.Graph][r.Src]++
+	}
+	total, top := 0, 0
+	for src, c := range counts["a"] {
+		total += c
+		if c > top {
+			top = c
+		}
+		_ = src
+	}
+	// Uniform over 500 vertices would put ~total/500 on the mode; Zipf s=1.1
+	// puts a large multiple of that on vertex 0.
+	if top < 10*total/500 {
+		t.Fatalf("zipf skew invisible: top source has %d of %d requests", top, total)
+	}
+}
+
+// Cache-hostile generation must not repeat a source within one graph's
+// vertex-count window.
+func TestCacheHostileNeverRepeatsEarly(t *testing.T) {
+	spec := testSpec()
+	spec.CacheHostile = true
+	spec.Requests = 290 // fewer than either graph's N
+	spec.Endpoints = []Weighted{{Name: EndpointSSSP, Weight: 1}}
+	reqs, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]map[int32]bool{"a": {}, "b": {}}
+	for i := range reqs {
+		r := &reqs[i]
+		if seen[r.Graph][r.Src] {
+			t.Fatalf("cache-hostile workload repeated src %d on graph %s at request %d", r.Src, r.Graph, i)
+		}
+		seen[r.Graph][r.Src] = true
+	}
+}
+
+// Hostile validation inputs must be rejected, not expanded.
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*Spec){
+		func(s *Spec) { s.Version = 2 },
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Name = strings.Repeat("x", 200) },
+		func(s *Spec) { s.Name = "bad name" },
+		func(s *Spec) { s.Requests = 0 },
+		func(s *Spec) { s.Requests = MaxRequests + 1 },
+		func(s *Spec) { s.Mode = "sideways" },
+		func(s *Spec) { s.Rate = 0 },
+		func(s *Spec) { s.Rate = -4 },
+		func(s *Spec) { s.Rate = 1e18 },
+		func(s *Spec) { s.Mode = ModeClosed; s.Workers = 0 },
+		func(s *Spec) { s.Mode = ModeClosed; s.Workers = MaxWorkers + 1 },
+		func(s *Spec) { s.ZipfS = -1 },
+		func(s *Spec) { s.ZipfS = 21 },
+		func(s *Spec) { s.BatchSize = MaxBatchSize + 1 },
+		func(s *Spec) { s.FullFraction = 1.5 },
+		func(s *Spec) { s.Graphs = nil },
+		func(s *Spec) { s.Graphs[0].Graph = "no/slash" },
+		func(s *Spec) { s.Graphs[0].N = 0 },
+		func(s *Spec) { s.Graphs[0].N = MaxVertices + 1 },
+		func(s *Spec) { s.Graphs[0].Weight = -1 },
+		func(s *Spec) { s.Graphs[0].Weight = 0; s.Graphs[1].Weight = 0 },
+		func(s *Spec) { s.Endpoints[0].Name = "table" },
+		func(s *Spec) { s.Solvers[1].Name = "no spaces" },
+	}
+	for i, mutate := range cases {
+		spec := testSpec()
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: hostile spec validated", i)
+		}
+	}
+}
+
+// Recorded request lines that the spec could not have produced are rejected.
+func TestReplayRejectsForeignRequests(t *testing.T) {
+	spec := testSpec()
+	spec.Requests = 1 // one recorded line per case: count check must not mask validation
+	head, err := json.Marshal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`{"i":1,"at_us":0,"ep":"sssp","graph":"a","src":1}`,       // wrong index
+		`{"i":0,"at_us":-5,"ep":"sssp","graph":"a","src":1}`,      // negative arrival
+		`{"i":0,"at_us":0,"ep":"sssp","graph":"zz","src":1}`,      // graph not in mix
+		`{"i":0,"at_us":0,"ep":"sssp","graph":"a","src":500}`,     // src out of range
+		`{"i":0,"at_us":0,"ep":"dist","graph":"a","dst":900}`,     // dst out of range
+		`{"i":0,"at_us":0,"ep":"table","graph":"a","src":1}`,      // unknown endpoint
+		`{"i":0,"at_us":0,"ep":"batch","graph":"a"}`,              // empty batch
+		`{"i":0,"at_us":0,"ep":"batch","graph":"a","srcs":[400]}`, // batch source beyond b... in range for a though
+	} {
+		in := string(head) + "\n" + line + "\n"
+		_, err := ReadWorkload(strings.NewReader(in))
+		if line == `{"i":0,"at_us":0,"ep":"batch","graph":"a","srcs":[400]}` {
+			// 400 < 500: valid for graph a; this line is the control.
+			if err != nil {
+				t.Errorf("control line rejected: %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("foreign request accepted: %s", line)
+		}
+	}
+}
+
+// stubDaemon implements just enough of ssspd's surface for runner tests:
+// query endpoints with a configurable stall and failure pattern, plus a
+// /metrics document in the daemon's shape.
+type stubDaemon struct {
+	stall     time.Duration
+	failEvery int64 // every Nth request answers 500 (0: never)
+	requests  atomic.Int64
+	sheds     atomic.Int64
+}
+
+func (s *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	query := func(w http.ResponseWriter, r *http.Request) {
+		n := s.requests.Add(1)
+		if s.stall > 0 {
+			time.Sleep(s.stall)
+		}
+		if id := r.Header.Get("X-Trace-Id"); id != "" {
+			w.Header().Set("X-Trace-Id", id)
+		}
+		if s.failEvery > 0 && n%s.failEvery == 0 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}
+	mux.HandleFunc("/sssp", query)
+	mux.HandleFunc("/dist", query)
+	mux.HandleFunc("/batch", query)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"endpoints": map[string]any{
+				"sssp": map[string]any{"requests": s.requests.Load(), "shed": s.sheds.Load()},
+			},
+			"engine":  map[string]any{"solves": s.requests.Load()},
+			"catalog": map[string]any{"acquires": s.requests.Load()},
+		})
+	})
+	return mux
+}
+
+func runStub(t *testing.T, spec Spec, stub *stubDaemon, opts Options) (*Workload, *Report) {
+	t.Helper()
+	ts := httptest.NewServer(stub.handler())
+	t.Cleanup(ts.Close)
+	opts.BaseURL = ts.URL
+	if opts.Client == nil {
+		opts.Client = ts.Client()
+	}
+	w := &Workload{Spec: spec}
+	out, err := Run(context.Background(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, BuildReport(w, out)
+}
+
+func TestOpenLoopRunAndReport(t *testing.T) {
+	spec := testSpec()
+	spec.Requests = 120
+	spec.Rate = 3000
+	rep := func() *Report {
+		_, r := runStub(t, spec, &stubDaemon{}, Options{TracePrefix: "t", ScrapeMetrics: true})
+		return r
+	}()
+	if rep.Requests != 120 || rep.OK != 120 || rep.Errors != 0 {
+		t.Fatalf("report counts: %+v", rep)
+	}
+	if rep.Mode != ModeOpen || rep.OfferedRate != 3000 {
+		t.Fatalf("mode/rate: %+v", rep)
+	}
+	if rep.AchievedRate <= 0 || rep.WallSeconds <= 0 {
+		t.Fatalf("rates: %+v", rep)
+	}
+	if rep.Latency.Count != 120 || rep.Latency.P99Ms < rep.Latency.P50Ms {
+		t.Fatalf("latency summary: %+v", rep.Latency)
+	}
+	if rep.Latency.MaxMs < rep.Latency.P999Ms {
+		t.Fatalf("max below p999: %+v", rep.Latency)
+	}
+	if rep.StatusCounts["200"] != 120 {
+		t.Fatalf("status counts: %+v", rep.StatusCounts)
+	}
+	if len(rep.PerEndpoint) == 0 {
+		t.Fatal("no per-endpoint breakdown")
+	}
+	if rep.Metrics == nil || rep.Metrics.Endpoints["sssp"].Requests != 120 {
+		t.Fatalf("metrics delta: %+v", rep.Metrics)
+	}
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	spec := testSpec()
+	spec.Mode = ModeClosed
+	spec.Workers = 4
+	spec.Requests = 80
+	_, rep := runStub(t, spec, &stubDaemon{}, Options{})
+	if rep.Requests != 80 || rep.OK != 80 {
+		t.Fatalf("closed-loop counts: %+v", rep)
+	}
+	if rep.OfferedRate != 0 {
+		t.Fatalf("closed loop must not claim an offered rate: %+v", rep)
+	}
+}
+
+// Server failures land in the error count and the error-rate gate trips.
+func TestErrorGateTrips(t *testing.T) {
+	spec := testSpec()
+	spec.Requests = 100
+	spec.Rate = 5000
+	zero := 0.0
+	spec.SLO = &SLO{MaxErrorRate: &zero}
+	_, rep := runStub(t, spec, &stubDaemon{failEvery: 10}, Options{})
+	if rep.Errors == 0 {
+		t.Fatal("failEvery server produced no errors")
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatalf("error gate did not trip: %+v", rep)
+	}
+}
+
+// An artificial stall must trip the p99 gate — the mechanism that makes
+// `make bench-serve` fail on a latency regression.
+func TestStallTripsP99Gate(t *testing.T) {
+	spec := testSpec()
+	spec.Requests = 40
+	spec.Rate = 2000
+	spec.SLO = &SLO{P99Ms: 5}
+	_, rep := runStub(t, spec, &stubDaemon{stall: 30 * time.Millisecond}, Options{})
+	if rep.Latency.P99Ms < 25 {
+		t.Fatalf("stall invisible in p99: %+v", rep.Latency)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "p99") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("p99 gate did not trip: violations %v", rep.Violations)
+	}
+	// The same run without the stall passes the same gate.
+	spec2 := testSpec()
+	spec2.Requests = 40
+	spec2.Rate = 2000
+	spec2.SLO = &SLO{P99Ms: 5000}
+	_, rep2 := runStub(t, spec2, &stubDaemon{}, Options{})
+	if len(rep2.Violations) != 0 {
+		t.Fatalf("healthy run violated: %v", rep2.Violations)
+	}
+}
+
+// Cancellation stops issuing; already-issued requests finish and the rest
+// are marked, never silently dropped.
+func TestRunCancellation(t *testing.T) {
+	spec := testSpec()
+	spec.Requests = 50
+	spec.Rate = 100 // 0.5s expected duration: cancel mid-run
+	stub := &stubDaemon{}
+	ts := httptest.NewServer(stub.handler())
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	w := &Workload{Spec: spec}
+	out, err := Run(ctx, w, Options{BaseURL: ts.URL, Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 50 {
+		t.Fatalf("results %d, want 50 (cancelled ones marked)", len(out.Results))
+	}
+	issued, cancelled := 0, 0
+	for i := range out.Results {
+		switch {
+		case out.Results[i].Status == 200:
+			issued++
+		case out.Results[i].Err != "":
+			cancelled++
+		default:
+			t.Fatalf("result %d neither answered nor marked: %+v", i, out.Results[i])
+		}
+	}
+	if issued == 0 || cancelled == 0 {
+		t.Fatalf("cancellation split issued=%d cancelled=%d, want both > 0", issued, cancelled)
+	}
+}
+
+// Exact percentile math on a known distribution.
+func TestSummarizeExact(t *testing.T) {
+	ms := make([]float64, 1000)
+	for i := range ms {
+		ms[i] = float64(i + 1) // 1..1000
+	}
+	s := summarize(ms)
+	if s.P50Ms != 500 || s.P95Ms != 950 || s.P99Ms != 990 || s.P999Ms != 999 || s.MaxMs != 1000 {
+		t.Fatalf("percentiles: %+v", s)
+	}
+	if s.Count != 1000 || s.MeanMs != 500.5 {
+		t.Fatalf("count/mean: %+v", s)
+	}
+	if got := summarize(nil); got.Count != 0 || got.P99Ms != 0 {
+		t.Fatalf("empty summary: %+v", got)
+	}
+}

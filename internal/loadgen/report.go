@@ -1,0 +1,210 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// LatencySummary holds exact percentiles over a set of client-observed
+// latencies (not histogram-interpolated: every sample is kept and sorted, so
+// the p999 of a 10k-request run is a real measurement).
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func summarize(ms []float64) LatencySummary {
+	if len(ms) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(ms)
+	sum := 0.0
+	for _, v := range ms {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		// Exact order statistic: the smallest value with at least a p
+		// fraction of samples at or below it.
+		i := int(math.Ceil(p*float64(len(ms)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ms[i]
+	}
+	return LatencySummary{
+		Count:  len(ms),
+		MeanMs: sum / float64(len(ms)),
+		P50Ms:  q(0.50),
+		P95Ms:  q(0.95),
+		P99Ms:  q(0.99),
+		P999Ms: q(0.999),
+		MaxMs:  ms[len(ms)-1],
+	}
+}
+
+// EndpointReport is the per-endpoint slice of a report.
+type EndpointReport struct {
+	Requests int            `json:"requests"`
+	OK       int            `json:"ok"`
+	Shed     int            `json:"shed"`
+	Timeout  int            `json:"timeout"`
+	Errors   int            `json:"errors"`
+	Latency  LatencySummary `json:"latency"`
+}
+
+// Report is the judged outcome of one workload run — what BENCH_serve.json
+// commits and what SLO gates assert over.
+type Report struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	Requests int    `json:"requests"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	// OfferedRate is the spec's open-loop arrival rate (0 for closed-loop,
+	// which has no offered rate independent of the system under test).
+	OfferedRate float64 `json:"offered_rate_qps,omitempty"`
+	// AchievedRate is completed requests (any outcome) per wall second.
+	AchievedRate float64 `json:"achieved_rate_qps"`
+
+	// StatusCounts counts responses by exact HTTP status ("200", "503", ...;
+	// "err" for transport failures).
+	StatusCounts map[string]int `json:"status_counts"`
+	// OK counts 2xx responses; Shed counts 503s; Timeouts counts 504s;
+	// TransportErrors counts requests that never got an HTTP response.
+	OK              int `json:"ok"`
+	Shed            int `json:"shed"`
+	Timeouts        int `json:"timeouts"`
+	TransportErrors int `json:"transport_errors"`
+	// Errors is the SLO error count: transport errors plus 5xx responses
+	// that are neither shed (503) nor deadline (504) — i.e. the responses
+	// an operator would page on. ErrorRate is Errors over all requests.
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	ShedRate  float64 `json:"shed_rate"`
+
+	// Latency summarizes successful (2xx) responses only: a shed answers in
+	// microseconds and would flatter every percentile it is mixed into.
+	Latency     LatencySummary             `json:"latency"`
+	PerEndpoint map[string]*EndpointReport `json:"per_endpoint"`
+
+	// Metrics holds the daemon-side counter deltas over the run when the
+	// run scraped /metrics (sheds, cache hits/misses, evictions, solves) —
+	// the attribution half of the report: client-observed 503s should match
+	// the daemon's shed counters, cache-hostile runs should show ~zero
+	// cache hits, and so on.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
+
+	// SLO and Violations record the gate this run was judged against and
+	// every failure (empty means the run passed).
+	SLO        *SLO     `json:"slo,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// BuildReport judges a run outcome. The spec's SLO (if any) is evaluated and
+// its violations recorded; callers gate on len(Violations).
+func BuildReport(w *Workload, out *Outcome) *Report {
+	r := &Report{
+		Workload:     w.Spec.Name,
+		Mode:         w.Spec.Mode,
+		Requests:     len(out.Results),
+		WallSeconds:  out.Wall.Seconds(),
+		StatusCounts: make(map[string]int),
+		PerEndpoint:  make(map[string]*EndpointReport),
+		Metrics:      out.Metrics,
+	}
+	if w.Spec.Mode == ModeOpen {
+		r.OfferedRate = w.Spec.Rate
+	}
+	if r.WallSeconds > 0 {
+		r.AchievedRate = float64(len(out.Results)) / r.WallSeconds
+	}
+	var okMs []float64
+	epMs := make(map[string][]float64)
+	for i := range out.Results {
+		res := &out.Results[i]
+		ep := r.PerEndpoint[res.Endpoint]
+		if ep == nil {
+			ep = &EndpointReport{}
+			r.PerEndpoint[res.Endpoint] = ep
+		}
+		ep.Requests++
+		switch {
+		case res.Err != "" && res.Status == 0:
+			r.StatusCounts["err"]++
+			r.TransportErrors++
+			r.Errors++
+			ep.Errors++
+		default:
+			r.StatusCounts[strconv.Itoa(res.Status)]++
+			ms := float64(res.Latency) / 1e6
+			switch {
+			case res.Status >= 200 && res.Status < 300:
+				r.OK++
+				ep.OK++
+				okMs = append(okMs, ms)
+				epMs[res.Endpoint] = append(epMs[res.Endpoint], ms)
+			case res.Status == 503:
+				r.Shed++
+				ep.Shed++
+			case res.Status == 504:
+				r.Timeouts++
+				ep.Timeout++
+			case res.Status >= 500:
+				r.Errors++
+				ep.Errors++
+			default: // 4xx: the workload asked a malformed question
+				r.Errors++
+				ep.Errors++
+			}
+		}
+	}
+	if n := len(out.Results); n > 0 {
+		r.ErrorRate = float64(r.Errors) / float64(n)
+		r.ShedRate = float64(r.Shed) / float64(n)
+	}
+	r.Latency = summarize(okMs)
+	for ep, ms := range epMs {
+		r.PerEndpoint[ep].Latency = summarize(ms)
+	}
+	if w.Spec.SLO != nil {
+		r.SLO = w.Spec.SLO
+		r.Violations = w.Spec.SLO.Check(r)
+	}
+	return r
+}
+
+// Check evaluates the SLO against a report and returns one message per
+// violated gate (empty means the report passes).
+func (s *SLO) Check(r *Report) []string {
+	var v []string
+	if s.P99Ms > 0 && r.Latency.P99Ms > s.P99Ms {
+		v = append(v, fmt.Sprintf("p99 %.2fms exceeds the %.2fms gate", r.Latency.P99Ms, s.P99Ms))
+	}
+	if s.P99Ms > 0 && r.Latency.Count == 0 {
+		v = append(v, "p99 gate set but no request succeeded")
+	}
+	if s.MaxErrorRate != nil && r.ErrorRate > *s.MaxErrorRate {
+		v = append(v, fmt.Sprintf("error rate %.4f (%d/%d) exceeds the %.4f gate",
+			r.ErrorRate, r.Errors, r.Requests, *s.MaxErrorRate))
+	}
+	if s.MaxShedRate != nil && r.ShedRate > *s.MaxShedRate {
+		v = append(v, fmt.Sprintf("shed rate %.4f (%d/%d) exceeds the %.4f gate",
+			r.ShedRate, r.Shed, r.Requests, *s.MaxShedRate))
+	}
+	if s.MinAchievedFraction > 0 && r.OfferedRate > 0 {
+		if frac := r.AchievedRate / r.OfferedRate; frac < s.MinAchievedFraction {
+			v = append(v, fmt.Sprintf("achieved rate %.1f/s is %.2f of the offered %.1f/s, below the %.2f gate",
+				r.AchievedRate, frac, r.OfferedRate, s.MinAchievedFraction))
+		}
+	}
+	return v
+}

@@ -1,0 +1,283 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options configures one workload run.
+type Options struct {
+	// BaseURL is the daemon under load, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client to use (default: a fresh client with no
+	// timeout — the daemon's own -timeout answers 504; a client-side
+	// deadline on top belongs to the caller).
+	Client *http.Client
+	// TracePrefix, when non-empty, stamps request i with
+	// "X-Trace-Id: <prefix>-<i>" so outliers in the report join against the
+	// daemon's /debug/traces.
+	TracePrefix string
+	// CaptureBodies retains each response body in its Result — for
+	// correctness assertions in tests, not for load runs.
+	CaptureBodies bool
+	// ScrapeMetrics snapshots GET /metrics before and after the run and
+	// reports the counter deltas in the report's "metrics" section.
+	ScrapeMetrics bool
+	// OnResult, when non-nil, observes each completed result (called from
+	// the issuing goroutine; must be safe for concurrent use).
+	OnResult func(*Result)
+}
+
+// Result is one executed request's outcome.
+type Result struct {
+	Index    int
+	Endpoint string
+	Graph    string
+	// Status is the HTTP status code, or 0 on a transport error.
+	Status int
+	// Err is the transport error, if any.
+	Err string
+	// Latency is first-byte-to-last-byte client-observed time: from just
+	// before the request is written to the full body being read.
+	Latency time.Duration
+	// StartOffset is when the request was issued, relative to run start.
+	StartOffset time.Duration
+	// RetryAfter reports whether a Retry-After header accompanied the
+	// response (the daemon's shed and not-ready answers carry one).
+	RetryAfter bool
+	// TraceID is the X-Trace-Id echoed by the daemon ("" when untraced).
+	TraceID string
+	// Body is the response body when Options.CaptureBodies is set.
+	Body []byte
+}
+
+// Run executes the workload's request sequence against the daemon and
+// returns the observed outcome. Open-loop mode fires each request at its
+// recorded arrival offset regardless of how many are still in flight — the
+// latency distribution then includes real queueing delay, which is the
+// number a capacity claim must quote. Closed-loop mode runs Spec.Workers
+// workers back to back, which measures service capacity but, at saturation,
+// silently throttles the offered rate (coordinated omission); reports label
+// the mode so the two are never compared as equals.
+func Run(ctx context.Context, w *Workload, opts Options) (*Outcome, error) {
+	if err := w.Expand(); err != nil {
+		return nil, err
+	}
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: Options.BaseURL required")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	var before, after *obs.MetricsSnapshot
+	if opts.ScrapeMetrics {
+		var err error
+		if before, err = obs.ScrapeMetrics(ctx, client, opts.BaseURL); err != nil {
+			return nil, fmt.Errorf("loadgen: pre-run metrics scrape: %w", err)
+		}
+	}
+	out := &Outcome{Results: make([]Result, len(w.Requests))}
+	start := time.Now()
+	switch w.Spec.Mode {
+	case ModeOpen:
+		runOpen(ctx, w, client, opts, start, out.Results)
+	default:
+		runClosed(ctx, w, client, opts, start, out.Results)
+	}
+	out.Wall = time.Since(start)
+	if opts.ScrapeMetrics {
+		var err error
+		if after, err = obs.ScrapeMetrics(ctx, client, opts.BaseURL); err != nil {
+			return nil, fmt.Errorf("loadgen: post-run metrics scrape: %w", err)
+		}
+		out.Metrics = after.Sub(before)
+	}
+	return out, nil
+}
+
+// Outcome is the raw material of a report: every result plus the run's wall
+// time and the daemon-side counter deltas.
+type Outcome struct {
+	Results []Result
+	Wall    time.Duration
+	Metrics *obs.MetricsSnapshot
+}
+
+func runOpen(ctx context.Context, w *Workload, client *http.Client, opts Options, start time.Time, results []Result) {
+	var wg sync.WaitGroup
+	for i := range w.Requests {
+		req := &w.Requests[i]
+		// Hold the line until this request's scheduled arrival. A cancelled
+		// context stops issuing new requests; in-flight ones still finish
+		// (their own contexts are cancelled too, so they fail fast).
+		if d := time.Until(start.Add(req.At())); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			markCancelled(results[i:], w.Requests[i:], start, opts.OnResult)
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = execute(ctx, client, opts, start, &w.Requests[i])
+			if opts.OnResult != nil {
+				opts.OnResult(&results[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func runClosed(ctx context.Context, w *Workload, client *http.Client, opts Options, start time.Time, results []Result) {
+	workers := w.Spec.Workers
+	if workers > len(w.Requests) {
+		workers = len(w.Requests)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(w.Requests) || ctx.Err() != nil {
+					return
+				}
+				results[i] = execute(ctx, client, opts, start, &w.Requests[i])
+				if opts.OnResult != nil {
+					opts.OnResult(&results[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Requests never claimed (cancellation) are marked, not left zeroed.
+	for i := range results {
+		if results[i].Endpoint == "" {
+			results[i] = cancelledResult(&w.Requests[i], start)
+			if opts.OnResult != nil {
+				opts.OnResult(&results[i])
+			}
+		}
+	}
+}
+
+func markCancelled(results []Result, reqs []Request, start time.Time, onResult func(*Result)) {
+	for i := range results {
+		results[i] = cancelledResult(&reqs[i], start)
+		if onResult != nil {
+			onResult(&results[i])
+		}
+	}
+}
+
+func cancelledResult(req *Request, start time.Time) Result {
+	return Result{
+		Index:       req.Index,
+		Endpoint:    req.Endpoint,
+		Graph:       req.Graph,
+		Err:         "cancelled before issue",
+		StartOffset: time.Since(start),
+	}
+}
+
+// execute performs one request and records the client-observed outcome.
+func execute(ctx context.Context, client *http.Client, opts Options, start time.Time, req *Request) Result {
+	res := Result{Index: req.Index, Endpoint: req.Endpoint, Graph: req.Graph}
+	hreq, err := buildHTTP(ctx, opts.BaseURL, req)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if opts.TracePrefix != "" {
+		res.TraceID = fmt.Sprintf("%s-%d", opts.TracePrefix, req.Index)
+		hreq.Header.Set("X-Trace-Id", res.TraceID)
+	}
+	res.StartOffset = time.Since(start)
+	t0 := time.Now()
+	resp, err := client.Do(hreq)
+	if err != nil {
+		res.Latency = time.Since(t0)
+		res.Err = err.Error()
+		return res
+	}
+	var body []byte
+	if opts.CaptureBodies {
+		body, err = io.ReadAll(resp.Body)
+	} else {
+		_, err = io.Copy(io.Discard, resp.Body)
+	}
+	resp.Body.Close()
+	res.Latency = time.Since(t0)
+	res.Status = resp.StatusCode
+	res.RetryAfter = resp.Header.Get("Retry-After") != ""
+	if echoed := resp.Header.Get("X-Trace-Id"); echoed != "" {
+		res.TraceID = echoed
+	}
+	res.Body = body
+	if err != nil {
+		res.Err = "reading body: " + err.Error()
+	}
+	return res
+}
+
+// buildHTTP shapes one generated request into its HTTP form.
+func buildHTTP(ctx context.Context, base string, req *Request) (*http.Request, error) {
+	q := url.Values{}
+	q.Set("graph", req.Graph)
+	if req.Solver != "" {
+		q.Set("solver", req.Solver)
+	}
+	switch req.Endpoint {
+	case EndpointSSSP:
+		q.Set("src", strconv.FormatInt(int64(req.Src), 10))
+		if req.Full {
+			q.Set("full", "1")
+		}
+		return http.NewRequestWithContext(ctx, http.MethodGet, base+"/sssp?"+q.Encode(), nil)
+	case EndpointDist:
+		q.Set("src", strconv.FormatInt(int64(req.Src), 10))
+		q.Set("dst", strconv.FormatInt(int64(req.Dst), 10))
+		return http.NewRequestWithContext(ctx, http.MethodGet, base+"/dist?"+q.Encode(), nil)
+	case EndpointBatch:
+		type item struct {
+			Src int32 `json:"src"`
+		}
+		items := make([]item, len(req.Srcs))
+		for i, s := range req.Srcs {
+			items[i] = item{Src: s}
+		}
+		body, err := json.Marshal(map[string]any{"queries": items, "solver": req.Solver})
+		if err != nil {
+			return nil, err
+		}
+		// The solver override travels in the body for /batch; drop it from
+		// the query string so only ?graph= routes.
+		q.Del("solver")
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/batch?"+q.Encode(), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		return hreq, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown endpoint %q", req.Endpoint)
+	}
+}

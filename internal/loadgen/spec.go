@@ -1,0 +1,469 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+// Limits on what a spec may ask for. They bound what a hostile or corrupted
+// workload file can make the generator allocate, and double as sanity rails
+// for hand-written specs (a million-request open-loop run against a test
+// daemon is a typo, not a plan).
+const (
+	// MaxRequests caps the expanded request count of one workload.
+	MaxRequests = 1 << 20
+	// MaxBatchSize caps sources per generated /batch request, matching the
+	// daemon's own per-request item limit.
+	MaxBatchSize = 4096
+	// MaxVertices caps a graph-mix entry's declared vertex count (it sizes
+	// the Zipf sampler's cumulative table).
+	MaxVertices = 1 << 24
+	// MaxWorkers caps closed-loop concurrency.
+	MaxWorkers = 4096
+	// MaxRate caps the open-loop offered rate in requests/second.
+	MaxRate = 1e6
+	// maxNameLen caps workload/graph/endpoint/solver name lengths.
+	maxNameLen = 128
+	// maxLineBytes caps one JSON line of a workload file.
+	maxLineBytes = 1 << 20
+)
+
+// Endpoint names a request shape the generator can emit.
+const (
+	EndpointSSSP  = "sssp"  // GET /sssp?src=
+	EndpointDist  = "dist"  // GET /dist?src=&dst=
+	EndpointBatch = "batch" // POST /batch
+)
+
+// Modes of driving the request sequence.
+const (
+	ModeOpen   = "open"   // fixed arrival schedule, unbounded concurrency
+	ModeClosed = "closed" // fixed worker count, no schedule
+)
+
+// GraphMix is one entry of the workload's graph mix: requests are routed to
+// Graph in proportion to Weight, and source vertices are drawn from [0, N).
+// N must match the vertex count of the graph the target daemon serves under
+// that name — the generator is hermetic and never asks the server.
+type GraphMix struct {
+	Graph  string  `json:"graph"`
+	N      int32   `json:"n"`
+	Weight float64 `json:"weight"`
+}
+
+// Weighted is a weighted choice by name (endpoint mix, solver mix).
+type Weighted struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
+// SLO is a machine-checkable service-level objective over one Report.
+// P99Ms and MinAchievedFraction enable when positive; the rate gates are
+// pointers so that an omitted JSON field disables the gate while an explicit
+// 0 is a meaningful, strict "none allowed".
+type SLO struct {
+	// P99Ms gates the p99 latency of successful responses, in milliseconds
+	// (0 or negative disables).
+	P99Ms float64 `json:"p99_ms,omitempty"`
+	// MaxErrorRate gates Report.ErrorRate — transport errors plus non-shed
+	// 5xx and 4xx responses, as a fraction of all requests (nil disables;
+	// an explicit 0 means "no errors tolerated").
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+	// MaxShedRate gates the fraction of requests shed with 503 (nil
+	// disables). Sheds are correct overload behavior, so most specs leave
+	// this disabled and gate errors + p99 instead.
+	MaxShedRate *float64 `json:"max_shed_rate,omitempty"`
+	// MinAchievedFraction gates achieved/offered rate for open-loop runs
+	// (0 or negative disables): a run that cannot keep up with its own
+	// schedule is not measuring the offered rate it claims.
+	MinAchievedFraction float64 `json:"min_achieved_fraction,omitempty"`
+}
+
+// Spec is the header line of a workload file: everything needed to expand a
+// deterministic request sequence and judge the run that executes it.
+type Spec struct {
+	// Name identifies the workload in reports and BENCH_serve.json.
+	Name string `json:"workload"`
+	// Version is the format version; currently always 1.
+	Version int `json:"v"`
+	// Seed drives every random choice of the expansion.
+	Seed uint64 `json:"seed"`
+	// Requests is the expanded sequence length.
+	Requests int `json:"requests"`
+	// Mode is ModeOpen or ModeClosed.
+	Mode string `json:"mode"`
+	// Rate is the open-loop offered arrival rate in requests/second
+	// (Poisson arrivals; ignored closed-loop).
+	Rate float64 `json:"rate_qps,omitempty"`
+	// Workers is the closed-loop concurrency (ignored open-loop).
+	Workers int `json:"workers,omitempty"`
+	// ZipfS is the source-vertex skew exponent: vertex k is drawn with
+	// probability proportional to 1/(k+1)^ZipfS. 0 means uniform.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// CacheHostile draws sources by striding through the vertex set so no
+	// source repeats within n requests to one graph: every query misses the
+	// result cache and defeats singleflight dedup. Overrides ZipfS.
+	CacheHostile bool `json:"cache_hostile,omitempty"`
+	// BatchSize is the number of single-source queries per generated /batch
+	// request (default 16).
+	BatchSize int `json:"batch_size,omitempty"`
+	// FullFraction is the fraction of sssp requests asking for the full
+	// distance vector (full=1) rather than the summary.
+	FullFraction float64 `json:"full_fraction,omitempty"`
+	// Graphs is the weighted graph mix (required, at least one entry).
+	Graphs []GraphMix `json:"graphs"`
+	// Endpoints is the weighted endpoint mix (default: all sssp).
+	Endpoints []Weighted `json:"endpoints,omitempty"`
+	// Solvers is the weighted ?solver= mix; the empty name means "let the
+	// daemon's policy choose" (default: always policy).
+	Solvers []Weighted `json:"solvers,omitempty"`
+	// SLO, when present, is the gate `make bench-serve` and cmd/loadgen
+	// assert over the run's report.
+	SLO *SLO `json:"slo,omitempty"`
+}
+
+// Request is one concrete generated request — a line of a recorded workload.
+type Request struct {
+	// Index is the position in the sequence (0-based).
+	Index int `json:"i"`
+	// AtUS is the open-loop arrival offset from run start, in microseconds.
+	AtUS int64 `json:"at_us"`
+	// Endpoint is EndpointSSSP, EndpointDist, or EndpointBatch.
+	Endpoint string `json:"ep"`
+	// Graph routes the request (?graph=).
+	Graph string `json:"graph"`
+	// Src is the source vertex (sssp, dist).
+	Src int32 `json:"src,omitempty"`
+	// Dst is the target vertex (dist only).
+	Dst int32 `json:"dst,omitempty"`
+	// Full asks /sssp for the full distance vector.
+	Full bool `json:"full,omitempty"`
+	// Solver is the ?solver= override ("" = daemon policy).
+	Solver string `json:"solver,omitempty"`
+	// Srcs are the per-item sources of a /batch request.
+	Srcs []int32 `json:"srcs,omitempty"`
+}
+
+// At returns the request's arrival offset as a duration.
+func (r *Request) At() time.Duration { return time.Duration(r.AtUS) * time.Microsecond }
+
+// Workload is a spec plus its concrete request sequence. Requests is nil for
+// a header-only (generative) workload until Expand is called.
+type Workload struct {
+	Spec     Spec
+	Requests []Request
+}
+
+// nameOK admits the names that can travel in a URL query string and an
+// X-Trace-Id header without escaping surprises.
+func nameOK(s string) bool {
+	if len(s) == 0 || len(s) > maxNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func finiteNonNeg(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// weightsOK validates a weighted-choice list: finite non-negative weights
+// with a positive sum.
+func weightsOK(ws []float64) error {
+	sum := 0.0
+	for _, w := range ws {
+		if !finiteNonNeg(w) {
+			return fmt.Errorf("weight %v is not a finite non-negative number", w)
+		}
+		sum += w
+	}
+	if !(sum > 0) {
+		return fmt.Errorf("weights sum to %v, need > 0", sum)
+	}
+	return nil
+}
+
+// Validate checks the spec against the format's limits. A valid spec is one
+// Expand accepts; every reader path validates before returning.
+func (s *Spec) Validate() error {
+	if s.Version != 1 {
+		return fmt.Errorf("loadgen: unsupported workload version %d", s.Version)
+	}
+	if !nameOK(s.Name) {
+		return fmt.Errorf("loadgen: bad workload name %q", s.Name)
+	}
+	if s.Requests < 1 || s.Requests > MaxRequests {
+		return fmt.Errorf("loadgen: requests %d out of range [1,%d]", s.Requests, MaxRequests)
+	}
+	switch s.Mode {
+	case ModeOpen:
+		if !finiteNonNeg(s.Rate) || s.Rate <= 0 || s.Rate > MaxRate {
+			return fmt.Errorf("loadgen: open-loop rate_qps %v out of range (0,%g]", s.Rate, float64(MaxRate))
+		}
+	case ModeClosed:
+		if s.Workers < 1 || s.Workers > MaxWorkers {
+			return fmt.Errorf("loadgen: closed-loop workers %d out of range [1,%d]", s.Workers, MaxWorkers)
+		}
+	default:
+		return fmt.Errorf("loadgen: mode %q is neither %q nor %q", s.Mode, ModeOpen, ModeClosed)
+	}
+	if !finiteNonNeg(s.ZipfS) || s.ZipfS > 20 {
+		return fmt.Errorf("loadgen: zipf_s %v out of range [0,20]", s.ZipfS)
+	}
+	if s.BatchSize < 0 || s.BatchSize > MaxBatchSize {
+		return fmt.Errorf("loadgen: batch_size %d out of range [0,%d]", s.BatchSize, MaxBatchSize)
+	}
+	if !finiteNonNeg(s.FullFraction) || s.FullFraction > 1 {
+		return fmt.Errorf("loadgen: full_fraction %v out of range [0,1]", s.FullFraction)
+	}
+	if len(s.Graphs) == 0 {
+		return fmt.Errorf("loadgen: graph mix is empty")
+	}
+	gw := make([]float64, len(s.Graphs))
+	for i, g := range s.Graphs {
+		if !nameOK(g.Graph) {
+			return fmt.Errorf("loadgen: bad graph name %q", g.Graph)
+		}
+		if g.N < 1 || g.N > MaxVertices {
+			return fmt.Errorf("loadgen: graph %s vertex count %d out of range [1,%d]", g.Graph, g.N, MaxVertices)
+		}
+		gw[i] = g.Weight
+	}
+	if err := weightsOK(gw); err != nil {
+		return fmt.Errorf("loadgen: graph mix: %w", err)
+	}
+	ew := make([]float64, len(s.Endpoints))
+	for i, e := range s.Endpoints {
+		switch e.Name {
+		case EndpointSSSP, EndpointDist, EndpointBatch:
+		default:
+			return fmt.Errorf("loadgen: unknown endpoint %q", e.Name)
+		}
+		ew[i] = e.Weight
+	}
+	if len(s.Endpoints) > 0 {
+		if err := weightsOK(ew); err != nil {
+			return fmt.Errorf("loadgen: endpoint mix: %w", err)
+		}
+	}
+	sw := make([]float64, len(s.Solvers))
+	for i, sv := range s.Solvers {
+		if sv.Name != "" && !nameOK(sv.Name) {
+			return fmt.Errorf("loadgen: bad solver name %q", sv.Name)
+		}
+		sw[i] = sv.Weight
+	}
+	if len(s.Solvers) > 0 {
+		if err := weightsOK(sw); err != nil {
+			return fmt.Errorf("loadgen: solver mix: %w", err)
+		}
+	}
+	if s.SLO != nil {
+		gates := []float64{s.SLO.P99Ms, s.SLO.MinAchievedFraction}
+		if s.SLO.MaxErrorRate != nil {
+			gates = append(gates, *s.SLO.MaxErrorRate)
+		}
+		if s.SLO.MaxShedRate != nil {
+			gates = append(gates, *s.SLO.MaxShedRate)
+		}
+		for _, v := range gates {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("loadgen: slo gate %v is not finite", v)
+			}
+		}
+	}
+	return nil
+}
+
+// graphN returns the declared vertex count of a graph in the mix.
+func (s *Spec) graphN(name string) (int32, bool) {
+	for _, g := range s.Graphs {
+		if g.Graph == name {
+			return g.N, true
+		}
+	}
+	return 0, false
+}
+
+// validateRequest checks one recorded request line against the spec — a
+// replay must never emit a request the spec could not have generated the
+// shape of (the concrete choice sequence, of course, is the recording's).
+func (s *Spec) validateRequest(i int, r *Request) error {
+	if r.Index != i {
+		return fmt.Errorf("loadgen: request line %d carries index %d", i, r.Index)
+	}
+	if r.AtUS < 0 {
+		return fmt.Errorf("loadgen: request %d has negative arrival offset %d", i, r.AtUS)
+	}
+	n, ok := s.graphN(r.Graph)
+	if !ok {
+		return fmt.Errorf("loadgen: request %d targets graph %q, which is not in the spec's mix", i, r.Graph)
+	}
+	inRange := func(v int32) bool { return v >= 0 && v < n }
+	switch r.Endpoint {
+	case EndpointSSSP:
+		if !inRange(r.Src) {
+			return fmt.Errorf("loadgen: request %d src %d out of range [0,%d)", i, r.Src, n)
+		}
+	case EndpointDist:
+		if !inRange(r.Src) || !inRange(r.Dst) {
+			return fmt.Errorf("loadgen: request %d src/dst %d/%d out of range [0,%d)", i, r.Src, r.Dst, n)
+		}
+	case EndpointBatch:
+		if len(r.Srcs) < 1 || len(r.Srcs) > MaxBatchSize {
+			return fmt.Errorf("loadgen: request %d batch size %d out of range [1,%d]", i, len(r.Srcs), MaxBatchSize)
+		}
+		for _, v := range r.Srcs {
+			if !inRange(v) {
+				return fmt.Errorf("loadgen: request %d batch source %d out of range [0,%d)", i, v, n)
+			}
+		}
+	default:
+		return fmt.Errorf("loadgen: request %d has unknown endpoint %q", i, r.Endpoint)
+	}
+	if r.Solver != "" && !nameOK(r.Solver) {
+		return fmt.Errorf("loadgen: request %d has bad solver %q", i, r.Solver)
+	}
+	return nil
+}
+
+// WriteTo writes the workload as JSON lines: the spec header, then one line
+// per request (none for a header-only workload). The encoding is canonical —
+// encoding/json with fixed field order — so identical workloads produce
+// identical bytes, which is what makes a recorded traffic shape diffable.
+func (w *Workload) WriteTo(out io.Writer) (int64, error) {
+	bw := bufio.NewWriter(out)
+	var n int64
+	writeLine := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		m, err := bw.Write(append(b, '\n'))
+		n += int64(m)
+		return err
+	}
+	if err := writeLine(&w.Spec); err != nil {
+		return n, err
+	}
+	for i := range w.Requests {
+		if err := writeLine(&w.Requests[i]); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// WriteFile writes the workload to path (0644, truncating).
+func (w *Workload) WriteFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := w.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// decodeLine strictly decodes one JSON-lines record: unknown fields and
+// trailing garbage on the line are errors, so a typo'd spec fails loudly
+// instead of silently running the default shape.
+func decodeLine(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// ReadWorkload parses a workload file: a spec header line, then zero or more
+// recorded request lines. The result is validated; a header-only workload
+// comes back with nil Requests and expands on demand.
+func ReadWorkload(r io.Reader) (*Workload, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
+	line, ok, err := nextLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("loadgen: empty workload file")
+	}
+	var w Workload
+	if err := decodeLine(line, &w.Spec); err != nil {
+		return nil, fmt.Errorf("loadgen: bad spec line: %w", err)
+	}
+	if err := w.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	for i := 0; ; i++ {
+		line, ok, err := nextLine(sc)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if i >= w.Spec.Requests {
+			return nil, fmt.Errorf("loadgen: more recorded requests than the spec's %d", w.Spec.Requests)
+		}
+		var req Request
+		if err := decodeLine(line, &req); err != nil {
+			return nil, fmt.Errorf("loadgen: bad request line %d: %w", i, err)
+		}
+		if err := w.Spec.validateRequest(i, &req); err != nil {
+			return nil, err
+		}
+		w.Requests = append(w.Requests, req)
+	}
+	if w.Requests != nil && len(w.Requests) != w.Spec.Requests {
+		return nil, fmt.Errorf("loadgen: recording has %d requests, spec says %d", len(w.Requests), w.Spec.Requests)
+	}
+	return &w, nil
+}
+
+// nextLine returns the next non-empty line.
+func nextLine(sc *bufio.Scanner) ([]byte, bool, error) {
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) > 0 {
+			return line, true, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, fmt.Errorf("loadgen: reading workload: %w", err)
+	}
+	return nil, false, nil
+}
+
+// ReadFile reads a workload file from path.
+func ReadFile(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadWorkload(f)
+}

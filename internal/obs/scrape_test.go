@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestScrapeMetricsAndSub(t *testing.T) {
+	// A daemon-shaped /metrics document with extra keys the scraper must
+	// ignore (gauges, histograms, future counters).
+	doc := `{
+		"endpoints": {
+			"sssp":  {"requests": 10, "in_flight": 1, "shed": 2, "timeout": 1,
+			          "status": {"2xx": 7, "5xx": 3}, "latency": {"p50_us": 120}},
+			"batch": {"requests": 4}
+		},
+		"engine": {"solves": 9, "dedup_hits": 1, "cache_hits": 3, "cache_misses": 6,
+		           "cache_evictions": 2, "batch_requests": 4, "batch_items": 64,
+		           "cache_entries": 5},
+		"catalog": {"acquires": 14, "acquire_not_ready": 1, "evictions": 0,
+		            "swaps": 2, "graphs": 2},
+		"uptime_seconds": 33
+	}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(doc))
+	}))
+	defer ts.Close()
+
+	m, err := ScrapeMetrics(context.Background(), ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Endpoints["sssp"].Requests != 10 || m.Endpoints["sssp"].Shed != 2 ||
+		m.Endpoints["sssp"].Timeout != 1 || m.Endpoints["sssp"].Status["2xx"] != 7 {
+		t.Fatalf("sssp counters: %+v", m.Endpoints["sssp"])
+	}
+	if m.Engine.Solves != 9 || m.Engine.CacheEvictions != 2 || m.Engine.BatchItems != 64 {
+		t.Fatalf("engine counters: %+v", m.Engine)
+	}
+	if m.Catalog.Acquires != 14 || m.Catalog.Swaps != 2 {
+		t.Fatalf("catalog counters: %+v", m.Catalog)
+	}
+	if m.TotalShed() != 2 || m.TotalTimeouts() != 1 {
+		t.Fatalf("totals: shed=%d timeout=%d", m.TotalShed(), m.TotalTimeouts())
+	}
+
+	prev := &MetricsSnapshot{
+		Endpoints: map[string]EndpointCounters{
+			"sssp": {Requests: 6, Shed: 2, Status: map[string]int64{"2xx": 5, "5xx": 1}},
+		},
+		Engine:  EngineCounters{Solves: 4, CacheMisses: 2},
+		Catalog: CatalogCounters{Acquires: 8},
+	}
+	d := m.Sub(prev)
+	if d.Endpoints["sssp"].Requests != 4 || d.Endpoints["sssp"].Shed != 0 {
+		t.Fatalf("sssp delta: %+v", d.Endpoints["sssp"])
+	}
+	if d.Endpoints["sssp"].Status["2xx"] != 2 || d.Endpoints["sssp"].Status["5xx"] != 2 {
+		t.Fatalf("status delta: %+v", d.Endpoints["sssp"].Status)
+	}
+	// batch only exists in the later scrape: reported whole.
+	if d.Endpoints["batch"].Requests != 4 {
+		t.Fatalf("new-endpoint delta: %+v", d.Endpoints["batch"])
+	}
+	if d.Engine.Solves != 5 || d.Engine.CacheMisses != 4 {
+		t.Fatalf("engine delta: %+v", d.Engine)
+	}
+	if d.Catalog.Acquires != 6 {
+		t.Fatalf("catalog delta: %+v", d.Catalog)
+	}
+}
+
+func TestScrapeMetricsErrors(t *testing.T) {
+	mode := "down"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if mode == "garbage" {
+			w.Write([]byte("not json"))
+			return
+		}
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	if _, err := ScrapeMetrics(context.Background(), ts.Client(), ts.URL); err == nil {
+		t.Fatal("non-200 scrape did not error")
+	}
+	mode = "garbage"
+	if _, err := ScrapeMetrics(context.Background(), ts.Client(), ts.URL); err == nil {
+		t.Fatal("garbage body did not error")
+	}
+}
