@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine bench-catalog bench-trace bench-serve bench-serve-smoke check docs-check stress fuzz experiments examples clean
+.PHONY: all build vet test race bench bench-engine bench-catalog bench-trace bench-serve bench-serve-smoke bench-router check docs-check stress fuzz experiments examples clean
 
 all: build vet test
 
@@ -21,7 +21,8 @@ race:
 	$(GO) test -race ./internal/core ./internal/cc ./internal/deltastep \
 		./internal/par ./internal/bfs ./internal/mta ./internal/digraph \
 		./internal/obs ./internal/engine ./internal/catalog ./internal/snapshot \
-		./internal/trace ./internal/loadgen ./cmd/ssspd .
+		./internal/trace ./internal/loadgen ./internal/router ./cmd/ssspd \
+		./cmd/ssspr .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -57,6 +58,15 @@ bench-serve:
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run TestWriteServeBenchJSON -count=1 -v ./cmd/ssspd
 
+# Routing-tier benchmark: the committed workload specs run both directly
+# against one ssspd and through ssspr fronting two replica backends, written
+# to BENCH_router.json. FAILS if any workload violates its SLO through the
+# router or the router's best-of-trials p99 overhead over direct exceeds
+# 2ms; also records the measured failover re-route latency.
+bench-router:
+	BENCH_ROUTER_OUT=$(CURDIR)/BENCH_router.json \
+		$(GO) test -run TestWriteRouterBenchJSON -count=1 -v -timeout 20m ./cmd/ssspd
+
 # Shrunk always-on slice of bench-serve: every committed workload spec
 # parses, matches the bench catalog, and passes its SLO at smoke size.
 bench-serve-smoke:
@@ -65,14 +75,15 @@ bench-serve-smoke:
 
 # Fast pre-merge gate: static checks, the documentation linter, the race
 # detector over the concurrent traversal core, the query engine, the graph
-# catalog and snapshot format, the tracing layer, and the daemon middleware,
-# and the seeded stress sweep.
+# catalog and snapshot format, the tracing layer, the daemon middleware,
+# and the routing tier, and the seeded stress sweep.
 check:
 	$(GO) vet ./...
 	$(MAKE) docs-check
 	$(GO) test -race ./internal/core/... ./internal/engine/... \
 		./internal/catalog/... ./internal/snapshot/... ./internal/trace/... \
-		./internal/loadgen/... ./cmd/ssspd/...
+		./internal/loadgen/... ./internal/router/... ./cmd/ssspd/... \
+		./cmd/ssspr/...
 	$(MAKE) bench-serve-smoke
 	$(MAKE) stress
 
@@ -98,6 +109,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadSources -fuzztime 10s ./internal/dimacs
 	$(GO) test -fuzz FuzzSnapshotRead -fuzztime 10s ./internal/snapshot
 	$(GO) test -fuzz FuzzWorkloadSpec -fuzztime 10s ./internal/loadgen
+	$(GO) test -fuzz FuzzRoutingTable -fuzztime 10s ./internal/router
 	$(GO) test -fuzz FuzzThorupVsDijkstra -fuzztime 10s ./internal/core
 	$(GO) test -fuzz FuzzDeltaStepVsDijkstra -fuzztime 10s ./internal/core
 	$(GO) test -fuzz FuzzMLBVsDijkstra -fuzztime 10s ./internal/core

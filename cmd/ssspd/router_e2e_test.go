@@ -1,0 +1,419 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/ch"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/loadgen"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// bootBackend starts a hermetic ssspd serving the named workload graphs
+// (from serveWorkloadGraphs; the first name is the startup graph). Each
+// backend regenerates the graphs from their fixed seeds, so two backends
+// serving the same name hold identical replicas — the property a replicated
+// routing tier depends on.
+func bootBackend(tb testing.TB, names ...string) *httptest.Server {
+	tb.Helper()
+	graphs := serveWorkloadGraphs()
+	g0 := graphs[names[0]]
+	if g0 == nil {
+		tb.Fatalf("unknown workload graph %q", names[0])
+	}
+	srv := newServer(g0, ch.BuildKruskal(g0), names[0], catalog.Source{}, serverOptions{
+		workers: 4, maxInflight: 256, timeout: 30 * time.Second,
+		engine: engine.Config{CacheEntries: 64, CacheBytes: 8 << 20},
+	})
+	for _, n := range names[1:] {
+		g := graphs[n]
+		if g == nil {
+			tb.Fatalf("unknown workload graph %q", n)
+		}
+		if _, err := srv.cat.AddPrebuilt(n, catalog.Source{}, g, ch.BuildKruskal(g), nil); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.mux())
+	old := log.Writer()
+	log.SetOutput(io.Discard)
+	tb.Cleanup(func() {
+		ts.Close()
+		srv.cat.Close()
+		log.SetOutput(old)
+	})
+	return ts
+}
+
+// routerBoot starts an ssspr routing tier over the given name -> base-URL
+// fleet, health-checked every interval, retries on.
+func routerBoot(tb testing.TB, interval time.Duration, backends map[string]string) (*httptest.Server, *router.Router) {
+	tb.Helper()
+	tbl := &router.Table{Version: 1, Replicas: 2}
+	names := make([]string, 0, len(backends))
+	for name := range backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tbl.Backends = append(tbl.Backends, router.Backend{Name: name, URL: backends[name]})
+	}
+	rt, err := router.New(router.Config{
+		Table:          tbl,
+		HealthInterval: interval,
+		HealthTimeout:  2 * time.Second,
+		Timeout:        30 * time.Second,
+		Retry:          true,
+		RetryBudget:    1000,
+		RetryBackoff:   time.Millisecond,
+		Trace:          trace.Config{SampleN: 100},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Mux())
+	tb.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return ts, rt
+}
+
+// routeEligible asks the router which backends currently serve a graph.
+func routeEligible(tb testing.TB, client *http.Client, baseURL, graphName string) []string {
+	tb.Helper()
+	resp, err := client.Get(baseURL + "/route?graph=" + graphName)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Eligible []string `json:"eligible"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		tb.Fatal(err)
+	}
+	sort.Strings(doc.Eligible)
+	return doc.Eligible
+}
+
+// checkRouterResult verifies one captured 200 response body against Dijkstra
+// ground truth. Batch items that carry a per-item error (a failed shard) are
+// reported as soft errors, not wrong answers; every DISTANCE present must be
+// exact. Returns the number of per-item errors.
+func checkRouterResult(t *testing.T, gt *groundTruth, req *loadgen.Request, res *loadgen.Result) int {
+	t.Helper()
+	switch req.Endpoint {
+	case loadgen.EndpointSSSP:
+		var resp struct {
+			Src     int32   `json:"src"`
+			Reached int     `json:"reached"`
+			Dist    []int64 `json:"dist"`
+		}
+		if err := json.Unmarshal(res.Body, &resp); err != nil {
+			t.Fatalf("request %d: %v (body %s)", req.Index, err, res.Body)
+		}
+		want := gt.of(t, req.Graph, req.Src)
+		if resp.Reached != reachedOf(want) || len(resp.Dist) != len(want) {
+			t.Fatalf("request %d (%s src %d): reached/len %d/%d, dijkstra says %d/%d",
+				req.Index, req.Graph, req.Src, resp.Reached, len(resp.Dist), reachedOf(want), len(want))
+		}
+		for v, d := range want {
+			wd := d
+			if d >= graph.Inf {
+				wd = -1
+			}
+			if resp.Dist[v] != wd {
+				t.Fatalf("request %d: dist[%d] = %d via router, dijkstra says %d (graph %s src %d)",
+					req.Index, v, resp.Dist[v], wd, req.Graph, req.Src)
+			}
+		}
+	case loadgen.EndpointDist:
+		var resp struct {
+			Dist      int64 `json:"dist"`
+			Reachable bool  `json:"reachable"`
+		}
+		if err := json.Unmarshal(res.Body, &resp); err != nil {
+			t.Fatalf("request %d: %v (body %s)", req.Index, err, res.Body)
+		}
+		want := gt.of(t, req.Graph, req.Src)
+		wd, reach := want[req.Dst], want[req.Dst] < graph.Inf
+		if !reach {
+			wd = -1
+		}
+		if resp.Dist != wd || resp.Reachable != reach {
+			t.Fatalf("request %d: dist(%s, %d→%d) = %d/%v via router, dijkstra says %d/%v",
+				req.Index, req.Graph, req.Src, req.Dst, resp.Dist, resp.Reachable, wd, reach)
+		}
+	case loadgen.EndpointBatch:
+		var resp struct {
+			Results []struct {
+				Reached int    `json:"reached"`
+				Error   string `json:"error"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(res.Body, &resp); err != nil {
+			t.Fatalf("request %d: %v (body %s)", req.Index, err, res.Body)
+		}
+		if len(resp.Results) != len(req.Srcs) {
+			t.Fatalf("request %d: %d batch results for %d queries (fan-out recombination lost items)",
+				req.Index, len(resp.Results), len(req.Srcs))
+		}
+		itemErrs := 0
+		for j, item := range resp.Results {
+			if item.Error != "" {
+				itemErrs++
+				continue
+			}
+			want := gt.of(t, req.Graph, req.Srcs[j])
+			if item.Reached != reachedOf(want) {
+				t.Fatalf("request %d item %d: reached %d via router, dijkstra says %d (graph %s src %d)",
+					req.Index, j, item.Reached, reachedOf(want), req.Graph, req.Srcs[j])
+			}
+		}
+		return itemErrs
+	}
+	return 0
+}
+
+// End-to-end router correctness under failure: two backends with disjoint +
+// replicated graphs (b1: wl-a and wl-b, b2: wl-b only) behind ssspr; a
+// workload over both graphs runs while b2 is killed mid-run. Every 200 body
+// must equal Dijkstra ground truth (zero wrong answers); failures are
+// tolerated only in bounded number and only with proxy-failure statuses.
+func TestRouterE2EGroundTruthWithBackendKill(t *testing.T) {
+	b1 := bootBackend(t, "wl-a", "wl-b")
+	b2 := bootBackend(t, "wl-b")
+	rts, _ := routerBoot(t, 100*time.Millisecond, map[string]string{"b1": b1.URL, "b2": b2.URL})
+	gt := newGroundTruth(t, serveWorkloadGraphs())
+
+	w := &loadgen.Workload{Spec: loadgen.Spec{
+		Name: "router-e2e", Version: 1, Seed: 17, Requests: 240,
+		Mode: loadgen.ModeOpen, Rate: 400, // ~600ms schedule: the kill lands mid-run
+		FullFraction: 1,
+		BatchSize:    4,
+		Graphs: []loadgen.GraphMix{
+			{Graph: "wl-a", N: 512, Weight: 1},
+			{Graph: "wl-b", N: 384, Weight: 1},
+		},
+		Endpoints: []loadgen.Weighted{
+			{Name: loadgen.EndpointSSSP, Weight: 1},
+			{Name: loadgen.EndpointDist, Weight: 1},
+			{Name: loadgen.EndpointBatch, Weight: 1},
+		},
+		Solvers: []loadgen.Weighted{{Name: "", Weight: 1}, {Name: "dijkstra", Weight: 1}},
+	}}
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(200 * time.Millisecond)
+		b2.CloseClientConnections()
+		b2.Close()
+	}()
+	out, err := loadgen.Run(context.Background(), w, loadgen.Options{
+		BaseURL: rts.URL, Client: rts.Client(),
+		TracePrefix: "router-e2e", CaptureBodies: true,
+	})
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	okCount, failed, itemErrs := 0, 0, 0
+	for i := range out.Results {
+		res := &out.Results[i]
+		req := &w.Requests[i]
+		if res.Status == 200 {
+			okCount++
+			itemErrs += checkRouterResult(t, gt, req, res)
+			continue
+		}
+		// A kill mid-run may surface as a bounded number of proxy failures,
+		// never as a wrong answer and never on wl-a (whose only replica lives).
+		failed++
+		if req.Graph == "wl-a" {
+			t.Errorf("request %d on wl-a failed (%d %q); the kill only removed a wl-b replica",
+				i, res.Status, res.Err)
+		}
+		switch res.Status {
+		case 0, 502, 503, 504:
+		default:
+			t.Errorf("request %d: status %d outside the failure contract {502,503,504,transport}", i, res.Status)
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("no request succeeded")
+	}
+	// With retry-on-another-replica the kill should be almost invisible;
+	// allow a bounded sliver for requests caught inside b2 at the instant it
+	// died on both attempts.
+	if limit := len(out.Results) / 10; failed > limit {
+		t.Fatalf("%d of %d requests failed, want <= %d (failover did not contain the kill)",
+			failed, len(out.Results), limit)
+	}
+	if limit := len(out.Results) / 10; itemErrs > limit {
+		t.Fatalf("%d batch items errored, want <= %d", itemErrs, limit)
+	}
+
+	// After one health interval the router must have evicted b2 for good:
+	// wl-b queries keep working and route to b1 only.
+	time.Sleep(150 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		resp, err := rts.Client().Get(rts.URL + fmt.Sprintf("/dist?graph=wl-b&src=%d&dst=7", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("post-kill wl-b query %d: status %d", i, resp.StatusCode)
+		}
+		if b := resp.Header.Get("X-Backend"); b != "b1" {
+			t.Fatalf("post-kill wl-b query answered by %q, want b1", b)
+		}
+	}
+	if got := routeEligible(t, rts.Client(), rts.URL, "wl-b"); len(got) != 1 || got[0] != "b1" {
+		t.Fatalf("eligible(wl-b) = %v after kill, want [b1]", got)
+	}
+}
+
+// Drain failover: unloading a graph on one backend under load must propagate
+// through the health scrape within a few intervals, re-route new requests to
+// the surviving replica, and complete every request of the run — the drain
+// window is masked by the router's retry, so the client sees zero failures.
+func TestRouterDrainFailover(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	b1 := bootBackend(t, "wl-a", "wl-b")
+	b2 := bootBackend(t, "wl-b")
+	rts, _ := routerBoot(t, interval, map[string]string{"b1": b1.URL, "b2": b2.URL})
+
+	if got := routeEligible(t, rts.Client(), rts.URL, "wl-b"); len(got) != 2 {
+		t.Fatalf("eligible(wl-b) = %v before drain, want both", got)
+	}
+
+	w := &loadgen.Workload{Spec: loadgen.Spec{
+		Name: "drain-failover", Version: 1, Seed: 23, Requests: 400,
+		Mode: loadgen.ModeOpen, Rate: 800,
+		Graphs: []loadgen.GraphMix{{Graph: "wl-b", N: 384, Weight: 1}},
+	}}
+	type runOut struct {
+		out *loadgen.Outcome
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		out, err := loadgen.Run(context.Background(), w, loadgen.Options{
+			BaseURL: rts.URL, Client: rts.Client(),
+		})
+		done <- runOut{out, err}
+	}()
+
+	time.Sleep(120 * time.Millisecond) // ~a fifth of the schedule in flight
+	resp, err := b2.Client().Post(b2.URL+"/graphs/unload", "application/json",
+		strings.NewReader(`{"name":"wl-b"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("unload: status %d", resp.StatusCode)
+	}
+	drainStart := time.Now()
+
+	// The router must observe the drain via its scrape and shrink the
+	// eligible set to b1 within a few health intervals.
+	var rerouted time.Duration
+	for {
+		if got := routeEligible(t, rts.Client(), rts.URL, "wl-b"); len(got) == 1 && got[0] == "b1" {
+			rerouted = time.Since(drainStart)
+			break
+		}
+		if time.Since(drainStart) > 20*interval {
+			t.Fatalf("router still routing to the draining backend %v after unload", time.Since(drainStart))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Logf("re-routed %v after unload (health interval %v)", rerouted, interval)
+
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	rep := loadgen.BuildReport(w, r.out)
+	// Every request completes: requests caught on b2 during the drain window
+	// are answered 503 by the backend and retried on b1 by the router.
+	if rep.OK != rep.Requests || rep.Errors != 0 || rep.Shed != 0 {
+		t.Fatalf("drain leaked failures through the router: ok=%d/%d errors=%d shed=%d status=%v",
+			rep.OK, rep.Requests, rep.Errors, rep.Shed, rep.StatusCounts)
+	}
+	// The run must actually have exercised both replicas before the drain.
+	if rep.PerBackend["b2"] == 0 {
+		t.Fatalf("no request ever routed to b2 (per_backend %v); the drain was not under load", rep.PerBackend)
+	}
+	if rep.PerBackend["b1"] == 0 {
+		t.Fatalf("no request ever routed to b1 (per_backend %v)", rep.PerBackend)
+	}
+}
+
+// A stalled backend must trip the loadgen SLO gate THROUGH the router — the
+// tier adds failover, not forgiveness: if the whole fleet is slow, the gate
+// still fires.
+func TestRouterStallTripsSLOGate(t *testing.T) {
+	backend := bootBackend(t, "wl-a", "wl-b")
+	stalled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/metrics") {
+			time.Sleep(25 * time.Millisecond)
+		}
+		req, err := http.NewRequest(r.Method, backend.URL+r.URL.RequestURI(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := backend.Client().Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, v := range resp.Header {
+			w.Header()[k] = v
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer stalled.Close()
+	rts, _ := routerBoot(t, time.Second, map[string]string{"slow": stalled.URL})
+
+	w := readServeWorkload(t, "zipf-single.jsonl")
+	w.Spec.Requests = 40
+	w.Spec.Rate = 400
+	w.Spec.SLO = &loadgen.SLO{P99Ms: 5}
+	out, err := loadgen.Run(context.Background(), w, loadgen.Options{
+		BaseURL: rts.URL, Client: rts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.BuildReport(w, out)
+	if rep.Latency.P99Ms < 20 {
+		t.Fatalf("injected backend stall invisible through the router: p99 %.2fms", rep.Latency.P99Ms)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("25ms backend stall did not trip the 5ms p99 gate through the router")
+	}
+}

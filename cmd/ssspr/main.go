@@ -1,0 +1,138 @@
+// Command ssspr is the routing tier in front of a fleet of ssspd backends:
+// one endpoint that consistent-hashes graphs across the fleet, replicates
+// hot graphs, health-checks backends through their /metrics, retries
+// idempotent reads, and fans large batches out by shard. All behavior lives
+// in internal/router; this command is flag wiring.
+//
+// Usage:
+//
+//	ssspr -table fleet.json [-addr :8090] [flags]
+//
+// where fleet.json is a routing table (see internal/router.Table):
+//
+//	{"v": 1, "replicas": 2,
+//	 "backends": [{"name": "b1", "url": "http://10.0.0.1:8080", "weight": 2},
+//	              {"name": "b2", "url": "http://10.0.0.2:8080"}],
+//	 "graphs": {"hot-graph": {"replicas": 3}}}
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tablePath      = flag.String("table", "", "routing table JSON file (required)")
+		addr           = flag.String("addr", ":8090", "listen address")
+		defaultGraph   = flag.String("default-graph", "", "graph used by requests without ?graph= (empty makes the parameter mandatory)")
+		healthInterval = flag.Duration("health-interval", 2*time.Second, "backend /metrics scrape period")
+		healthTimeout  = flag.Duration("health-timeout", time.Second, "per-backend scrape deadline")
+		timeout        = flag.Duration("timeout", 30*time.Second, "per-request deadline for proxied query endpoints (0 disables)")
+		retry          = flag.Bool("retry", true, "retry a failed idempotent read once on a different replica")
+		retryBudget    = flag.Float64("retry-budget", 10, "retry token-bucket refill rate in retries/second")
+		retryBackoff   = flag.Duration("retry-backoff", 5*time.Millisecond, "pause before a retry attempt")
+		drain          = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		traceSample    = flag.Int("trace-sample", 100, "tail-sample 1 in N finished routed traces into /debug/traces (0 disables tracing)")
+		traceRing      = flag.Int("trace-ring", 256, "retained-trace ring buffer capacity for /debug/traces")
+		slowQuery      = flag.Duration("slow-query", 0, "log and always retain routed traces at least this slow (0 disables the slow-query log)")
+	)
+	flag.Parse()
+	if *tablePath == "" {
+		log.Fatalf("ssspr: -table required")
+	}
+	tbl, err := router.ReadTableFile(*tablePath)
+	if err != nil {
+		log.Fatalf("ssspr: %v", err)
+	}
+	rt, err := router.New(router.Config{
+		Table:          tbl,
+		DefaultGraph:   *defaultGraph,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		Timeout:        *timeout,
+		Retry:          *retry,
+		RetryBudget:    *retryBudget,
+		RetryBackoff:   *retryBackoff,
+		Trace: trace.Config{
+			SampleN:   *traceSample,
+			RingSize:  *traceRing,
+			SlowQuery: *slowQuery,
+			Logf:      log.Printf,
+		},
+		Logf: func(format string, args ...any) {
+			// Access lines are debug-volume; keep transitions and errors only.
+			if len(format) >= 22 && format[:22] == "router: access endpoin" {
+				return
+			}
+			log.Printf(format, args...)
+		},
+	})
+	if err != nil {
+		log.Fatalf("ssspr: %v", err)
+	}
+	defer rt.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      writeTimeout(*timeout),
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("ssspr: routing %d backends on %s (replicas=%d health-interval=%s retry=%v timeout=%s)",
+		len(tbl.Backends), *addr, tbl.ReplicaCount(""), *healthInterval, *retry, *timeout)
+	if err := serve(ctx, hs, *drain); err != nil {
+		log.Fatalf("ssspr: %v", err)
+	}
+	log.Printf("ssspr: drained, bye")
+}
+
+// serve runs the HTTP server until ctx is cancelled, then shuts it down
+// gracefully, giving in-flight proxied requests up to drain to complete.
+func serve(ctx context.Context, hs *http.Server, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("ssspr: shutdown signal, draining in-flight requests (budget %s)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return <-errc
+}
+
+// writeTimeout bounds response writes: the proxied query deadline plus body
+// streaming headroom (a full=1 distance vector is megabytes).
+func writeTimeout(queryTimeout time.Duration) time.Duration {
+	if queryTimeout <= 0 {
+		return 0
+	}
+	return queryTimeout + 30*time.Second
+}

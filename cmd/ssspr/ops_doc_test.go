@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// OPERATIONS.md §"Running a fleet" is the operator contract for the routing
+// tier. These tests keep it honest mechanically, exactly like ssspd's: every
+// flag this binary declares and every key the live router /metrics document
+// emits must be mentioned there.
+
+func readOperationsMD(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("OPERATIONS.md must exist at the repo root: %v", err)
+	}
+	return string(data)
+}
+
+func TestOperationsDocCoversEveryRouterFlag(t *testing.T) {
+	ops := readOperationsMD(t)
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagDecl := regexp.MustCompile(`flag\.(?:String|Int|Int64|Uint64|Bool|Duration|Float64)\("([^"]+)"`)
+	matches := flagDecl.FindAllStringSubmatch(string(src), -1)
+	if len(matches) < 10 {
+		t.Fatalf("found only %d flag declarations in main.go; the regex has rotted", len(matches))
+	}
+	for _, m := range matches {
+		if !strings.Contains(ops, "`-"+m[1]+"`") {
+			t.Errorf("flag -%s is not documented in OPERATIONS.md", m[1])
+		}
+	}
+}
+
+// fakeSsspd is the minimal backend surface a router needs: /metrics with
+// per-graph states, plus query endpoints.
+func fakeSsspd(t *testing.T) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"endpoints": map[string]any{},
+			"engine":    map[string]any{},
+			"catalog": map[string]any{
+				"graph_states": []map[string]string{{"name": "g", "state": "ready"}},
+			},
+		})
+	})
+	ok := func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"dist": 1})
+	}
+	mux.HandleFunc("GET /dist", ok)
+	mux.HandleFunc("GET /sssp", ok)
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var env struct {
+			Queries []json.RawMessage `json:"queries"`
+		}
+		json.NewDecoder(r.Body).Decode(&env)
+		results := make([]map[string]any, len(env.Queries))
+		for i := range results {
+			results[i] = map[string]any{"reached": 1}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"results": results})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestOperationsDocCoversEveryRouterMetricKey(t *testing.T) {
+	ops := readOperationsMD(t)
+	b1 := fakeSsspd(t)
+	b2 := fakeSsspd(t)
+	rt, err := router.New(router.Config{
+		Table: &router.Table{Version: 1, Replicas: 2, Backends: []router.Backend{
+			{Name: "b1", URL: b1.URL}, {Name: "b2", URL: b2.URL},
+		}},
+		HealthInterval: time.Hour,
+		Retry:          true,
+		Trace:          trace.Config{SampleN: 1, RingSize: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	mux := rt.Mux()
+
+	// Exercise enough of the router that every metrics section materializes:
+	// a routed read (route + backend_wait spans), a retry (retry span), and a
+	// fanned-out batch (fanout_join span).
+	do := func(req *http.Request, want int) {
+		t.Helper()
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != want {
+			t.Fatalf("%s %s: status %d, want %d: %s", req.Method, req.URL, w.Code, want, w.Body)
+		}
+	}
+	do(httptest.NewRequest(http.MethodGet, "/dist?graph=g&src=0&dst=1", nil), 200)
+	do(httptest.NewRequest(http.MethodGet, "/dist?graph=missing&src=0&dst=1", nil), 503)
+	var batch struct {
+		Queries []map[string]int `json:"queries"`
+	}
+	for i := 0; i < 32; i++ {
+		batch.Queries = append(batch.Queries, map[string]int{"source": i})
+	}
+	body, _ := json.Marshal(batch)
+	do(httptest.NewRequest(http.MethodPost, "/batch?graph=g", bytes.NewReader(body)), 200)
+
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != 200 {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	statusClass := regexp.MustCompile(`^\dxx$`)
+	var undocumented []string
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		obj, ok := v.(map[string]any)
+		if !ok {
+			return
+		}
+		for k, child := range obj {
+			if statusClass.MatchString(k) {
+				continue
+			}
+			if !strings.Contains(ops, "`"+k+"`") {
+				undocumented = append(undocumented, prefix+k)
+			}
+			walk(prefix+k+".", child)
+		}
+	}
+	walk("", m)
+	for _, k := range undocumented {
+		t.Errorf("router /metrics key %q is not documented in OPERATIONS.md", k)
+	}
+}

@@ -687,7 +687,9 @@ func (c *Catalog) StatsSnapshot() map[string]any {
 	c.mu.Lock()
 	var ready int
 	var bytes, heapBytes, mappedBytes int64
+	states := make([]obs.GraphState, 0, len(c.entries))
 	for _, e := range c.entries {
+		states = append(states, obs.GraphState{Name: e.name, State: e.state.String()})
 		if e.state == StateReady && e.gen != nil {
 			ready++
 			bytes += e.gen.Bytes
@@ -695,6 +697,8 @@ func (c *Catalog) StatsSnapshot() map[string]any {
 			mappedBytes += e.gen.MappedBytes
 		}
 	}
+	sort.Slice(states, func(i, j int) bool { return states[i].Name < states[j].Name })
+	out["graph_states"] = states
 	out["graphs"] = len(c.entries)
 	out["ready"] = ready
 	out["ready_bytes"] = bytes

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/obs"
 )
@@ -96,6 +97,11 @@ type Report struct {
 	Latency     LatencySummary             `json:"latency"`
 	PerEndpoint map[string]*EndpointReport `json:"per_endpoint"`
 
+	// PerBackend counts responses by the X-Backend header a routing tier
+	// stamps (absent when the run talked to a backend directly). A fanned-out
+	// batch names every shard backend; each is counted once.
+	PerBackend map[string]int `json:"per_backend,omitempty"`
+
 	// Metrics holds the daemon-side counter deltas over the run when the
 	// run scraped /metrics (sheds, cache hits/misses, evictions, solves) —
 	// the attribution half of the report: client-observed 503s should match
@@ -137,6 +143,14 @@ func BuildReport(w *Workload, out *Outcome) *Report {
 			r.PerEndpoint[res.Endpoint] = ep
 		}
 		ep.Requests++
+		if res.Backend != "" {
+			if r.PerBackend == nil {
+				r.PerBackend = make(map[string]int)
+			}
+			for _, b := range strings.Split(res.Backend, ",") {
+				r.PerBackend[b]++
+			}
+		}
 		switch {
 		case res.Err != "" && res.Status == 0:
 			r.StatusCounts["err"]++

@@ -58,6 +58,9 @@ type Result struct {
 	RetryAfter bool
 	// TraceID is the X-Trace-Id echoed by the daemon ("" when untraced).
 	TraceID string
+	// Backend is the X-Backend header a routing tier stamps on responses
+	// ("" when talking to a backend directly).
+	Backend string
 	// Body is the response body when Options.CaptureBodies is set.
 	Body []byte
 }
@@ -228,6 +231,7 @@ func execute(ctx context.Context, client *http.Client, opts Options, start time.
 	res.Latency = time.Since(t0)
 	res.Status = resp.StatusCode
 	res.RetryAfter = resp.Header.Get("Retry-After") != ""
+	res.Backend = resp.Header.Get("X-Backend")
 	if echoed := resp.Header.Get("X-Trace-Id"); echoed != "" {
 		res.TraceID = echoed
 	}

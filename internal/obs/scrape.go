@@ -39,12 +39,34 @@ type EngineCounters struct {
 	BatchItems     int64 `json:"batch_items"`
 }
 
-// CatalogCounters is the catalog-wide counter set.
+// CatalogCounters is the catalog-wide counter set, plus the per-graph
+// lifecycle states a routing tier keys its per-graph health on.
 type CatalogCounters struct {
 	Acquires        int64 `json:"acquires"`
 	AcquireNotReady int64 `json:"acquire_not_ready"`
 	Evictions       int64 `json:"evictions"`
 	Swaps           int64 `json:"swaps"`
+	// GraphStates lists every graph the daemon knows and its lifecycle state
+	// ("ready", "draining", ...). Not a counter — Sub carries the newer
+	// scrape's list through unchanged, since a state has no meaningful delta.
+	GraphStates []GraphState `json:"graph_states,omitempty"`
+}
+
+// GraphState is one graph's lifecycle state as exposed by /metrics.
+type GraphState struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+}
+
+// GraphStateOf returns the scraped state of the named graph ("" when the
+// daemon does not serve it).
+func (m *MetricsSnapshot) GraphStateOf(name string) string {
+	for _, g := range m.Catalog.GraphStates {
+		if g.Name == name {
+			return g.State
+		}
+	}
+	return ""
 }
 
 // ScrapeMetrics fetches and decodes baseURL's GET /metrics into the counter
@@ -96,6 +118,7 @@ func (m *MetricsSnapshot) Sub(prev *MetricsSnapshot) *MetricsSnapshot {
 			AcquireNotReady: m.Catalog.AcquireNotReady - prev.Catalog.AcquireNotReady,
 			Evictions:       m.Catalog.Evictions - prev.Catalog.Evictions,
 			Swaps:           m.Catalog.Swaps - prev.Catalog.Swaps,
+			GraphStates:     m.Catalog.GraphStates,
 		},
 	}
 	for name, cur := range m.Endpoints {

@@ -1,0 +1,23 @@
+// Package router is the ssspr routing tier: it fronts a fleet of ssspd
+// backends and presents the same query surface (/sssp, /dist, /st, /table,
+// /batch) as a single endpoint.
+//
+// Placement is a weighted consistent-hash ring (FNV-1a, virtual nodes) over
+// the backends of a routing table (see Table); each graph is owned by its
+// first R distinct backends clockwise, where R comes from a per-graph policy
+// or the table default. Within a replica set, requests balance by
+// power-of-two-choices on live in-flight counts.
+//
+// Health is scrape-driven: every HealthInterval each backend's /metrics is
+// fetched (obs.ScrapeMetrics) and the per-graph lifecycle states folded in.
+// A backend is eligible for a graph only while its scrape succeeds and that
+// graph reports "ready" — a draining or unloading graph leaves its replica
+// set within one interval without dropping requests already in flight.
+//
+// Reads are idempotent, so a failed attempt (transport error, 500, 502, 503)
+// may be retried once on a different replica under a token budget; 504 never
+// retries. When every contacted replica sheds, the router answers 503 with
+// the maximum Retry-After any replica asked for. Large /batch requests fan
+// out across the replica set and recombine per-item results in the client's
+// original order.
+package router

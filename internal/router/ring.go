@@ -1,0 +1,104 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a weighted consistent-hash ring over the fleet. Each backend owns
+// weight × vnodes points on the 64-bit hash circle; a graph is served by the
+// first R distinct backends clockwise of its own hash. Hashing is pure
+// (finalized FNV-1a) over stable names, so the same table always builds the
+// same ring — replica
+// sets survive router restarts, and removing one of N backends moves only the
+// points that backend owned (~1/N of graphs).
+type Ring struct {
+	points   []ringPoint
+	backends []string // distinct backend names, table order
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // index into backends
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-1a has weak avalanche for short
+// suffix differences: "graph-0000".."graph-0099" land within ~2^47 of each
+// other on a 2^64 circle, so whole blocks of similarly-named graphs collapse
+// onto one arc. The finalizer spreads them uniformly while keeping the hash
+// pure and stable.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// BuildRing constructs the ring a table describes. The table must be valid.
+func BuildRing(t *Table) *Ring {
+	vn := t.vnodes()
+	r := &Ring{backends: make([]string, len(t.Backends))}
+	for i := range t.Backends {
+		b := &t.Backends[i]
+		r.backends[i] = b.Name
+		n := weightOf(b) * vn
+		for v := 0; v < n; v++ {
+			// The point key is name#v, not url#v: replacing a backend's
+			// address must not reshuffle the ring.
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", b.Name, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (rare but possible under fuzzing) break by table order so
+		// the sort — and therefore every assignment — is fully deterministic.
+		return a.idx < b.idx
+	})
+	return r
+}
+
+// ReplicasFor returns the ordered replica set for a graph: the first n
+// distinct backends clockwise of the graph's hash. n is clamped to [1, fleet
+// size]; the result always has at least one entry for a non-empty ring.
+func (r *Ring) ReplicasFor(graph string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(r.backends) {
+		n = len(r.backends)
+	}
+	h := hash64(graph)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.idx] {
+			continue
+		}
+		seen[p.idx] = true
+		out = append(out, r.backends[p.idx])
+	}
+	return out
+}
+
+// Backends returns the distinct backend names the ring was built over, in
+// table order.
+func (r *Ring) Backends() []string {
+	return append([]string(nil), r.backends...)
+}

@@ -1,0 +1,158 @@
+package router
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fleetTable builds a table of n equal-weight backends b0..b(n-1).
+func fleetTable(t testing.TB, n, replicas int) *Table {
+	tbl := &Table{Version: 1, Replicas: replicas}
+	for i := 0; i < n; i++ {
+		tbl.Backends = append(tbl.Backends, Backend{
+			Name: fmt.Sprintf("b%d", i),
+			URL:  fmt.Sprintf("http://127.0.0.1:%d", 9000+i),
+		})
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("fleet table invalid: %v", err)
+	}
+	return tbl
+}
+
+func graphNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("graph-%04d", i)
+	}
+	return out
+}
+
+// Replica sets must be a pure function of the table: a ring rebuilt from the
+// same table (a router restart) assigns every graph identically.
+func TestRingStableAcrossRebuilds(t *testing.T) {
+	tbl := fleetTable(t, 8, 2)
+	a, b := BuildRing(tbl), BuildRing(tbl)
+	for _, g := range graphNames(2000) {
+		ra, rb := a.ReplicasFor(g, 2), b.ReplicasFor(g, 2)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("graph %s: %v vs %v across rebuilds", g, ra, rb)
+		}
+	}
+}
+
+// Removing one of N backends must remap only the graphs that backend owned —
+// about 1/N of them — and must never move a graph between two surviving
+// backends. This is the property that makes the ring worth its complexity
+// over mod-N hashing (which remaps nearly everything).
+func TestRingRemovalRemapsBoundedFraction(t *testing.T) {
+	const n = 8
+	tbl := fleetTable(t, n, 1)
+	before := BuildRing(tbl)
+
+	smaller := &Table{Version: 1, Replicas: 1, Backends: append([]Backend(nil), tbl.Backends[:n-1]...)}
+	after := BuildRing(smaller)
+
+	removed := tbl.Backends[n-1].Name
+	graphs := graphNames(4000)
+	moved := 0
+	for _, g := range graphs {
+		was, is := before.ReplicasFor(g, 1)[0], after.ReplicasFor(g, 1)[0]
+		if was == is {
+			continue
+		}
+		if was != removed {
+			t.Fatalf("graph %s moved %s -> %s, but %s is still in the fleet", g, was, is, was)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(graphs))
+	// Expect ~1/8 = 12.5%; allow generous slack for hash variance but fail
+	// well before mod-N behavior (~87% moved).
+	if frac > 0.25 {
+		t.Fatalf("removal remapped %.1f%% of graphs, want ~%.1f%%", frac*100, 100.0/n)
+	}
+	if moved == 0 {
+		t.Fatal("removal remapped nothing; the removed backend owned no graphs")
+	}
+}
+
+// Equal-weight backends must each own a reasonable share of graphs: no
+// backend starved, none holding a large multiple of its fair share.
+func TestRingBalance(t *testing.T) {
+	const n = 8
+	ring := BuildRing(fleetTable(t, n, 1))
+	counts := make(map[string]int, n)
+	graphs := graphNames(8000)
+	for _, g := range graphs {
+		counts[ring.ReplicasFor(g, 1)[0]]++
+	}
+	fair := len(graphs) / n
+	for name, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("backend %s owns %d graphs, fair share %d", name, c, fair)
+		}
+	}
+	if len(counts) != n {
+		t.Fatalf("only %d of %d backends own any graph", len(counts), n)
+	}
+}
+
+// A backend with weight w must own ~w times the graphs of a weight-1 peer.
+func TestRingWeighting(t *testing.T) {
+	tbl := fleetTable(t, 4, 1)
+	tbl.Backends[0].Weight = 3
+	ring := BuildRing(tbl)
+	counts := make(map[string]int, 4)
+	graphs := graphNames(12000)
+	for _, g := range graphs {
+		counts[ring.ReplicasFor(g, 1)[0]]++
+	}
+	// b0 has weight 3 of total 6: expect half the keyspace.
+	frac := float64(counts["b0"]) / float64(len(graphs))
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("weight-3 backend owns %.1f%% of graphs, want ~50%%", frac*100)
+	}
+}
+
+// Replica sets are distinct backends in deterministic order, clamped to the
+// fleet.
+func TestRingReplicaSets(t *testing.T) {
+	ring := BuildRing(fleetTable(t, 3, 2))
+	for _, g := range graphNames(500) {
+		for _, n := range []int{1, 2, 3, 5, 0} {
+			got := ring.ReplicasFor(g, n)
+			want := n
+			if want < 1 {
+				want = 1
+			}
+			if want > 3 {
+				want = 3
+			}
+			if len(got) != want {
+				t.Fatalf("graph %s n=%d: %d replicas, want %d", g, n, len(got), want)
+			}
+			seen := map[string]bool{}
+			for _, b := range got {
+				if seen[b] {
+					t.Fatalf("graph %s: duplicate replica %s", g, b)
+				}
+				seen[b] = true
+			}
+		}
+		// Growing n extends the set without reshuffling the prefix, so a
+		// replication bump only adds copies, never moves the primary.
+		one, two := ring.ReplicasFor(g, 1), ring.ReplicasFor(g, 2)
+		if two[0] != one[0] {
+			t.Fatalf("graph %s: primary moved %s -> %s when n grew", g, one[0], two[0])
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	var r Ring
+	if got := r.ReplicasFor("g", 2); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+}

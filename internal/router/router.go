@@ -1,0 +1,642 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Table is the fleet description (required, must validate).
+	Table *Table
+	// DefaultGraph answers requests that carry no ?graph= ("" makes the
+	// parameter mandatory and such requests 400).
+	DefaultGraph string
+	// HealthInterval is how often every backend's /metrics is scraped
+	// (default 2s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one backend's scrape (default 1s).
+	HealthTimeout time.Duration
+	// Timeout is the per-request deadline for proxied query endpoints
+	// (0 disables; the backends' own -timeout still applies).
+	Timeout time.Duration
+	// Retry enables the one-retry-on-another-replica policy for idempotent
+	// reads (default off; cmd/ssspr turns it on).
+	Retry bool
+	// RetryBudget is the token-bucket refill rate in retries/second
+	// (default 10). The budget is what keeps a brown-out from doubling the
+	// offered load: when it is spent, failures propagate instead of retrying.
+	RetryBudget float64
+	// RetryBackoff is the pause before the second attempt (default 5ms),
+	// clipped to the request's remaining deadline.
+	RetryBackoff time.Duration
+	// Trace configures the router's own tracer (spans: route, backend_wait,
+	// retry, fanout_join).
+	Trace trace.Config
+	// Client issues proxied backend requests (default: a fresh client with
+	// pooled connections and no client-level timeout — the request context
+	// carries the deadline).
+	Client *http.Client
+	// Logf receives health transitions and access lines (default: drop).
+	Logf func(format string, args ...any)
+}
+
+// Counter names of the router's /metrics "router" group.
+const (
+	cRouted              = "routed"
+	cProxyErrors         = "proxy_errors"
+	cRetries             = "retries"
+	cRetrySuccess        = "retry_success"
+	cRetryBudgetSpent    = "retry_budget_exhausted"
+	cNoReplica           = "no_replica"
+	cAllShedding         = "all_shedding"
+	cFanouts             = "fanouts"
+	cFanoutSubrequests   = "fanout_subrequests"
+	cFanoutItemErrors    = "fanout_item_errors"
+	cHealthProbes        = "health_probes"
+	cHealthProbeFailures = "health_probe_failures"
+	cHealthTransitions   = "health_transitions"
+)
+
+// Router fronts a fleet of ssspd backends: it consistent-hashes ?graph=
+// across the fleet, keeps per-graph replica sets healthy via /metrics
+// scrapes, balances reads with power-of-two-choices, retries idempotent
+// reads once on a different replica under a token budget, and fans /batch
+// out across a graph's replicas with per-item recombination. It is the
+// entire behavior of cmd/ssspr; the command is flags plus this type.
+type Router struct {
+	cfg      Config
+	table    *Table
+	ring     *Ring
+	backends []*backendState
+	byName   map[string]*backendState
+
+	metrics  *obs.Registry
+	counters *obs.Group
+	tracer   *trace.Tracer
+	retryTB  tokenBucket
+
+	client       *http.Client
+	healthClient *http.Client
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a router over cfg.Table, primes health with one synchronous
+// scrape round (bounded by HealthTimeout), and starts the background health
+// loop. Callers must Close it.
+func New(cfg Config) (*Router, error) {
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("router: Config.Table required")
+	}
+	if err := cfg.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = time.Second
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 10
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	rt := &Router{
+		cfg:   cfg,
+		table: cfg.Table,
+		ring:  BuildRing(cfg.Table),
+		metrics: obs.NewRegistry("healthz", "metrics", "fleet", "route", "debug_traces",
+			"sssp", "dist", "st", "table", "batch"),
+		counters: obs.NewGroup(cRouted, cProxyErrors, cRetries, cRetrySuccess, cRetryBudgetSpent,
+			cNoReplica, cAllShedding, cFanouts, cFanoutSubrequests, cFanoutItemErrors,
+			cHealthProbes, cHealthProbeFailures, cHealthTransitions),
+		tracer:       trace.New(cfg.Trace),
+		client:       cfg.Client,
+		healthClient: newHealthClient(),
+		stop:         make(chan struct{}),
+	}
+	rt.retryTB.rate = cfg.RetryBudget
+	rt.retryTB.burst = cfg.RetryBudget
+	if rt.retryTB.burst < 2 {
+		rt.retryTB.burst = 2
+	}
+	rt.retryTB.tokens = rt.retryTB.burst
+	rt.retryTB.last = time.Now()
+	if rt.client == nil {
+		rt.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	rt.byName = make(map[string]*backendState, len(cfg.Table.Backends))
+	for i := range cfg.Table.Backends {
+		tb := &cfg.Table.Backends[i]
+		b := &backendState{
+			name:   tb.Name,
+			url:    strings.TrimRight(tb.URL, "/"),
+			weight: weightOf(tb),
+		}
+		rt.backends = append(rt.backends, b)
+		rt.byName[tb.Name] = b
+	}
+	rt.checkOnce(context.Background())
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health loop. In-flight proxied requests are unaffected.
+func (rt *Router) Close() {
+	close(rt.stop)
+	rt.wg.Wait()
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// Tracer exposes the router's tracer (tests assert retention through it).
+func (rt *Router) Tracer() *trace.Tracer { return rt.tracer }
+
+// Counter returns the named router counter (see the c* snapshot names).
+func (rt *Router) Counter(name string) int64 { return rt.counters.C(name).Value() }
+
+// replicasFor resolves a graph to its ring replica set and the eligible
+// (healthy, graph-ready) subset, preserving ring order.
+func (rt *Router) replicasFor(graph string) (replicas []string, eligible []*backendState) {
+	replicas = rt.ring.ReplicasFor(graph, rt.table.ReplicaCount(graph))
+	for _, name := range replicas {
+		if b := rt.byName[name]; b != nil && b.eligible(graph) {
+			eligible = append(eligible, b)
+		}
+	}
+	return replicas, eligible
+}
+
+// pick chooses among eligible replicas with power-of-two-choices: two
+// distinct random candidates, the one with fewer in-flight proxied requests
+// wins. With one candidate there is no choice; with zero the caller sheds.
+func pick(eligible []*backendState) *backendState {
+	switch len(eligible) {
+	case 0:
+		return nil
+	case 1:
+		return eligible[0]
+	}
+	i := rand.Intn(len(eligible))
+	j := rand.Intn(len(eligible) - 1)
+	if j >= i {
+		j++
+	}
+	a, b := eligible[i], eligible[j]
+	if b.inflight.Load() < a.inflight.Load() {
+		return b
+	}
+	return a
+}
+
+// tokenBucket is the retry budget: take() spends one token if the bucket,
+// refilled at rate tokens/second up to burst, has one.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+func (tb *tokenBucket) take() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// Mux returns the router's HTTP handler: the ssspd query surface proxied by
+// graph, plus the router's own health/metrics/introspection endpoints.
+func (rt *Router) Mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("GET /healthz", rt.instrument("healthz", false, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	}))
+	m.HandleFunc("GET /metrics", rt.instrument("metrics", false, rt.handleMetrics))
+	m.HandleFunc("GET /fleet", rt.instrument("fleet", false, rt.handleFleet))
+	m.HandleFunc("GET /route", rt.instrument("route", false, rt.handleRoute))
+	m.HandleFunc("GET /debug/traces", rt.instrument("debug_traces", false, rt.handleDebugTraces))
+	for _, ep := range []string{"sssp", "dist", "st", "table"} {
+		m.HandleFunc("GET /"+ep, rt.instrument(ep, true, rt.proxyRead(ep)))
+	}
+	m.HandleFunc("POST /batch", rt.instrument("batch", true, rt.handleBatch))
+	return m
+}
+
+// instrument wraps a handler with the router's middleware: request counting,
+// latency histogram, status classing, and — for proxied query endpoints
+// (traced=true) — request tracing and the per-request deadline.
+func (rt *Router) instrument(name string, traced bool, h http.HandlerFunc) http.HandlerFunc {
+	ep := rt.metrics.Endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ep.InFlight.Inc()
+		defer ep.InFlight.Dec()
+		rw := &statusWriter{ResponseWriter: w}
+		var tr *trace.Trace
+		if traced {
+			tr = rt.tracer.StartRequest(r.Header.Get("X-Trace-Id"), name)
+			if tr != nil {
+				rw.Header().Set("X-Trace-Id", tr.ID())
+				r = r.WithContext(trace.NewContext(r.Context(), tr))
+			}
+			if rt.cfg.Timeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		h(rw, r)
+		d := time.Since(start)
+		ep.Requests.Inc()
+		ep.Latency.Observe(d)
+		ep.RecordStatus(rw.Status())
+		switch rw.Status() {
+		case http.StatusServiceUnavailable:
+			ep.Shed.Inc()
+		case http.StatusGatewayTimeout:
+			ep.Timeout.Inc()
+		}
+		rt.tracer.Finish(tr, rw.Status())
+		rt.logf("router: access endpoint=%s status=%d backend=%s dur=%s",
+			name, rw.Status(), rw.Header().Get("X-Backend"), d.Round(time.Microsecond))
+	}
+}
+
+// graphOf resolves the request's target graph (?graph= or the default).
+func (rt *Router) graphOf(r *http.Request) string {
+	if g := r.URL.Query().Get("graph"); g != "" {
+		return g
+	}
+	return rt.cfg.DefaultGraph
+}
+
+// attempt sends one proxied request to a backend and returns the backend's
+// response (body unread). The span (backend_wait for first attempts, retry
+// for second ones) records the backend identity and outcome.
+func (rt *Router) attempt(r *http.Request, b *backendState, spanName string, body []byte) (*http.Response, error) {
+	tr := trace.FromContext(r.Context())
+	sp := tr.StartSpan(spanName)
+	sp.SetAttr("backend", b.name)
+	tr.SetBackend(b.name)
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.Path+"?"+r.URL.RawQuery, rd)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if id := tr.ID(); id != "" {
+		req.Header.Set("X-Trace-Id", id)
+	} else if id := r.Header.Get("X-Trace-Id"); id != "" {
+		req.Header.Set("X-Trace-Id", id)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.counters.C(cProxyErrors).Inc()
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttr("status", resp.StatusCode)
+	sp.End()
+	return resp, nil
+}
+
+// retryable reports whether an attempt's outcome may be retried on a
+// different replica: transport failures and backend-side unavailability.
+// 504 is excluded — the deadline is already spent, a second attempt would
+// just spend it again.
+func retryable(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	switch resp.StatusCode {
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// retryAfterOf extracts a backend 503's Retry-After in seconds (1 when
+// absent or unparseable, so the router never propagates a blank header).
+func retryAfterOf(resp *http.Response) int {
+	if resp == nil {
+		return 1
+	}
+	if n, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && n >= 1 {
+		return n
+	}
+	return 1
+}
+
+// proxyRead builds the handler for one idempotent GET query endpoint: route
+// by graph, pick a replica (power-of-two-choices), proxy, and retry once on
+// a different replica when the attempt fails and the budget allows.
+func (rt *Router) proxyRead(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		graph := rt.graphOf(r)
+		if graph == "" {
+			httpError(w, http.StatusBadRequest, "parameter \"graph\" required (the router has no default graph)")
+			return
+		}
+		eligible, ok := rt.routeSpan(r, graph)
+		if !ok {
+			rt.shedNoReplica(w, graph)
+			return
+		}
+		first := pick(eligible)
+		resp, err := rt.attempt(r, first, "backend_wait", nil)
+		maxRA := 0
+		if err == nil && resp.StatusCode == http.StatusServiceUnavailable {
+			maxRA = retryAfterOf(resp)
+		}
+		if retryable(resp, err) && r.Context().Err() == nil {
+			if second := rt.retryTarget(eligible, first); second != nil {
+				if resp != nil {
+					drain(resp)
+				}
+				retryResp, retryErr := rt.retryOn(r, second)
+				if retryErr == nil {
+					if retryResp.StatusCode < 500 {
+						rt.counters.C(cRetrySuccess).Inc()
+					}
+					if retryResp.StatusCode == http.StatusServiceUnavailable {
+						if ra := retryAfterOf(retryResp); ra > maxRA {
+							maxRA = ra
+						}
+						// Every replica we reached is shedding: the graph is
+						// overloaded tier-wide, tell the client the longest
+						// back-off any replica asked for.
+						rt.counters.C(cAllShedding).Inc()
+					}
+					rt.writeProxied(w, retryResp, second.name, maxRA)
+					return
+				}
+				resp, err = nil, retryErr
+			}
+		}
+		if err != nil {
+			httpError(w, http.StatusBadGateway, fmt.Sprintf("backend %s: %v", first.name, err))
+			return
+		}
+		rt.writeProxied(w, resp, first.name, maxRA)
+	}
+}
+
+// routeSpan resolves the replica set under a "route" span. ok is false when
+// no replica is eligible.
+func (rt *Router) routeSpan(r *http.Request, graph string) ([]*backendState, bool) {
+	tr := trace.FromContext(r.Context())
+	sp := tr.StartSpan("route")
+	replicas, eligible := rt.replicasFor(graph)
+	tr.SetGraph(graph)
+	sp.SetAttr("graph", graph)
+	sp.SetAttr("replicas", len(replicas))
+	sp.SetAttr("eligible", len(eligible))
+	sp.End()
+	return eligible, len(eligible) > 0
+}
+
+// retryTarget picks the second-attempt replica: the best of the eligible set
+// excluding the first attempt, if the retry policy and budget allow.
+func (rt *Router) retryTarget(eligible []*backendState, first *backendState) *backendState {
+	if !rt.cfg.Retry || len(eligible) < 2 {
+		return nil
+	}
+	if !rt.retryTB.take() {
+		rt.counters.C(cRetryBudgetSpent).Inc()
+		return nil
+	}
+	rest := make([]*backendState, 0, len(eligible)-1)
+	for _, b := range eligible {
+		if b != first {
+			rest = append(rest, b)
+		}
+	}
+	return pick(rest)
+}
+
+// retryOn waits the backoff (clipped to the deadline) and re-attempts on b.
+func (rt *Router) retryOn(r *http.Request, b *backendState) (*http.Response, error) {
+	rt.counters.C(cRetries).Inc()
+	backoff := rt.cfg.RetryBackoff
+	if dl, ok := r.Context().Deadline(); ok {
+		if rem := time.Until(dl) / 2; rem < backoff {
+			backoff = rem
+		}
+	}
+	if backoff > 0 {
+		select {
+		case <-time.After(backoff):
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	}
+	return rt.attempt(r, b, "retry", nil)
+}
+
+// shedNoReplica answers a request whose graph has no eligible replica: 503
+// with a Retry-After covering one health interval, since that is how long a
+// recovering backend takes to come back into the ring.
+func (rt *Router) shedNoReplica(w http.ResponseWriter, graph string) {
+	rt.counters.C(cNoReplica).Inc()
+	ra := int(rt.cfg.HealthInterval.Seconds() + 1)
+	w.Header().Set("Retry-After", strconv.Itoa(ra))
+	httpError(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("no healthy replica for graph %q", graph))
+}
+
+// writeProxied copies a backend response to the client: status, content
+// type, backend identity, and — for 503s — a Retry-After that is the maximum
+// any contacted replica asked for (never blank).
+func (rt *Router) writeProxied(w http.ResponseWriter, resp *http.Response, backend string, maxRA int) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if ra := retryAfterOf(resp); ra > maxRA {
+			maxRA = ra
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(maxRA))
+	} else if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Backend", backend)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	rt.counters.C(cRouted).Inc()
+}
+
+// drain discards a response we are abandoning so its connection can be
+// reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	resp.Body.Close()
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	healthy := 0
+	views := make([]BackendHealth, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		v := b.snapshot()
+		if v.Healthy {
+			healthy++
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, map[string]any{
+		"uptime_seconds": rt.metrics.UptimeSeconds(),
+		"fleet": map[string]any{
+			"backends":         len(rt.backends),
+			"healthy":          healthy,
+			"vnodes":           rt.table.vnodes(),
+			"replicas_default": rt.table.ReplicaCount(""),
+		},
+		"endpoints": rt.metrics.Snapshot(),
+		"router":    rt.counters.Snapshot(),
+		"backends":  views,
+		"tracing":   rt.tracer.StatsSnapshot(),
+		"runtime":   obs.ReadRuntimeStats(),
+	})
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	views := make([]BackendHealth, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		views = append(views, b.snapshot())
+	}
+	writeJSON(w, map[string]any{
+		"backends":         views,
+		"vnodes":           rt.table.vnodes(),
+		"replicas_default": rt.table.ReplicaCount(""),
+		"default_graph":    rt.cfg.DefaultGraph,
+	})
+}
+
+// handleRoute answers ?graph= with the ring's replica set and the currently
+// eligible subset — the observable a failover test (or an operator) watches
+// to see a drain propagate through the health scrape.
+func (rt *Router) handleRoute(w http.ResponseWriter, r *http.Request) {
+	graph := rt.graphOf(r)
+	if graph == "" {
+		httpError(w, http.StatusBadRequest, "parameter \"graph\" required")
+		return
+	}
+	replicas, eligible := rt.replicasFor(graph)
+	names := make([]string, len(eligible))
+	for i, b := range eligible {
+		names[i] = b.name
+	}
+	writeJSON(w, map[string]any{
+		"graph":    graph,
+		"replicas": replicas,
+		"eligible": names,
+	})
+}
+
+// handleDebugTraces mirrors ssspd's /debug/traces for the router's own
+// spans, with an extra ?backend= filter on the backend the request was
+// routed to.
+func (rt *Router) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := trace.Filter{Graph: q.Get("graph"), Backend: q.Get("backend"), Limit: 50}
+	if raw := q.Get("min_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, "min_ms must be a non-negative number of milliseconds")
+			return
+		}
+		f.MinDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		f.Limit = n
+	}
+	writeJSON(w, map[string]any{
+		"enabled": rt.tracer.Enabled(),
+		"held":    rt.tracer.Retained(),
+		"traces":  rt.tracer.Traces(f),
+	})
+}
+
+// statusWriter captures the status code of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,204 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+)
+
+// Limits on what a routing table may declare. They bound what a hostile or
+// corrupted table file can make the router allocate, and double as sanity
+// rails for hand-written tables.
+const (
+	// MaxBackends caps the fleet size one table may name.
+	MaxBackends = 128
+	// MaxWeight caps one backend's ring weight.
+	MaxWeight = 64
+	// MaxVNodes caps virtual nodes per unit of weight.
+	MaxVNodes = 512
+	// MaxGraphPolicies caps per-graph replication overrides.
+	MaxGraphPolicies = 4096
+	// DefaultVNodes is the virtual-node count per unit weight when the table
+	// does not set one. 64 points per backend keeps the remap fraction on
+	// membership change close to the ideal 1/N without a large sort.
+	DefaultVNodes = 64
+	// maxNameLen caps backend and graph name lengths.
+	maxNameLen = 128
+	// maxTableBytes caps one table file.
+	maxTableBytes = 1 << 20
+)
+
+// Backend is one ssspd instance of the fleet.
+type Backend struct {
+	// Name identifies the backend in metrics, traces, and the X-Backend
+	// response header. Names must be unique within a table.
+	Name string `json:"name"`
+	// URL is the backend's base URL, e.g. "http://10.0.0.7:8080".
+	URL string `json:"url"`
+	// Weight scales the backend's share of the ring (default 1): a weight-2
+	// backend owns roughly twice the graphs of a weight-1 one.
+	Weight int `json:"weight,omitempty"`
+}
+
+// GraphPolicy is a per-graph routing override.
+type GraphPolicy struct {
+	// Replicas is how many backends serve this graph (clamped to the fleet
+	// size at assignment time). Hot graphs set this above the table default
+	// for read throughput.
+	Replicas int `json:"replicas"`
+}
+
+// Table is the router's configuration: the fleet, the ring geometry, and
+// per-graph replication. The on-disk form is strict JSON (unknown fields are
+// errors, so a typo'd knob fails loudly instead of silently defaulting).
+type Table struct {
+	// Version is the format version; currently always 1.
+	Version int `json:"v"`
+	// VNodes is the virtual-node count per unit of backend weight
+	// (default DefaultVNodes).
+	VNodes int `json:"vnodes,omitempty"`
+	// Replicas is the default per-graph replication factor (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// Backends is the fleet (required, at least one entry).
+	Backends []Backend `json:"backends"`
+	// Graphs holds per-graph overrides, keyed by graph name.
+	Graphs map[string]GraphPolicy `json:"graphs,omitempty"`
+}
+
+// nameOK admits the names that can travel in a URL query string, a JSON
+// metrics key, and an X-Backend header without escaping surprises — the same
+// charset internal/loadgen admits for graph names.
+func nameOK(s string) bool {
+	if len(s) == 0 || len(s) > maxNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the table against the format's limits. A valid table is
+// one BuildRing accepts; every reader path validates before returning.
+func (t *Table) Validate() error {
+	if t.Version != 1 {
+		return fmt.Errorf("router: unsupported table version %d", t.Version)
+	}
+	if t.VNodes < 0 || t.VNodes > MaxVNodes {
+		return fmt.Errorf("router: vnodes %d out of range [0,%d]", t.VNodes, MaxVNodes)
+	}
+	if len(t.Backends) == 0 {
+		return fmt.Errorf("router: table names no backends")
+	}
+	if len(t.Backends) > MaxBackends {
+		return fmt.Errorf("router: %d backends exceeds the %d maximum", len(t.Backends), MaxBackends)
+	}
+	if t.Replicas < 0 || t.Replicas > MaxBackends {
+		return fmt.Errorf("router: replicas %d out of range [0,%d]", t.Replicas, MaxBackends)
+	}
+	seen := make(map[string]bool, len(t.Backends))
+	for i, b := range t.Backends {
+		if !nameOK(b.Name) {
+			return fmt.Errorf("router: backend %d has bad name %q", i, b.Name)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("router: duplicate backend name %q", b.Name)
+		}
+		seen[b.Name] = true
+		u, err := url.Parse(b.URL)
+		if err != nil {
+			return fmt.Errorf("router: backend %q url: %v", b.Name, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("router: backend %q url %q must be http(s)://host[:port]", b.Name, b.URL)
+		}
+		if b.Weight < 0 || b.Weight > MaxWeight {
+			return fmt.Errorf("router: backend %q weight %d out of range [0,%d]", b.Name, b.Weight, MaxWeight)
+		}
+	}
+	if len(t.Graphs) > MaxGraphPolicies {
+		return fmt.Errorf("router: %d graph policies exceeds the %d maximum", len(t.Graphs), MaxGraphPolicies)
+	}
+	for g, p := range t.Graphs {
+		if !nameOK(g) {
+			return fmt.Errorf("router: bad graph name %q in policy map", g)
+		}
+		if p.Replicas < 1 || p.Replicas > MaxBackends {
+			return fmt.Errorf("router: graph %q replicas %d out of range [1,%d]", g, p.Replicas, MaxBackends)
+		}
+	}
+	return nil
+}
+
+// ReplicaCount returns how many backends should serve graph: the per-graph
+// policy if present, else the table default, clamped to [1, fleet size].
+func (t *Table) ReplicaCount(graph string) int {
+	r := t.Replicas
+	if p, ok := t.Graphs[graph]; ok {
+		r = p.Replicas
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > len(t.Backends) {
+		r = len(t.Backends)
+	}
+	return r
+}
+
+// weightOf returns a backend's effective ring weight (a zero weight means
+// the default of 1, so a hand-written table can omit the field).
+func weightOf(b *Backend) int {
+	if b.Weight < 1 {
+		return 1
+	}
+	return b.Weight
+}
+
+// vnodes returns the table's effective virtual-node count.
+func (t *Table) vnodes() int {
+	if t.VNodes < 1 {
+		return DefaultVNodes
+	}
+	return t.VNodes
+}
+
+// ParseTable strictly decodes and validates a routing table: unknown fields
+// and trailing bytes are errors.
+func ParseTable(data []byte) (*Table, error) {
+	if len(data) > maxTableBytes {
+		return nil, fmt.Errorf("router: table exceeds %d bytes", maxTableBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t Table
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("router: bad table: %w", err)
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("router: trailing data after table JSON")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// ReadTableFile reads and validates a routing table from path.
+func ReadTableFile(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTable(data)
+}

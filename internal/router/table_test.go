@@ -1,0 +1,175 @@
+package router
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func validTableJSON() string {
+	return `{"v": 1, "replicas": 2,
+	 "backends": [{"name": "b1", "url": "http://127.0.0.1:1", "weight": 2},
+	              {"name": "b2", "url": "http://127.0.0.1:2"},
+	              {"name": "b3", "url": "https://host.example:8080"}],
+	 "graphs": {"hot": {"replicas": 3}, "cold": {"replicas": 1}}}`
+}
+
+func TestParseTable(t *testing.T) {
+	tbl, err := ParseTable([]byte(validTableJSON()))
+	if err != nil {
+		t.Fatalf("ParseTable: %v", err)
+	}
+	if len(tbl.Backends) != 3 {
+		t.Fatalf("got %d backends, want 3", len(tbl.Backends))
+	}
+	if got := tbl.ReplicaCount("hot"); got != 3 {
+		t.Errorf("ReplicaCount(hot) = %d, want 3 (per-graph policy)", got)
+	}
+	if got := tbl.ReplicaCount("cold"); got != 1 {
+		t.Errorf("ReplicaCount(cold) = %d, want 1", got)
+	}
+	if got := tbl.ReplicaCount("other"); got != 2 {
+		t.Errorf("ReplicaCount(other) = %d, want table default 2", got)
+	}
+}
+
+func TestParseTableRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":            ``,
+		"not json":         `nope`,
+		"trailing data":    validTableJSON() + `{"v":1}`,
+		"unknown field":    `{"v": 1, "zorp": 2, "backends": [{"name": "a", "url": "http://h:1"}]}`,
+		"wrong version":    `{"v": 2, "backends": [{"name": "a", "url": "http://h:1"}]}`,
+		"no backends":      `{"v": 1, "backends": []}`,
+		"dup name":         `{"v": 1, "backends": [{"name": "a", "url": "http://h:1"}, {"name": "a", "url": "http://h:2"}]}`,
+		"bad name":         `{"v": 1, "backends": [{"name": "a b", "url": "http://h:1"}]}`,
+		"bad scheme":       `{"v": 1, "backends": [{"name": "a", "url": "ftp://h:1"}]}`,
+		"no host":          `{"v": 1, "backends": [{"name": "a", "url": "http://"}]}`,
+		"negative weight":  `{"v": 1, "backends": [{"name": "a", "url": "http://h:1", "weight": -1}]}`,
+		"huge weight":      `{"v": 1, "backends": [{"name": "a", "url": "http://h:1", "weight": 1000}]}`,
+		"zero replicas":    `{"v": 1, "backends": [{"name": "a", "url": "http://h:1"}], "graphs": {"g": {"replicas": 0}}}`,
+		"bad graph name":   `{"v": 1, "backends": [{"name": "a", "url": "http://h:1"}], "graphs": {"g g": {"replicas": 1}}}`,
+		"vnodes too large": `{"v": 1, "vnodes": 100000, "backends": [{"name": "a", "url": "http://h:1"}]}`,
+	}
+	for name, body := range cases {
+		if _, err := ParseTable([]byte(body)); err == nil {
+			t.Errorf("%s: accepted invalid table", name)
+		}
+	}
+}
+
+func TestReplicaCountClampsToFleet(t *testing.T) {
+	tbl, err := ParseTable([]byte(`{"v": 1, "replicas": 64,
+	  "backends": [{"name": "a", "url": "http://h:1"}, {"name": "b", "url": "http://h:2"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.ReplicaCount("g"); got != 2 {
+		t.Fatalf("ReplicaCount = %d, want clamp to fleet size 2", got)
+	}
+}
+
+func TestReadTableFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(validTableJSON()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTableFile(path); err != nil {
+		t.Fatalf("ReadTableFile: %v", err)
+	}
+	if _, err := ReadTableFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("ReadTableFile accepted a missing file")
+	}
+}
+
+// FuzzRoutingTable feeds arbitrary bytes through the routing-table parser.
+// Invariants: never panic, never accept a table that fails Validate, and any
+// accepted table must yield a total, stable ring assignment — every graph
+// name maps to between 1 and fleet-size distinct known backends, and an
+// independently rebuilt ring maps it identically.
+func FuzzRoutingTable(f *testing.F) {
+	for _, seed := range tableFuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := ParseTable(data)
+		if err != nil {
+			return
+		}
+		if err := tbl.Validate(); err != nil {
+			t.Fatalf("accepted table fails validation: %v", err)
+		}
+		known := make(map[string]bool, len(tbl.Backends))
+		for _, b := range tbl.Backends {
+			known[b.Name] = true
+		}
+		ring := BuildRing(tbl)
+		again := BuildRing(tbl)
+		for _, graph := range []string{"", "a", "wl-a", "some/graph", string(data[:min(len(data), 32)])} {
+			n := tbl.ReplicaCount(graph)
+			got := ring.ReplicasFor(graph, n)
+			if len(got) != n {
+				t.Fatalf("graph %q: %d replicas, ReplicaCount says %d", graph, len(got), n)
+			}
+			seen := make(map[string]bool, len(got))
+			for _, name := range got {
+				if !known[name] {
+					t.Fatalf("graph %q routed to unknown backend %q", graph, name)
+				}
+				if seen[name] {
+					t.Fatalf("graph %q replica set repeats %q", graph, name)
+				}
+				seen[name] = true
+			}
+			got2 := again.ReplicasFor(graph, n)
+			if strings.Join(got, ",") != strings.Join(got2, ",") {
+				t.Fatalf("graph %q: assignment unstable across ring rebuilds: %v vs %v", graph, got, got2)
+			}
+		}
+	})
+}
+
+// tableFuzzSeeds is the structured corpus: valid tables across the feature
+// space plus near-valid mutations. The committed corpus under
+// testdata/fuzz/FuzzRoutingTable is generated from this list (see
+// TestSeedFuzzCorpus), so plain `go test` replays it even without -fuzz.
+func tableFuzzSeeds() [][]byte {
+	return [][]byte{
+		[]byte(validTableJSON()),
+		[]byte(`{"v": 1, "backends": [{"name": "solo", "url": "http://127.0.0.1:8080"}]}`),
+		[]byte(`{"v": 1, "vnodes": 8, "replicas": 1, "backends": [
+		  {"name": "a", "url": "http://h:1", "weight": 1},
+		  {"name": "b", "url": "http://h:2", "weight": 64}]}`),
+		[]byte(`{"v": 1, "backends": [{"name": "a", "url": "http://h:1"}], "graphs": {"g": {"replicas": 5}}}`),
+		[]byte(`{"v": 2, "backends": [{"name": "a", "url": "http://h:1"}]}`),
+		[]byte(`{"v": 1, "backends": []}`),
+		[]byte(`{`),
+		[]byte(``),
+	}
+}
+
+// TestSeedFuzzCorpus regenerates the committed seed corpus. Run with
+// ROUTER_WRITE_CORPUS=1 after a format change; otherwise it only checks the
+// corpus directory exists.
+func TestSeedFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzRoutingTable")
+	if os.Getenv("ROUTER_WRITE_CORPUS") == "" {
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("seed corpus missing (regenerate with ROUTER_WRITE_CORPUS=1): %v", err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range tableFuzzSeeds() {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		name := fmt.Sprintf("seed-%02d", i)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

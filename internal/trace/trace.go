@@ -28,6 +28,7 @@ type Trace struct {
 	dropped  int64
 	graph    string
 	solver   string
+	backend  string
 	status   int
 	durUS    int64
 	finished bool
@@ -99,6 +100,20 @@ func (t *Trace) SetSolver(name string) {
 	t.mu.Lock()
 	if !t.finished {
 		t.solver = name
+	}
+	t.mu.Unlock()
+}
+
+// SetBackend records the backend a routing tier sent this request to, for
+// /debug/traces?backend= filtering. A retried request keeps the last
+// (answering) backend; per-attempt backends live on the attempt spans.
+func (t *Trace) SetBackend(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.finished {
+		t.backend = name
 	}
 	t.mu.Unlock()
 }
@@ -183,6 +198,7 @@ type TraceJSON struct {
 	Endpoint     string    `json:"endpoint"`
 	Graph        string    `json:"graph,omitempty"`
 	Solver       string    `json:"solver,omitempty"`
+	Backend      string    `json:"backend,omitempty"`
 	Status       int       `json:"status"`
 	Start        time.Time `json:"start"`
 	DurMS        float64   `json:"dur_ms"`
@@ -214,6 +230,7 @@ func (t *Trace) Export() *TraceJSON {
 		Endpoint:     t.endpoint,
 		Graph:        t.graph,
 		Solver:       t.solver,
+		Backend:      t.backend,
 		Status:       t.status,
 		Start:        t.start,
 		DurMS:        float64(t.durUS) / 1e3,

@@ -205,6 +205,8 @@ type Filter struct {
 	Graph string
 	// Solver keeps traces whose (last) solver matches.
 	Solver string
+	// Backend keeps traces a routing tier sent to this backend.
+	Backend string
 	// Limit caps the result count (0 = all retained traces).
 	Limit int
 }
@@ -226,6 +228,9 @@ func (t *Tracer) Traces(f Filter) []*TraceJSON {
 			continue
 		}
 		if f.Solver != "" && tr.solver != f.Solver {
+			continue
+		}
+		if f.Backend != "" && tr.backend != f.Backend {
 			continue
 		}
 		out = append(out, tr.Export())
