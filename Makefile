@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine bench-catalog bench-trace bench-serve bench-serve-smoke bench-router check docs-check stress fuzz experiments examples clean
+.PHONY: all build vet test race bench bench-engine bench-catalog bench-trace bench-serve bench-serve-smoke bench-router bench-mutate check docs-check stress fuzz experiments examples clean
 
 all: build vet test
 
@@ -21,8 +21,8 @@ race:
 	$(GO) test -race ./internal/core ./internal/cc ./internal/deltastep \
 		./internal/par ./internal/bfs ./internal/mta ./internal/digraph \
 		./internal/obs ./internal/engine ./internal/catalog ./internal/snapshot \
-		./internal/trace ./internal/loadgen ./internal/router ./cmd/ssspd \
-		./cmd/ssspr .
+		./internal/trace ./internal/loadgen ./internal/router ./internal/mutate \
+		./cmd/ssspd ./cmd/ssspr .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -49,7 +49,8 @@ bench-trace:
 		$(GO) test -run TestWriteTraceBenchJSON -count=1 -v ./cmd/ssspd
 
 # Service-level benchmarks: the committed workload specs in
-# testdata/workloads (Zipf single-query, batch-heavy, cache-hostile) run at
+# testdata/workloads (Zipf single-query, batch-heavy, cache-hostile,
+# mixed-mutate) run at
 # full size against a hermetic ssspd via the open/closed-loop load generator
 # (cmd/loadgen), written to BENCH_serve.json. FAILS if any workload violates
 # its committed SLO (p99 latency, error rate, achieved-rate fraction) — this
@@ -67,6 +68,15 @@ bench-router:
 	BENCH_ROUTER_OUT=$(CURDIR)/BENCH_router.json \
 		$(GO) test -run TestWriteRouterBenchJSON -count=1 -v -timeout 20m ./cmd/ssspd
 
+# Mutation benchmark: a small additive delta's incremental hierarchy repair
+# vs a from-scratch rebuild on the same mutated graph, plus the end-to-end
+# generation step and a delete-bearing (general-repair) delta, written to
+# BENCH_mutate.json. FAILS if the additive repair is not >= 10x faster than
+# the rebuild.
+bench-mutate:
+	BENCH_MUTATE_OUT=$(CURDIR)/BENCH_mutate.json \
+		$(GO) test -run TestWriteMutateBenchJSON -count=1 -v ./internal/mutate
+
 # Shrunk always-on slice of bench-serve: every committed workload spec
 # parses, matches the bench catalog, and passes its SLO at smoke size.
 bench-serve-smoke:
@@ -82,8 +92,8 @@ check:
 	$(MAKE) docs-check
 	$(GO) test -race ./internal/core/... ./internal/engine/... \
 		./internal/catalog/... ./internal/snapshot/... ./internal/trace/... \
-		./internal/loadgen/... ./internal/router/... ./cmd/ssspd/... \
-		./cmd/ssspr/...
+		./internal/loadgen/... ./internal/router/... ./internal/mutate/... \
+		./cmd/ssspd/... ./cmd/ssspr/...
 	$(MAKE) bench-serve-smoke
 	$(MAKE) stress
 
@@ -109,6 +119,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadSources -fuzztime 10s ./internal/dimacs
 	$(GO) test -fuzz FuzzSnapshotRead -fuzztime 10s ./internal/snapshot
 	$(GO) test -fuzz FuzzWorkloadSpec -fuzztime 10s ./internal/loadgen
+	$(GO) test -fuzz FuzzMutateRequest -fuzztime 10s ./internal/mutate
 	$(GO) test -fuzz FuzzRoutingTable -fuzztime 10s ./internal/router
 	$(GO) test -fuzz FuzzThorupVsDijkstra -fuzztime 10s ./internal/core
 	$(GO) test -fuzz FuzzDeltaStepVsDijkstra -fuzztime 10s ./internal/core

@@ -24,6 +24,7 @@
 //	POST /graphs/load              admin: load a graph (snapshot, file, or generator)
 //	POST /graphs/reload            admin: rebuild a graph and hot-swap it in
 //	POST /graphs/unload            admin: drain a graph out of service
+//	POST /graphs/{name}/mutate     admin: apply a batch of edge mutations as a new generation
 //	GET  /stats                    instance, hierarchy, cache, and catalog statistics
 //	GET  /metrics                  per-endpoint + engine + catalog + tracing + runtime metrics
 //	GET  /debug/traces             retained request traces (span trees), filterable
@@ -78,6 +79,7 @@ import (
 	"repro/internal/dijkstra"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/trace"
@@ -106,6 +108,7 @@ func main() {
 		traceRing    = flag.Int("trace-ring", 256, "retained-trace ring buffer capacity for /debug/traces")
 		slowQuery    = flag.Duration("slow-query", 0, "log and always retain query traces at least this slow (0 disables the slow-query log)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty disables profiling)")
+		mutateThresh = flag.Float64("mutate-threshold", 0, "max fraction of vertices a mutation batch may touch and still repair the hierarchy incrementally; larger deltas rebuild in the background (0 = default 0.05, negative = always rebuild)")
 	)
 	flag.Parse()
 
@@ -149,6 +152,7 @@ func main() {
 		buildWorkers: *buildWorkers,
 		mmap:         *useMmap,
 		mapping:      mapping,
+		mutateThresh: *mutateThresh,
 		trace:        trace.Config{SampleN: *traceSample, RingSize: *traceRing, SlowQuery: *slowQuery},
 	})
 	defer srv.cat.Close()
@@ -227,7 +231,10 @@ type serverOptions struct {
 	// its catalog generation).
 	mmap    bool
 	mapping *snapshot.Mapping
-	trace   trace.Config
+	// mutateThresh is the incremental-repair threshold for POST
+	// /graphs/{name}/mutate (see catalog.Config.MutateThreshold).
+	mutateThresh float64
+	trace        trace.Config
 }
 
 // servePprof serves net/http/pprof on its own listener, explicitly routed so
@@ -270,12 +277,13 @@ func newServer(g *graph.Graph, h *ch.Hierarchy, name string, src catalog.Source,
 		opts.engine.BatchWorkers = opts.workers
 	}
 	cat := catalog.New(catalog.Config{
-		Workers:      opts.buildWorkers,
-		MemoryBudget: opts.memBudget,
-		QueryWorkers: opts.workers,
-		Engine:       opts.engine,
-		MMap:         opts.mmap,
-		Logf:         log.Printf,
+		Workers:         opts.buildWorkers,
+		MemoryBudget:    opts.memBudget,
+		QueryWorkers:    opts.workers,
+		Engine:          opts.engine,
+		MMap:            opts.mmap,
+		MutateThreshold: opts.mutateThresh,
+		Logf:            log.Printf,
 	})
 	if src.Loader == nil && src.Snapshot == "" && src.Spec == (cli.Spec{}) {
 		// No reloadable source (tests, programmatic construction): reloads
@@ -294,7 +302,7 @@ func newServer(g *graph.Graph, h *ch.Hierarchy, name string, src catalog.Source,
 		defaultGraph: name,
 		ecfg:         opts.engine,
 		metrics: obs.NewRegistry("healthz", "stats", "metrics", "sssp", "dist", "st", "table", "batch",
-			"graphs", "graphs_load", "graphs_reload", "graphs_unload", "debug_traces"),
+			"graphs", "graphs_load", "graphs_reload", "graphs_unload", "graphs_mutate", "debug_traces"),
 		tracer:  trace.New(tcfg),
 		sem:     make(chan struct{}, opts.maxInflight),
 		timeout: opts.timeout,
@@ -317,6 +325,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("POST /graphs/load", s.instrument("graphs_load", false, s.handleGraphLoad))
 	m.HandleFunc("POST /graphs/reload", s.instrument("graphs_reload", false, s.handleGraphReload))
 	m.HandleFunc("POST /graphs/unload", s.instrument("graphs_unload", false, s.handleGraphUnload))
+	m.HandleFunc("POST /graphs/{name}/mutate", s.instrument("graphs_mutate", false, s.handleGraphMutate))
 	m.HandleFunc("GET /debug/traces", s.instrument("debug_traces", false, s.handleDebugTraces))
 	return m
 }
@@ -685,12 +694,13 @@ func (s *server) handleGraphReload(w http.ResponseWriter, r *http.Request) {
 	if !decodeAdminBody(w, r, &req) {
 		return
 	}
-	if err := s.cat.Reload(req.Name); err != nil {
+	gen, err := s.cat.Reload(req.Name)
+	if err != nil {
 		adminError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, map[string]string{"status": "reloading", "name": req.Name})
+	writeJSON(w, map[string]any{"status": "reloading", "name": req.Name, "gen": gen})
 }
 
 func (s *server) handleGraphUnload(w http.ResponseWriter, r *http.Request) {
@@ -703,6 +713,43 @@ func (s *server) handleGraphUnload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]string{"status": "unloading", "name": req.Name})
+}
+
+// handleGraphMutate applies a JSON batch of edge mutations (set_weight,
+// insert, delete) to the named graph. Small deltas repair the hierarchy
+// incrementally and answer 200 with the new generation already serving;
+// deltas over the threshold answer 202 and rebuild in the background. A
+// malformed or invalid batch is 400, an unknown graph 404, and a graph
+// mid-build (or otherwise not ready) 409 — nothing is applied in that case,
+// so the client can simply retry after the build completes.
+func (s *server) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	b, err := mutate.ParseRequest(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad mutation batch: "+err.Error())
+		return
+	}
+	res, err := s.cat.Mutate(name, b)
+	if err != nil {
+		if errors.Is(err, mutate.ErrInvalid) {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		adminError(w, err)
+		return
+	}
+	if res.Fallback {
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, map[string]any{
+			"status": "rebuilding", "name": name, "gen": res.Gen,
+			"fallback": true, "touched": res.Touched,
+		})
+		return
+	}
+	writeJSON(w, map[string]any{
+		"status": "mutated", "name": name, "gen": res.Gen,
+		"touched": res.Touched, "aliased": res.Aliased,
+	})
 }
 
 // summary is the common response shape of one answered query.

@@ -532,7 +532,7 @@ func TestMultiGraphServing(t *testing.T) {
 	}
 
 	// Reload hot-swaps in a new generation.
-	if code := postJSON(t, ts.URL+"/graphs/reload", `{"name":"g2"}`, &map[string]string{}); code != http.StatusAccepted {
+	if code := postJSON(t, ts.URL+"/graphs/reload", `{"name":"g2"}`, &map[string]any{}); code != http.StatusAccepted {
 		t.Fatalf("reload: code %d, want 202", code)
 	}
 	if err := srv.cat.WaitReady("g2", 30*time.Second); err != nil {

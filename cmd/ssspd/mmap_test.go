@@ -92,7 +92,7 @@ func TestServeFromMmapSnapshot(t *testing.T) {
 	// Hot-swap: the reload re-maps the same file (warm verification path).
 	// The old mapping must stay readable until the swap completes — queries
 	// keep running meanwhile.
-	if code := postJSON(t, ts.URL+"/graphs/reload", `{"name":"mapped"}`, &map[string]string{}); code != http.StatusAccepted {
+	if code := postJSON(t, ts.URL+"/graphs/reload", `{"name":"mapped"}`, &map[string]any{}); code != http.StatusAccepted {
 		t.Fatalf("reload: code %d, want 202", code)
 	}
 	deadline := time.Now().Add(30 * time.Second)

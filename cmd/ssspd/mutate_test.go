@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dijkstra"
+	"repro/internal/graph"
+	"repro/internal/mutate"
+)
+
+// mutateBody renders a batch as the endpoint's JSON request body.
+func mutateBody(t *testing.T, b *mutate.Batch) string {
+	t.Helper()
+	return string(mutate.EncodeDelta(b))
+}
+
+// pickEdges returns k ops re-weighting distinct edge slots of g.
+func pickEdges(g *graph.Graph, k int, bump uint32) *mutate.Batch {
+	seen := make(map[[2]int32]bool)
+	var ops []mutate.Op
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int32{u, v}] {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		w := e.W + bump
+		if w > graph.MaxWeight {
+			w = e.W - bump
+		}
+		ops = append(ops, mutate.Op{Op: mutate.OpSetWeight, U: e.U, V: e.V, W: w})
+		if len(ops) == k {
+			break
+		}
+	}
+	return &mutate.Batch{Ops: ops}
+}
+
+// checkServedDistances queries /sssp with full=1 and compares against a
+// Dijkstra run on want.
+func checkServedDistances(t *testing.T, base, graphName string, src int32, want *graph.Graph) {
+	t.Helper()
+	var resp struct {
+		Dist []int64 `json:"dist"`
+	}
+	url := fmt.Sprintf("%s/sssp?src=%d&full=1&graph=%s", base, src, graphName)
+	if code := getJSON(t, url, &resp); code != 200 {
+		t.Fatalf("query after mutation: code %d", code)
+	}
+	exp := dijkstra.SSSP(want, src)
+	for v, w := range exp {
+		if w == graph.Inf {
+			w = -1
+		}
+		if resp.Dist[v] != w {
+			t.Fatalf("dist[%d]=%d, want %d", v, resp.Dist[v], w)
+		}
+	}
+}
+
+// TestGraphMutateEndpoint drives the full HTTP mutation path: a small batch
+// takes the incremental path (200, generation already serving), an over-
+// threshold batch falls back to a background rebuild (202), and the served
+// distances after each swap match Dijkstra on a reference-applied graph.
+func TestGraphMutateEndpoint(t *testing.T) {
+	ts, srv, g := testServerOpts(t, 64, 30*time.Second)
+
+	b1 := pickEdges(g, 4, 11)
+	var ok map[string]any
+	if code := postJSON(t, ts.URL+"/graphs/test-instance/mutate", mutateBody(t, b1), &ok); code != 200 {
+		t.Fatalf("incremental mutate: code %d (%v), want 200", code, ok)
+	}
+	if ok["status"] != "mutated" || ok["gen"].(float64) != 2 || ok["aliased"] != true {
+		t.Fatalf("incremental mutate response %v", ok)
+	}
+	want1, err := mutate.ReferenceApply(g, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkServedDistances(t, ts.URL, "test-instance", 3, want1)
+
+	// Lineage in the listing.
+	var listing struct {
+		Graphs []struct {
+			Name      string `json:"name"`
+			Gen       uint64 `json:"gen"`
+			ParentGen uint64 `json:"parent_gen"`
+			DeltaSize int    `json:"delta_size"`
+			Deltas    int    `json:"deltas"`
+		} `json:"graphs"`
+	}
+	if code := getJSON(t, ts.URL+"/graphs", &listing); code != 200 {
+		t.Fatalf("graphs listing: %d", code)
+	}
+	if gs := listing.Graphs[0]; gs.Gen != 2 || gs.ParentGen != 1 || gs.DeltaSize != len(b1.Ops) || gs.Deltas != 1 {
+		t.Fatalf("lineage in listing: %+v", gs)
+	}
+
+	// A wide batch (insert spokes from one hub: > 5% of 500 vertices
+	// touched) validates but falls back to the background rebuild.
+	var wide mutate.Batch
+	for i := 0; i < 40; i++ {
+		wide.Ops = append(wide.Ops, mutate.Op{Op: mutate.OpInsert, U: 0, V: int32(100 + 10*i), W: 2})
+	}
+	var fb map[string]any
+	if code := postJSON(t, ts.URL+"/graphs/test-instance/mutate", mutateBody(t, &wide), &fb); code != http.StatusAccepted {
+		t.Fatalf("fallback mutate: code %d (%v), want 202", code, fb)
+	}
+	if fb["status"] != "rebuilding" || fb["fallback"] != true || fb["gen"].(float64) != 3 {
+		t.Fatalf("fallback mutate response %v", fb)
+	}
+	if err := srv.cat.WaitReady("test-instance", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want2, err := mutate.ReferenceApply(g, b1, &wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkServedDistances(t, ts.URL, "test-instance", 17, want2)
+
+	// Metrics carry the mutation counters and the endpoint section.
+	var metrics struct {
+		Catalog map[string]any `json:"catalog"`
+		Ends    map[string]any `json:"endpoints"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != 200 {
+		t.Fatal("metrics")
+	}
+	if metrics.Catalog["mutations"].(float64) != 2 ||
+		metrics.Catalog["mutate_incremental"].(float64) != 1 ||
+		metrics.Catalog["mutate_fallback"].(float64) != 1 {
+		t.Fatalf("mutation counters: %v", metrics.Catalog)
+	}
+	if _, ok := metrics.Ends["graphs_mutate"]; !ok {
+		t.Fatal("endpoints.graphs_mutate missing from /metrics")
+	}
+}
+
+// Error mapping: malformed and invalid batches are 400 with nothing applied,
+// unknown graphs 404, and a graph mid-build 409.
+func TestGraphMutateErrors(t *testing.T) {
+	ts, srv, g := testServerOpts(t, 64, 30*time.Second)
+
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"not json", `nope`, http.StatusBadRequest},
+		{"unknown field", `{"ops":[{"op":"insert","u":0,"v":1,"w":1}],"mode":"x"}`, http.StatusBadRequest},
+		{"empty batch", `{"ops":[]}`, http.StatusBadRequest},
+		{"unknown op", `{"ops":[{"op":"reverse","u":0,"v":1}]}`, http.StatusBadRequest},
+		{"out of range", `{"ops":[{"op":"insert","u":0,"v":100000,"w":1}]}`, http.StatusBadRequest},
+	} {
+		var e map[string]string
+		if code := postJSON(t, ts.URL+"/graphs/test-instance/mutate", tc.body, &e); code != tc.want {
+			t.Errorf("%s: code %d, want %d (%v)", tc.name, code, tc.want, e)
+		} else if e["error"] == "" {
+			t.Errorf("%s: missing error message", tc.name)
+		}
+	}
+	// Nothing was applied: still generation 1.
+	gen1, release, err := srv.cat.Acquire("test-instance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen1.Gen != 1 {
+		t.Fatalf("rejected mutations advanced the generation to %d", gen1.Gen)
+	}
+	release()
+
+	var e map[string]string
+	if code := postJSON(t, ts.URL+"/graphs/nope/mutate", `{"ops":[{"op":"delete","u":0,"v":1}]}`, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown graph: code %d, want 404", code)
+	}
+
+	// A graph whose build is still running conflicts with 409.
+	if code := postJSON(t, ts.URL+"/graphs/load", `{"name":"big","class":"rand","logn":18,"logc":10,"seed":5}`, &map[string]string{}); code != http.StatusAccepted {
+		t.Fatalf("load big: code %d", code)
+	}
+	body := mutateBody(t, pickEdges(g, 1, 1))
+	if code := postJSON(t, ts.URL+"/graphs/big/mutate", body, &e); code != http.StatusConflict {
+		t.Fatalf("mutate mid-build: code %d (%v), want 409", code, e)
+	}
+	if !strings.Contains(e["error"], "build in progress") {
+		t.Fatalf("mid-build error message: %q", e["error"])
+	}
+	_ = srv.cat.WaitReady("big", 60*time.Second) // let the build finish before teardown
+}

@@ -29,7 +29,7 @@ func TestOperationsDocCoversEveryFlag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	flagDecl := regexp.MustCompile(`flag\.(?:String|Int|Int64|Uint64|Bool|Duration)\("([^"]+)"`)
+	flagDecl := regexp.MustCompile(`flag\.(?:String|Int|Int64|Uint64|Float64|Bool|Duration)\("([^"]+)"`)
 	matches := flagDecl.FindAllStringSubmatch(string(src), -1)
 	if len(matches) < 15 {
 		t.Fatalf("found only %d flag declarations in main.go; the regex has rotted", len(matches))

@@ -25,7 +25,10 @@ import (
 // graphs; serveBenchBoot must serve exactly these shapes or the specs'
 // declared vertex counts would drift from reality (the smoke test asserts
 // they match).
-var serveWorkloadFiles = []string{"zipf-single.jsonl", "batch-heavy.jsonl", "cache-hostile.jsonl"}
+// mixed-mutate runs single-worker closed-loop on purpose: mutations to one
+// graph serialize behind the catalog's pending flag (concurrent ones answer
+// 409), and the committed SLO demands zero errors.
+var serveWorkloadFiles = []string{"zipf-single.jsonl", "batch-heavy.jsonl", "cache-hostile.jsonl", "mixed-mutate.jsonl"}
 
 func serveWorkloadGraphs() map[string]*graph.Graph {
 	return map[string]*graph.Graph{
@@ -123,7 +126,7 @@ func TestServeWorkloadSmoke(t *testing.T) {
 				t.Fatal("no metrics delta")
 			}
 			var daemonSaw int64
-			for _, name := range []string{"sssp", "dist", "batch"} {
+			for _, name := range []string{"sssp", "dist", "batch", "graphs_mutate"} {
 				daemonSaw += rep.Metrics.Endpoints[name].Requests
 			}
 			if daemonSaw != 80 {

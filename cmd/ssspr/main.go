@@ -14,6 +14,10 @@
 //	 "backends": [{"name": "b1", "url": "http://10.0.0.1:8080", "weight": 2},
 //	              {"name": "b2", "url": "http://10.0.0.2:8080"}],
 //	 "graphs": {"hot-graph": {"replicas": 3}}}
+//
+// SIGHUP re-reads -table and hot-swaps the fleet view in place: backends
+// that persist keep their health state, and in-flight requests finish on the
+// backends they started with.
 package main
 
 import (
@@ -95,12 +99,35 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP re-reads the table file and hot-swaps the fleet view; in-flight
+	// requests keep the backends they started with.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go reloadLoop(hup, rt, *tablePath)
+
 	log.Printf("ssspr: routing %d backends on %s (replicas=%d health-interval=%s retry=%v timeout=%s)",
 		len(tbl.Backends), *addr, tbl.ReplicaCount(""), *healthInterval, *retry, *timeout)
 	if err := serve(ctx, hs, *drain); err != nil {
 		log.Fatalf("ssspr: %v", err)
 	}
 	log.Printf("ssspr: drained, bye")
+}
+
+// reloadLoop re-reads the routing table and swaps it into rt each time a
+// signal arrives (main wires SIGHUP to it). A table that fails to read or
+// validate is logged and skipped — the router keeps serving the current one.
+func reloadLoop(sig <-chan os.Signal, rt *router.Router, path string) {
+	for range sig {
+		tbl, err := router.ReadTableFile(path)
+		if err == nil {
+			err = rt.Reload(tbl)
+		}
+		if err != nil {
+			log.Printf("ssspr: reload %s: %v (keeping current table)", path, err)
+			continue
+		}
+		log.Printf("ssspr: table reloaded from %s (%d backends)", path, len(tbl.Backends))
+	}
 }
 
 // serve runs the HTTP server until ctx is cancelled, then shuts it down

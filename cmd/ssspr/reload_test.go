@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/router"
+)
+
+// slowSsspd is a fake backend whose query handler blocks until released, so a
+// test can hold a request in flight across a table reload.
+func slowSsspd(t *testing.T, entered chan<- struct{}, release <-chan struct{}) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"catalog": map[string]any{
+				"graph_states": []map[string]string{{"name": "g", "state": "ready"}},
+			},
+		})
+	})
+	mux.HandleFunc("GET /dist", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		json.NewEncoder(w).Encode(map[string]any{"dist": 1})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func writeTable(t *testing.T, path string, backends ...[2]string) {
+	t.Helper()
+	tbl := router.Table{Version: 1, Replicas: len(backends)}
+	for _, b := range backends {
+		tbl.Backends = append(tbl.Backends, router.Backend{Name: b[0], URL: b[1]})
+	}
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSighupReloadKeepsInFlightRequests drives the command's SIGHUP plumbing
+// end to end (through the same reloadLoop main wires to the signal): while a
+// request is parked inside backend a, the table file is rewritten to replace
+// a with b and the reload signal fires. The parked request must complete on
+// a, and new requests must route to b without any health-interval wait.
+func TestSighupReloadKeepsInFlightRequests(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	slow := slowSsspd(t, entered, release)
+	fast := fakeSsspd(t) // serves graph g, answers instantly
+
+	tablePath := filepath.Join(t.TempDir(), "fleet.json")
+	writeTable(t, tablePath, [2]string{"a", slow.URL})
+
+	tbl, err := router.ReadTableFile(tablePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := router.New(router.Config{Table: tbl, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	mux := rt.Mux()
+
+	hup := make(chan os.Signal, 1)
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		reloadLoop(hup, rt, tablePath)
+	}()
+	defer func() { close(hup); <-loopDone }()
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/dist?graph=g&s=0&t=1", nil))
+		done <- w
+	}()
+	<-entered
+
+	// Swap the fleet under the parked request: the file now names only b.
+	writeTable(t, tablePath, [2]string{"b", fast.URL})
+	hup <- syscall.SIGHUP
+	waitFor(t, func() bool { return rt.Counter("table_reloads") == 1 })
+
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/dist?graph=g&s=0&t=1", nil))
+	if w.Code != http.StatusOK || w.Header().Get("X-Backend") != "b" {
+		t.Fatalf("post-reload request: status %d backend %q, want 200 from b", w.Code, w.Header().Get("X-Backend"))
+	}
+
+	close(release)
+	in := <-done
+	if in.Code != http.StatusOK || in.Header().Get("X-Backend") != "a" {
+		t.Fatalf("in-flight request across SIGHUP reload: status %d backend %q, want 200 from a",
+			in.Code, in.Header().Get("X-Backend"))
+	}
+
+	// A broken table file must be skipped, keeping the current fleet.
+	if err := os.WriteFile(tablePath, []byte(`{"v": 1, "backends": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hup <- syscall.SIGHUP
+	time.Sleep(50 * time.Millisecond) // let the loop consume and reject it
+	if got := rt.Counter("table_reloads"); got != 1 {
+		t.Fatalf("table_reloads = %d after invalid file, want still 1", got)
+	}
+	w2 := httptest.NewRecorder()
+	mux.ServeHTTP(w2, httptest.NewRequest(http.MethodGet, "/dist?graph=g&s=0&t=1", nil))
+	if w2.Code != http.StatusOK {
+		t.Fatalf("request after rejected reload: %d, want 200", w2.Code)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/mutate"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/snapshot"
@@ -121,6 +122,11 @@ type Config struct {
 	// format and platform allow it (v1 snapshots and mmap-less platforms
 	// silently fall back to the copy read).
 	MMap bool
+	// MutateThreshold is the maximum fraction of vertices a mutation batch
+	// may touch and still take the incremental repair path; larger deltas
+	// fall back to a background full rebuild. 0 means mutate.DefaultThreshold;
+	// a negative value forces fallback for every mutation.
+	MutateThreshold float64
 	// Logf receives progress lines (default log.Printf).
 	Logf func(string, ...any)
 }
@@ -153,6 +159,12 @@ type entry struct {
 	lastUsed int64
 	err      error // most recent load failure
 	pending  bool  // a build job is queued or running
+	// deltas is the accepted-mutation replay log for this lineage: every
+	// batch that produced a generation (incrementally or via fallback
+	// rebuild), in acceptance order. A rebuild from source replays it so the
+	// rebuilt generation reproduces the mutated graph, not the base one.
+	// Load with a fresh source resets the log (new lineage).
+	deltas []*mutate.Batch
 }
 
 // setState validates the lifecycle edge; an invalid transition is an
@@ -166,16 +178,19 @@ func (e *entry) setState(next State) {
 
 // Counter names of Catalog counters, in snapshot order.
 const (
-	cLoads        = "loads"
-	cReloads      = "reloads"
-	cUnloads      = "unloads"
-	cBuilds       = "builds"
-	cSwaps        = "swaps"
-	cEvictions    = "evictions"
-	cLoadFailures = "load_failures"
-	cAcquires     = "acquires"
-	cNotReady     = "acquire_not_ready"
-	cWarmQueries  = "warm_queries"
+	cLoads             = "loads"
+	cReloads           = "reloads"
+	cUnloads           = "unloads"
+	cBuilds            = "builds"
+	cSwaps             = "swaps"
+	cEvictions         = "evictions"
+	cLoadFailures      = "load_failures"
+	cAcquires          = "acquires"
+	cNotReady          = "acquire_not_ready"
+	cWarmQueries       = "warm_queries"
+	cMutations         = "mutations"
+	cMutateIncremental = "mutate_incremental"
+	cMutateFallback    = "mutate_fallback"
 )
 
 // New creates a catalog and starts its build workers. Call Close to stop
@@ -201,7 +216,8 @@ func New(cfg Config) *Catalog {
 		jobs:    make(chan string, 64),
 		done:    make(chan struct{}),
 		counters: obs.NewGroup(cLoads, cReloads, cUnloads, cBuilds, cSwaps,
-			cEvictions, cLoadFailures, cAcquires, cNotReady, cWarmQueries),
+			cEvictions, cLoadFailures, cAcquires, cNotReady, cWarmQueries,
+			cMutations, cMutateIncremental, cMutateFallback),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		c.wg.Add(1)
@@ -303,30 +319,36 @@ func (c *Catalog) Load(name string, src Source) error {
 		e.src = src
 		e.err = nil
 		e.pending = true
+		e.deltas = nil // fresh lineage: the old replay log no longer applies
 	}
+	e.genSeq++ // pre-assign the generation this load will install
 	c.counters.C(cLoads).Inc()
 	c.mu.Unlock()
 	c.enqueue(name)
 	return nil
 }
 
-// Reload rebuilds a graph from its remembered source and swaps the result in
-// atomically. The old generation keeps serving until the swap, then drains.
-// Reloading while a build is already pending is a no-op.
-func (c *Catalog) Reload(name string) error {
+// Reload rebuilds a graph from its remembered source — replaying any accepted
+// mutation deltas on top, so the rebuilt generation reproduces the graph's
+// current logical state — and swaps the result in atomically. The old
+// generation keeps serving until the swap, then drains. Returns the
+// generation number the rebuild will install; reloading while a build is
+// already pending returns that build's generation without queueing another.
+func (c *Catalog) Reload(name string) (uint64, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return errors.New("catalog: closed")
+		return 0, errors.New("catalog: closed")
 	}
 	e, ok := c.entries[name]
 	if !ok {
 		c.mu.Unlock()
-		return fmt.Errorf("catalog: %w: %q", ErrUnknownGraph, name)
+		return 0, fmt.Errorf("catalog: %w: %q", ErrUnknownGraph, name)
 	}
 	if e.pending {
+		gen := e.genSeq
 		c.mu.Unlock()
-		return nil
+		return gen, nil
 	}
 	switch e.state {
 	case StateReady:
@@ -336,13 +358,15 @@ func (c *Catalog) Reload(name string) error {
 		e.err = nil
 	default:
 		c.mu.Unlock()
-		return fmt.Errorf("catalog: graph %q is %s; cannot reload", name, e.state)
+		return 0, fmt.Errorf("catalog: graph %q is %s; cannot reload", name, e.state)
 	}
 	e.pending = true
+	e.genSeq++ // pre-assign the generation this rebuild will install
+	gen := e.genSeq
 	c.counters.C(cReloads).Inc()
 	c.mu.Unlock()
 	c.enqueue(name)
-	return nil
+	return gen, nil
 }
 
 // Unload takes a graph out of service: ready graphs drain their in-flight
@@ -448,8 +472,8 @@ func (c *Catalog) runJob(name string) {
 	}
 	src := e.src
 	isReload := e.state == StateReady
-	e.genSeq++
-	genNum := e.genSeq
+	genNum := e.genSeq // pre-assigned by Load/Reload/Mutate when the job was queued
+	deltas := append([]*mutate.Batch(nil), e.deltas...)
 	c.mu.Unlock()
 
 	start := time.Now()
@@ -459,7 +483,27 @@ func (c *Catalog) runJob(name string) {
 		return
 	}
 	c.advance(name, StateBuilding, isReload)
-	if h == nil {
+	if len(deltas) > 0 {
+		// Replay the accepted-mutation log so the rebuilt generation carries
+		// the graph's logical state, not the base source. The hierarchy is
+		// rebuilt from scratch afterwards (a snapshot-carried one matches the
+		// base graph, and the CH cache belongs to the base fingerprint).
+		base := g
+		for i, b := range deltas {
+			g2, _, aerr := mutate.Apply(g, b)
+			if aerr != nil {
+				c.failJob(name, fmt.Errorf("replay delta %d/%d on %s: %w", i+1, len(deltas), src, aerr))
+				return
+			}
+			g = g2
+		}
+		h = ch.BuildKruskal(g)
+		if m != nil && !g.AliasesArrays(base) {
+			// The replay produced fresh arrays; the mapping backs nothing.
+			m.Close()
+			m = nil
+		}
+	} else if h == nil {
 		h = LoadOrBuildCH(g, src.CHCache, c.logf)
 	}
 	c.counters.C(cBuilds).Inc()
@@ -636,11 +680,18 @@ type GraphStatus struct {
 	Bytes    int64  `json:"bytes,omitempty"`
 	// HeapBytes/MappedBytes split Bytes by residence: process heap for
 	// copy-loaded generations, mmap'd page cache for zero-copy ones.
-	HeapBytes   int64  `json:"heap_bytes,omitempty"`
-	MappedBytes int64  `json:"mapped_bytes,omitempty"`
-	InFlight    int64  `json:"in_flight,omitempty"`
-	Pending     bool   `json:"pending,omitempty"`
-	Error       string `json:"error,omitempty"`
+	HeapBytes   int64 `json:"heap_bytes,omitempty"`
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// ParentGen/DeltaSize expose delta lineage when the serving generation
+	// came from a mutation: the generation it was derived from and the op
+	// count of the delta. Deltas is the length of the accepted-mutation
+	// replay log for the lineage.
+	ParentGen uint64 `json:"parent_gen,omitempty"`
+	DeltaSize int    `json:"delta_size,omitempty"`
+	Deltas    int    `json:"deltas,omitempty"`
+	InFlight  int64  `json:"in_flight,omitempty"`
+	Pending   bool   `json:"pending,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // Status lists every known graph, sorted by name.
@@ -662,8 +713,11 @@ func (c *Catalog) Status() []GraphStatus {
 			gs.Bytes = e.gen.Bytes
 			gs.HeapBytes = e.gen.HeapBytes
 			gs.MappedBytes = e.gen.MappedBytes
+			gs.ParentGen = e.gen.ParentGen
+			gs.DeltaSize = e.gen.DeltaSize
 			gs.InFlight = e.gen.InFlight()
 		}
+		gs.Deltas = len(e.deltas)
 		if e.err != nil {
 			gs.Error = e.err.Error()
 		}

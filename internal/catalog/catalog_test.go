@@ -251,7 +251,7 @@ func TestReloadKeepsServingAndFailedReloadKeepsOldGeneration(t *testing.T) {
 		return nil, nil, errors.New("flaky source")
 	}}
 	c.mu.Unlock()
-	if err := c.Reload("g"); err != nil {
+	if _, err := c.Reload("g"); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(waitFor)
@@ -278,7 +278,7 @@ func TestReloadKeepsServingAndFailedReloadKeepsOldGeneration(t *testing.T) {
 	c.mu.Lock()
 	c.entries["g"].src = Source{Loader: loaderFor(9)}
 	c.mu.Unlock()
-	if err := c.Reload("g"); err != nil {
+	if _, err := c.Reload("g"); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.WaitReady("g", waitFor); err != nil {

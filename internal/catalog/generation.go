@@ -106,12 +106,25 @@ type Generation struct {
 	// cache, not heap, but still count against the budget: they are the
 	// working set a query touches.
 	MappedBytes int64
+	// ParentGen and DeltaSize record delta lineage: a generation produced by
+	// a mutation names the generation it was derived from and how many ops
+	// the delta carried. Both are zero for generations built from source.
+	ParentGen uint64
+	DeltaSize int
 
 	// mapping, when non-nil, owns the mmap'd file the arrays alias. It is
 	// closed exactly once, after the generation is retired and the last
 	// in-flight query has released — never while a query can still read the
 	// arrays.
 	mapping *snapshot.Mapping
+
+	// parent, when non-nil, holds a reference on the generation whose CSR
+	// arrays this one aliases (a weight-only mutation overlay shares offsets
+	// and targets with its parent). Set only when the parent's storage chain
+	// reaches an mmap — heap arrays survive through the garbage collector,
+	// but mapped ones must not be unmapped while a descendant can read them.
+	// The reference is released in finishDrain, chaining transitively.
+	parent *Generation
 
 	refs        atomic.Int64
 	retired     atomic.Bool
@@ -149,6 +162,9 @@ func (g *Generation) finishDrain() {
 	g.drainedOnce.Do(func() {
 		if g.mapping != nil {
 			g.mapping.Close()
+		}
+		if g.parent != nil {
+			g.parent.release()
 		}
 		close(g.drained)
 	})

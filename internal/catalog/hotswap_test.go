@@ -116,7 +116,7 @@ func TestHotSwapZeroFailedQueries(t *testing.T) {
 		}
 		retired = append(retired, g)
 		release()
-		if err := c.Reload("hot"); err != nil {
+		if _, err := c.Reload("hot"); err != nil {
 			t.Fatal(err)
 		}
 		deadline := time.Now().Add(waitFor)

@@ -149,7 +149,7 @@ func TestMmapHotSwapChurn(t *testing.T) {
 		// New snapshot contents → new inode → the next generation maps and
 		// fully re-verifies a different file.
 		writeMappedSnap(t, path, n, uint64(r+2))
-		if err := c.Reload("m"); err != nil {
+		if _, err := c.Reload("m"); err != nil {
 			t.Fatal(err)
 		}
 		deadline := time.Now().Add(waitFor)

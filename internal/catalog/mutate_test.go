@@ -1,0 +1,506 @@
+package catalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dijkstra"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/mutate"
+)
+
+// weightBatch builds a weight-only batch over the first k distinct edge slots
+// of g, bumping each weight by delta (clamped into the legal range).
+func weightBatch(g *graph.Graph, k int, delta uint32) *mutate.Batch {
+	seen := make(map[[2]int32]bool)
+	var ops []mutate.Op
+	for _, e := range g.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int32{u, v}] {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		w := e.W + delta
+		if w > graph.MaxWeight {
+			w = e.W - delta
+		}
+		ops = append(ops, mutate.Op{Op: mutate.OpSetWeight, U: e.U, V: e.V, W: w})
+		if len(ops) == k {
+			break
+		}
+	}
+	return &mutate.Batch{Ops: ops}
+}
+
+// checkDistances verifies the serving generation's engine agrees with a
+// Dijkstra run on want for a few sources.
+func checkDistances(t *testing.T, gn *Generation, want *graph.Graph) {
+	t.Helper()
+	for _, src := range []int32{0, 7, 123} {
+		res, _, err := gn.Engine.Query(context.Background(), engine.Request{Sources: []int32{src}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := dijkstra.SSSP(want, src)
+		for v := range exp {
+			if res.Dist[v] != exp[v] {
+				t.Fatalf("gen %d source %d: dist[%d]=%d, want %d", gn.Gen, src, v, res.Dist[v], exp[v])
+			}
+		}
+	}
+}
+
+func TestMutateIncremental(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if err := c.Load("g", Source{Loader: loaderFor(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g1, rel1, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g1.G
+	rel1()
+
+	b := weightBatch(base, 4, 3)
+	res, err := c.Mutate("g", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback || res.Gen != 2 || !res.Aliased {
+		t.Fatalf("mutate result %+v, want incremental aliased gen 2", res)
+	}
+
+	g2, rel2, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if g2.Gen != 2 || g2.ParentGen != 1 || g2.DeltaSize != len(b.Ops) {
+		t.Fatalf("generation lineage gen=%d parent=%d delta=%d, want 2/1/%d",
+			g2.Gen, g2.ParentGen, g2.DeltaSize, len(b.Ops))
+	}
+	if !g2.G.AliasesArrays(base) {
+		t.Fatal("weight-only mutation should alias the parent's structure arrays")
+	}
+	want, err := mutate.ReferenceApply(base, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistances(t, g2, want)
+
+	if c.Counter(cMutations) != 1 || c.Counter(cMutateIncremental) != 1 || c.Counter(cMutateFallback) != 0 {
+		t.Fatalf("counters: mutations=%d incr=%d fb=%d",
+			c.Counter(cMutations), c.Counter(cMutateIncremental), c.Counter(cMutateFallback))
+	}
+	st := c.Status()
+	if st[0].ParentGen != 1 || st[0].DeltaSize != len(b.Ops) || st[0].Deltas != 1 {
+		t.Fatalf("status lineage %+v", st[0])
+	}
+}
+
+func TestMutateStructuralNotAliased(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if err := c.Load("g", Source{Loader: loaderFor(8)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g1, rel1, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g1.G
+	rel1()
+
+	b := &mutate.Batch{Ops: []mutate.Op{{Op: mutate.OpInsert, U: 1, V: 399, W: 2}}}
+	res, err := c.Mutate("g", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback || res.Aliased {
+		t.Fatalf("structural mutation result %+v, want incremental non-aliased", res)
+	}
+	g2, rel2, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	want, err := mutate.ReferenceApply(base, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistances(t, g2, want)
+
+	// The parent holds no pin from the child: it must drain promptly.
+	select {
+	case <-g1.Drained():
+	case <-time.After(waitFor):
+		t.Fatal("parent generation never drained after structural mutation")
+	}
+}
+
+func TestMutateFallbackRebuild(t *testing.T) {
+	c := testCatalog(t, Config{MutateThreshold: -1}) // force fallback
+	if err := c.Load("g", Source{Loader: loaderFor(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g1, rel1, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g1.G
+	rel1()
+
+	b := weightBatch(base, 6, 5)
+	res, err := c.Mutate("g", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fallback || res.Gen != 2 {
+		t.Fatalf("mutate result %+v, want fallback gen 2", res)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g2, rel2, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if g2.Gen != 2 {
+		t.Fatalf("gen %d after fallback rebuild, want 2", g2.Gen)
+	}
+	if g2.ParentGen != 0 {
+		t.Fatalf("fallback rebuild should not record delta lineage, got parent %d", g2.ParentGen)
+	}
+	want, err := mutate.ReferenceApply(base, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistances(t, g2, want)
+	if c.Counter(cMutateFallback) != 1 || c.Counter(cMutateIncremental) != 0 {
+		t.Fatalf("counters: incr=%d fb=%d", c.Counter(cMutateIncremental), c.Counter(cMutateFallback))
+	}
+}
+
+func TestReloadReplaysDeltaLog(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if err := c.Load("g", Source{Loader: loaderFor(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g1, rel1, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g1.G
+	rel1()
+
+	b1 := weightBatch(base, 3, 2)
+	if _, err := c.Mutate("g", b1); err != nil {
+		t.Fatal(err)
+	}
+	g2, rel2, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := &mutate.Batch{Ops: []mutate.Op{{Op: mutate.OpInsert, U: 0, V: 250, W: 1}}}
+	rel2()
+	if _, err := c.Mutate("g", b2); err != nil {
+		t.Fatal(err)
+	}
+	_ = g2
+
+	// A reload rebuilds from the source and must replay both deltas: the
+	// rebuilt generation serves the mutated graph, not the base one.
+	gen, err := c.Reload("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 4 {
+		t.Fatalf("reload pre-assigned gen %d, want 4", gen)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g4, rel4, err := c.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel4()
+	if g4.Gen != 4 || g4.ParentGen != 0 {
+		t.Fatalf("rebuilt generation gen=%d parent=%d, want 4/0", g4.Gen, g4.ParentGen)
+	}
+	want, err := mutate.ReferenceApply(base, b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistances(t, g4, want)
+	st := c.Status()
+	if st[0].Deltas != 2 {
+		t.Fatalf("delta log length %d after reload, want 2 (log survives reloads)", st[0].Deltas)
+	}
+}
+
+func TestMutateErrors(t *testing.T) {
+	c := testCatalog(t, Config{})
+	ok := &mutate.Batch{Ops: []mutate.Op{{Op: mutate.OpInsert, U: 0, V: 1, W: 1}}}
+
+	if _, err := c.Mutate("nope", ok); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("want ErrUnknownGraph, got %v", err)
+	}
+
+	if err := c.Load("g", Source{Loader: loaderFor(11)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalid batches surface mutate.ErrInvalid and change nothing.
+	bad := &mutate.Batch{Ops: []mutate.Op{{Op: mutate.OpSetWeight, U: 0, V: 1, W: 0}}}
+	if _, err := c.Mutate("g", bad); !errors.Is(err, mutate.ErrInvalid) {
+		t.Fatalf("want ErrInvalid, got %v", err)
+	}
+	if g, rel, err := c.Acquire("g"); err != nil || g.Gen != 1 {
+		t.Fatalf("rejected mutation must not advance the generation: gen=%v err=%v", g, err)
+	} else {
+		rel()
+	}
+
+	// A pending build conflicts.
+	c.mu.Lock()
+	c.entries["g"].pending = true
+	c.mu.Unlock()
+	_, err := c.Mutate("g", ok)
+	if err == nil || !strings.Contains(err.Error(), "build in progress") {
+		t.Fatalf("want pending conflict, got %v", err)
+	}
+	c.mu.Lock()
+	c.entries["g"].pending = false
+	c.mu.Unlock()
+
+	// Not-ready graphs conflict with NotReadyError.
+	if err := c.Unload("g"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(waitFor)
+	for {
+		st := c.Status()
+		if st[0].State == "evicted" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("graph never evicted: %+v", st[0])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var nre *NotReadyError
+	if _, err := c.Mutate("g", ok); !errors.As(err, &nre) {
+		t.Fatalf("want NotReadyError, got %v", err)
+	}
+}
+
+// TestMutateAliasedMmapChain chains weight-only mutations on top of an
+// mmap-served snapshot. Each overlay aliases the mapped offset/target arrays,
+// so every ancestor must stay mapped (not drained) while the chain head
+// serves, then the whole chain must unwind — drain and unmap — once a reload
+// swaps in a generation with its own storage.
+func TestMutateAliasedMmapChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.snap")
+	writeMappedSnap(t, path, 300, 42)
+	requireCatalogMmap(t, path)
+
+	c := testCatalog(t, Config{MMap: true})
+	if err := c.Load("m", Source{Snapshot: path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("m", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	g1, rel1, err := c.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Mapped() {
+		rel1()
+		t.Skip("snapshot did not map; aliasing chain not exercised")
+	}
+	base := g1.G
+	rel1()
+
+	b1 := weightBatch(base, 3, 2)
+	if _, err := c.Mutate("m", b1); err != nil {
+		t.Fatal(err)
+	}
+	g2, rel2, err := c.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := weightBatch(g2.G, 3, 4)
+	rel2()
+	if _, err := c.Mutate("m", b2); err != nil {
+		t.Fatal(err)
+	}
+
+	g3, rel3, err := c.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g3.G.AliasesArrays(base) {
+		t.Fatal("overlay chain should still alias the mapped arrays")
+	}
+	// The retired ancestors must NOT have drained: the chain head reads
+	// their mapped storage.
+	select {
+	case <-g1.Drained():
+		t.Fatal("mapped root drained while an aliasing descendant serves")
+	case <-g2.Drained():
+		t.Fatal("intermediate overlay drained while an aliasing descendant serves")
+	default:
+	}
+	want, err := mutate.ReferenceApply(base, b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistances(t, g3, want)
+	rel3()
+
+	// A reload rebuilds with fresh storage (replaying the deltas); the old
+	// chain unwinds: head drains, releasing each ancestor in turn.
+	if _, err := c.Reload("m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("m", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	for i, gn := range []*Generation{g3, g2, g1} {
+		select {
+		case <-gn.Drained():
+		case <-time.After(waitFor):
+			t.Fatalf("chain generation %d (gen %d) never drained", i, gn.Gen)
+		}
+	}
+	g4, rel4, err := c.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel4()
+	checkDistances(t, g4, want)
+}
+
+// TestMutateUnderLoad streams queries while a chain of mutations swaps
+// generations; every response must be exactly consistent with the generation
+// that served it, and every retired generation must drain.
+func TestMutateUnderLoad(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if err := c.Load("g", Source{Loader: loaderFor(12)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries atomic.Int64
+	var firstErr error
+	var mu sync.Mutex
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf(format, args...)
+		}
+		mu.Unlock()
+	}
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gn, rel, err := c.Acquire("g")
+				if err != nil {
+					fail("acquire: %v", err)
+					return
+				}
+				src := int32((q*131 + i*17) % gn.G.NumVertices())
+				res, _, err := gn.Engine.Query(context.Background(), engine.Request{Sources: []int32{src}})
+				if err != nil {
+					rel()
+					fail("query: %v", err)
+					return
+				}
+				exp := dijkstra.SSSP(gn.G, src)
+				for v := range exp {
+					if res.Dist[v] != exp[v] {
+						rel()
+						fail("gen %d source %d: dist[%d]=%d want %d", gn.Gen, src, v, res.Dist[v], exp[v])
+						return
+					}
+				}
+				rel()
+				queries.Add(1)
+			}
+		}(q)
+	}
+
+	var retired []*Generation
+	for r := 0; r < 8; r++ {
+		gn, rel, err := c.Acquire("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := weightBatch(gn.G, 3, uint32(r+1))
+		retired = append(retired, gn)
+		rel()
+		if _, err := c.Mutate("g", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gn := range retired {
+		select {
+		case <-gn.Drained():
+		case <-time.After(waitFor):
+			t.Fatalf("generation %d never drained (in-flight %d)", gn.Gen, gn.InFlight())
+		}
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed under mutation load")
+	}
+	t.Logf("mutate under load: %d queries across 8 mutations", queries.Load())
+}

@@ -1,0 +1,231 @@
+package ch
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// RepairStats describes how much of an incremental repair was reused versus
+// rebuilt, for mutation metrics and threshold decisions.
+type RepairStats struct {
+	// Touched is the number of distinct mutated-edge endpoints.
+	Touched int
+	// DirtyNodes is how many old CH nodes had a touched leaf beneath them and
+	// were discarded.
+	DirtyNodes int
+	// KeptSubtrees is the number of maximal clean subtrees adopted verbatim
+	// (each becomes one super-node of the stitching sweep).
+	KeptSubtrees int
+	// ReusedNodes is how many internal nodes were copied from the old
+	// hierarchy; NewNodes is how many the stitching sweep created.
+	ReusedNodes, NewNodes int
+	// SweptEdges is how many crossing edges the level sweep processed —
+	// the work the repair did instead of sweeping every edge.
+	SweptEdges int
+}
+
+// Repair builds the component hierarchy of g2 by reusing the parts of old
+// that a mutation batch cannot have changed. g2 must have the same vertex set
+// as old's graph; touched must list every endpoint of every mutated edge
+// (weight change, insert, or delete).
+//
+// The correctness basis: let X be a maximal subtree of old containing no
+// touched leaf. Every edge with an endpoint under X is unchanged — internal
+// edges because both endpoints are untouched, and edges leaving X because a
+// changed edge's endpoints are both touched, hence not under X. So X's leaf
+// set is still connected by edges of weight < 2^level(X), and every g2 edge
+// leaving it still has level > level(X) (for unchanged edges this is old's
+// separation property; mutated edges cannot touch X). X therefore remains
+// exactly a component with an identical sub-hierarchy in g2, and the repair
+// only has to re-run the level sweep over the quotient graph whose
+// super-nodes are these kept subtrees (touched vertices ride along as
+// singleton leaves). Deletions that split components arbitrarily high — a
+// bridge removal — are handled naturally: everything above the kept roots is
+// recomputed, and a disconnection surfaces as multiple tops under a virtual
+// root exactly as in a fresh build.
+//
+// Copied nodes keep their relative id order and stitch nodes are appended
+// after them, preserving the child-id < parent-id topological invariant. The
+// result passes Validate against g2; it may number nodes differently than
+// BuildKruskal(g2) but induces the same component partition at every level.
+func Repair(old *Hierarchy, g2 *graph.Graph, touched []int32) (*Hierarchy, RepairStats, error) {
+	var stats RepairStats
+	if old == nil {
+		return nil, stats, fmt.Errorf("ch: repair of nil hierarchy")
+	}
+	n := old.g.NumVertices()
+	if g2.NumVertices() != n {
+		return nil, stats, fmt.Errorf("ch: repair vertex set changed: %d != %d", g2.NumVertices(), n)
+	}
+	if len(touched) == 0 {
+		return nil, stats, fmt.Errorf("ch: repair with empty touched set (nothing mutated)")
+	}
+	nodes := old.NumNodes()
+
+	// Phase 1: mark every node with a touched leaf beneath it dirty, walking
+	// parent pointers until an already-dirty ancestor stops the climb.
+	dirty := make([]bool, nodes)
+	seen := 0
+	for _, t := range touched {
+		if t < 0 || int(t) >= n {
+			return nil, stats, fmt.Errorf("ch: touched vertex %d out of range [0,%d)", t, n)
+		}
+		if !dirty[t] {
+			seen++
+		}
+		for x := t; x >= 0 && !dirty[x]; x = old.parent[x] {
+			dirty[x] = true
+			stats.DirtyNodes++
+		}
+	}
+	stats.Touched = seen
+
+	// Phase 2: copy the clean internal nodes in old-id order. A clean node's
+	// children are clean (a dirty child would dirty its parent), so mapped
+	// child ids always exist by the time the parent is added.
+	b := newBuilder(g2)
+	newID := make([]int32, nodes)
+	for v := 0; v < n; v++ {
+		newID[v] = int32(v)
+	}
+	for x := n; x < nodes; x++ {
+		if dirty[x] {
+			newID[x] = -1
+			continue
+		}
+		oldChildren := old.Children(int32(x))
+		mapped := make([]int32, len(oldChildren))
+		for i, c := range oldChildren {
+			if newID[c] < 0 {
+				return nil, stats, fmt.Errorf("ch: repair invariant broken: clean node %d has dirty child %d", x, c)
+			}
+			mapped[i] = newID[c]
+		}
+		newID[x] = b.addNode(old.level[x], mapped)
+		stats.ReusedNodes++
+	}
+
+	// Phase 3: identify the super-nodes — maximal clean subtrees (clean nodes
+	// with a dirty parent) plus every dirty leaf as a singleton — and label
+	// each vertex with its super-node index.
+	compIdx := make([]int32, n)
+	for i := range compIdx {
+		compIdx[i] = -1
+	}
+	var superNode []int32 // super index -> new CH node id
+	var superLevel []int32
+	addSuper := func(root int32) int32 {
+		idx := int32(len(superNode))
+		superNode = append(superNode, newID[root])
+		superLevel = append(superLevel, old.level[root])
+		return idx
+	}
+	var stack []int32
+	for x := 0; x < nodes; x++ {
+		if dirty[x] {
+			if x < n {
+				compIdx[x] = addSuper(int32(x)) // touched leaf: its own super-node
+			}
+			continue
+		}
+		p := old.parent[x]
+		if p >= 0 && !dirty[p] {
+			continue // interior of a kept subtree; its root covers it
+		}
+		// x is a kept root (clean with dirty parent; a clean node with no
+		// parent would mean nothing was touched, excluded above).
+		idx := addSuper(int32(x))
+		stats.KeptSubtrees++
+		stack = append(stack[:0], int32(x))
+		for len(stack) > 0 {
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if int(y) < n {
+				compIdx[y] = idx
+				continue
+			}
+			stack = append(stack, old.Children(y)...)
+		}
+	}
+
+	// Phase 4: level sweep over the crossing edges only, with the kept roots
+	// as pre-built nodes. Any g2 edge between two different super-nodes has
+	// level strictly above both of their levels (see the doc comment), so
+	// every merge happens at a valid level.
+	levels := numLevels(g2)
+	byLevel := make([][]graph.Edge, levels+1)
+	for v := int32(0); v < int32(n); v++ {
+		ts, ws := g2.Neighbors(v)
+		for i, u := range ts {
+			if u < v {
+				continue // each undirected edge once
+			}
+			su, sv := compIdx[v], compIdx[u]
+			if su == sv {
+				continue // internal to a kept subtree (or a self-loop)
+			}
+			l := levelOf(ws[i])
+			byLevel[l] = append(byLevel[l], graph.Edge{U: su, V: sv, W: ws[i]})
+			stats.SweptEdges++
+		}
+	}
+
+	k := len(superNode)
+	parent := make([]int32, k)
+	nodeOf := make([]int32, k)
+	for i := 0; i < k; i++ {
+		parent[i] = int32(i)
+		nodeOf[i] = superNode[i]
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	preNew := len(b.level)
+	var oldRoots []int32
+	for l := int32(1); l <= levels; l++ {
+		oldRoots = oldRoots[:0]
+		for _, e := range byLevel[l] {
+			ru, rv := find(e.U), find(e.V)
+			if ru == rv {
+				continue
+			}
+			if superLevel[ru] >= l || superLevel[rv] >= l {
+				return nil, stats, fmt.Errorf("ch: repair separation violated: level-%d edge between super-nodes at levels %d and %d",
+					l, superLevel[ru], superLevel[rv])
+			}
+			oldRoots = append(oldRoots, ru, rv)
+			parent[ru] = rv
+		}
+		if len(oldRoots) == 0 {
+			continue
+		}
+		groups := make(map[int32][]int32)
+		var order []int32
+		for _, r := range oldRoots {
+			fr := find(r)
+			if _, ok := groups[fr]; !ok {
+				order = append(order, fr)
+			}
+			groups[fr] = append(groups[fr], nodeOf[r])
+		}
+		for _, fr := range order {
+			nodeOf[fr] = b.addNode(l, dedupe(groups[fr]))
+			superLevel[fr] = l
+		}
+	}
+	stats.NewNodes = len(b.level) - preNew
+
+	var tops []int32
+	for i := int32(0); i < int32(k); i++ {
+		if find(i) == i {
+			tops = append(tops, nodeOf[i])
+		}
+	}
+	return b.finish(tops, levels), stats, nil
+}

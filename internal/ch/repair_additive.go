@@ -1,0 +1,519 @@
+package ch
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// additiveScratch recycles RepairAdditive's working arrays. The repair sits on
+// the serving path of every mutation request, and its scratch is sized by the
+// node count, not the delta — without reuse each call would zero and then
+// garbage-collect a few hundred kilobytes. The dirty and superOf arrays are
+// kept all-zero across uses (the defer in RepairAdditive undoes exactly the
+// entries it set); everything else is fully reinitialized per call.
+type additiveScratch struct {
+	dirty                 []bool
+	superOf               []int32
+	dirtyList             []int32
+	superNode, superLevel []int32
+	levOff, levCur        []int32
+	levNodes              []int32
+	parent, nodeRef       []int32
+	pushed, gmark, slotOf []int32
+	counts, fill          []int32
+	oldRoots, frs, order  []int32
+	arena                 []int32
+	newID                 []int32
+}
+
+var additivePool = sync.Pool{New: func() any { return new(additiveScratch) }}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// RepairAdditive builds the component hierarchy of g2 from old for mutations
+// that only ADD connectivity: inserted edges and weight decreases. added must
+// list those edges with their NEW weights; g2 must contain every edge of old's
+// graph at its old weight or lower, plus the insertions.
+//
+// Why a separate path: the general Repair discards every ancestor of a touched
+// leaf and re-runs the level sweep over all edges crossing the kept subtrees.
+// On graphs with high-fanout top components that sweep degenerates to nearly
+// O(m) — the dirty spine always reaches the root, and most edges cross its
+// children. An additive delta permits something much stronger: components can
+// only merge, never split, so every merge recorded in the old hierarchy is
+// still valid (its witness edges survive at the same or lower weight). The old
+// structure itself therefore serves as the edge set: each dirty node at level
+// l is replayed as a star of synthetic edges joining its children at level l,
+// which recreates old connectivity among the kept subtrees exactly, and the
+// added edges are swept alongside at their own levels to introduce the new
+// merges. Completeness: any g2 edge below a threshold is either an unchanged
+// old edge (its connectivity is implied by the stars plus the kept subtrees)
+// or one of the added edges (swept explicitly). The union-find sweep over
+// stars-plus-added computes the exact new partition at every level without
+// visiting the graph's edges at all.
+//
+// The dirty set is also smaller than general Repair's: on each endpoint chain
+// only ancestors at or above the edge's level can change (components below the
+// new edge's level cannot gain it), so marking starts at the first ancestor
+// with level >= levelOf(w) and climbs from there. The surviving nodes keep
+// their relative order and are bulk-copied into fresh arrays; stitch nodes are
+// appended after them, preserving the child-id < parent-id invariant. Work is
+// O(sum of dirty-node fanouts + nodes copied), independent of edge count.
+//
+// A virtual root over a disconnected graph is handled specially: it is not a
+// component, so it is never replayed as a star — its children simply become
+// kept subtrees, and an added edge bridging two of them merges components that
+// were never connected (the virtual root dissolves when one top remains).
+func RepairAdditive(old *Hierarchy, g2 *graph.Graph, added []graph.Edge) (*Hierarchy, RepairStats, error) {
+	var stats RepairStats
+	if old == nil {
+		return nil, stats, fmt.Errorf("ch: additive repair of nil hierarchy")
+	}
+	n := old.g.NumVertices()
+	if g2.NumVertices() != n {
+		return nil, stats, fmt.Errorf("ch: additive repair vertex set changed: %d != %d", g2.NumVertices(), n)
+	}
+	if len(added) == 0 {
+		return nil, stats, fmt.Errorf("ch: additive repair with no added edges")
+	}
+	nodes := old.NumNodes()
+
+	seenV := make(map[int32]struct{}, 2*len(added))
+	for _, e := range added {
+		seenV[e.U] = struct{}{}
+		seenV[e.V] = struct{}{}
+	}
+	stats.Touched = len(seenV)
+
+	sc := additivePool.Get().(*additiveScratch)
+	dirtyList := sc.dirtyList[:0]
+	superNode := sc.superNode[:0]
+	superLevel := sc.superLevel[:0]
+	oldRoots, frs, order := sc.oldRoots[:0], sc.frs[:0], sc.order[:0]
+	dirty := growBool(sc.dirty, nodes)
+	superOf := growI32(sc.superOf, nodes)
+	defer func() {
+		// Restore the all-zero invariant on the sparse arrays, then recycle.
+		for _, x := range dirtyList {
+			dirty[x] = false
+		}
+		for _, c := range superNode {
+			superOf[c] = 0
+		}
+		sc.dirty, sc.superOf = dirty, superOf
+		sc.dirtyList, sc.superNode, sc.superLevel = dirtyList[:0], superNode[:0], superLevel[:0]
+		sc.oldRoots, sc.frs, sc.order = oldRoots[:0], frs[:0], order[:0]
+		additivePool.Put(sc)
+	}()
+
+	// Phase 1: mark the nodes an added edge can restructure — ancestors of its
+	// endpoints from the first one at level >= levelOf(w) upward. The climb
+	// always continues to the root, so the dirty set is closed upward and every
+	// surviving node keeps its entire subtree verbatim. A virtual root stops
+	// the level skip: an edge heavier than every old edge still has to merge
+	// previously disconnected components.
+	for _, e := range added {
+		if e.U == e.V {
+			continue // self-loops never merge anything
+		}
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, stats, fmt.Errorf("ch: added edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		l := levelOf(e.W)
+		for _, t := range [2]int32{e.U, e.V} {
+			x := old.parent[t]
+			for x >= 0 && old.level[x] < l && !(old.virtualRoot && x == old.root) {
+				x = old.parent[x]
+			}
+			for ; x >= 0 && !dirty[x]; x = old.parent[x] {
+				dirty[x] = true
+				dirtyList = append(dirtyList, x)
+			}
+		}
+	}
+	stats.DirtyNodes = len(dirtyList)
+	if len(dirtyList) == 0 {
+		// Every added edge lands inside a component already joined at or below
+		// its level: the structure is unchanged, only the graph is new. The
+		// arrays are immutable, so the hierarchies can share them.
+		return &Hierarchy{
+			g: g2, level: old.level, parent: old.parent,
+			childStart: old.childStart, children: old.children,
+			vertexCount: old.vertexCount, root: old.root,
+			maxLevel: old.maxLevel, virtualRoot: old.virtualRoot,
+		}, stats, nil
+	}
+
+	// Phase 2: the kept subtrees are the non-dirty children of dirty nodes
+	// (upward closure means their subtrees contain no dirty node). superOf
+	// stores index+1 so zero means "none".
+	for _, x := range dirtyList {
+		for _, c := range old.Children(x) {
+			if dirty[c] || superOf[c] != 0 {
+				continue
+			}
+			superNode = append(superNode, c)
+			superOf[c] = int32(len(superNode))
+			superLevel = append(superLevel, old.level[c])
+		}
+	}
+	stats.KeptSubtrees = len(superNode)
+	k := len(superNode)
+
+	// rep resolves a child of a dirty node to a kept subtree beneath it: any
+	// descendant super works, because the star asserting connectivity at the
+	// dirty node's level joins whole child components, and each dirty child's
+	// own star connects everything under it at a lower level first.
+	rep := func(x int32) int32 {
+		for dirty[x] {
+			x = old.Children(x)[0]
+		}
+		return superOf[x] - 1
+	}
+	leafRep := func(u int32) int32 {
+		for {
+			p := old.parent[u]
+			if p < 0 || dirty[p] {
+				break
+			}
+			u = p
+		}
+		return superOf[u] - 1
+	}
+
+	// Phase 3: bucket the sweep input by level — the dirty nodes whose stars
+	// replay old merges, and the added edges that introduce the new ones.
+	sweepMax := numLevels(g2)
+	for _, x := range dirtyList {
+		if old.virtualRoot && x == old.root {
+			continue
+		}
+		if old.level[x] > sweepMax {
+			sweepMax = old.level[x]
+		}
+	}
+	lc := int(sweepMax) + 2
+	levOff := growI32(sc.levOff, lc)
+	sc.levOff = levOff
+	clear(levOff)
+	starNodes, starEdges := 0, 0
+	for _, x := range dirtyList {
+		if old.virtualRoot && x == old.root {
+			continue // not a component; replaying it would weld disconnected parts
+		}
+		levOff[old.level[x]+1]++
+		starNodes++
+		starEdges += len(old.Children(x)) - 1
+	}
+	for i := 1; i < lc; i++ {
+		levOff[i] += levOff[i-1]
+	}
+	levNodes := growI32(sc.levNodes, starNodes)
+	sc.levNodes = levNodes
+	levCur := growI32(sc.levCur, lc)
+	sc.levCur = levCur
+	copy(levCur, levOff)
+	for _, x := range dirtyList {
+		if old.virtualRoot && x == old.root {
+			continue
+		}
+		l := old.level[x]
+		levNodes[levCur[l]] = x
+		levCur[l]++
+	}
+
+	type addPair struct{ l, a, b int32 }
+	pairs := make([]addPair, 0, len(added))
+	addOff := make([]int32, lc)
+	for _, e := range added {
+		if e.U == e.V {
+			continue
+		}
+		ra, rb := leafRep(e.U), leafRep(e.V)
+		if ra < 0 || rb < 0 {
+			return nil, stats, fmt.Errorf("ch: additive repair lost the kept component of edge (%d,%d)", e.U, e.V)
+		}
+		if ra == rb {
+			continue // both endpoints under one kept subtree: already joined below the dirty region
+		}
+		pairs = append(pairs, addPair{levelOf(e.W), ra, rb})
+		addOff[levelOf(e.W)+1]++
+	}
+	for i := 1; i < lc; i++ {
+		addOff[i] += addOff[i-1]
+	}
+	addFlat := make([]addPair, len(pairs))
+	addCur := make([]int32, lc)
+	copy(addCur, addOff)
+	for _, p := range pairs {
+		addFlat[addCur[p.l]] = p
+		addCur[p.l]++
+	}
+	stats.SweptEdges = starEdges + len(pairs)
+
+	// Phase 4: level sweep over the synthetic edge set — at most
+	// sum-of-dirty-fanouts + len(added) edges. Stars union against an
+	// accumulator root so each child costs one find; pushed marks a root as
+	// already collected for the current level, and gmark/slotOf group the
+	// merged roots without a map.
+	parent := growI32(sc.parent, k)
+	nodeRef := growI32(sc.nodeRef, k)
+	pushed := growI32(sc.pushed, k)
+	gmark := growI32(sc.gmark, k)
+	slotOf := growI32(sc.slotOf, k)
+	counts := growI32(sc.counts, k+1)
+	fill := growI32(sc.fill, k)
+	arena := growI32(sc.arena, 2*k+2)
+	sc.parent, sc.nodeRef, sc.pushed, sc.gmark = parent, nodeRef, pushed, gmark
+	sc.slotOf, sc.counts, sc.fill, sc.arena = slotOf, counts, fill, arena
+	clear(pushed)
+	clear(gmark)
+	apos := 0
+	comps := k
+	for i := 0; i < k; i++ {
+		parent[i] = int32(i)
+		nodeRef[i] = superNode[i]
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	type stitchNode struct {
+		level    int32
+		children []int32 // old node ids, or nodes+j for stitch node j
+	}
+	var stitch []stitchNode
+	for l := int32(1); l <= sweepMax; l++ {
+		oldRoots = oldRoots[:0]
+		for _, x := range levNodes[levOff[l]:levOff[l+1]] {
+			kids := old.Children(x)
+			acc := find(rep(kids[0]))
+			accPushed := false
+			for _, c := range kids[1:] {
+				rc := find(rep(c))
+				if rc == acc {
+					continue
+				}
+				if superLevel[rc] >= l || superLevel[acc] >= l {
+					return nil, stats, fmt.Errorf("ch: additive repair separation violated: level-%d merge of components at levels %d and %d",
+						l, superLevel[rc], superLevel[acc])
+				}
+				if !accPushed {
+					accPushed = true
+					if pushed[acc] != l {
+						pushed[acc] = l
+						oldRoots = append(oldRoots, acc)
+					}
+				}
+				if pushed[rc] != l {
+					pushed[rc] = l
+					oldRoots = append(oldRoots, rc)
+				}
+				parent[rc] = acc
+				comps--
+			}
+		}
+		for _, p := range addFlat[addOff[l]:addOff[l+1]] {
+			ru, rv := find(p.a), find(p.b)
+			if ru == rv {
+				continue
+			}
+			if superLevel[ru] >= l || superLevel[rv] >= l {
+				return nil, stats, fmt.Errorf("ch: additive repair separation violated: level-%d merge of components at levels %d and %d",
+					l, superLevel[ru], superLevel[rv])
+			}
+			if pushed[ru] != l {
+				pushed[ru] = l
+				oldRoots = append(oldRoots, ru)
+			}
+			if pushed[rv] != l {
+				pushed[rv] = l
+				oldRoots = append(oldRoots, rv)
+			}
+			parent[ru] = rv
+			comps--
+		}
+		if len(oldRoots) == 0 {
+			continue
+		}
+		frs = frs[:0]
+		order = order[:0]
+		ng := int32(0)
+		for _, r := range oldRoots {
+			fr := find(r)
+			frs = append(frs, fr)
+			if gmark[fr] != l {
+				gmark[fr] = l
+				slotOf[fr] = ng
+				order = append(order, fr)
+				ng++
+			}
+		}
+		for i := int32(0); i <= ng; i++ {
+			counts[i] = 0
+		}
+		for _, fr := range frs {
+			counts[slotOf[fr]+1]++
+		}
+		for i := int32(0); i < ng; i++ {
+			counts[i+1] += counts[i]
+			fill[i] = counts[i]
+		}
+		members := arena[apos : apos+len(frs)]
+		apos += len(frs)
+		for i, fr := range frs {
+			s := slotOf[fr]
+			members[fill[s]] = nodeRef[oldRoots[i]]
+			fill[s]++
+		}
+		for i := int32(0); i < ng; i++ {
+			fr := order[i]
+			id := int32(nodes + len(stitch))
+			stitch = append(stitch, stitchNode{level: l, children: members[counts[i]:counts[i+1]]})
+			nodeRef[fr] = id
+			superLevel[fr] = l
+		}
+	}
+	stats.NewNodes = len(stitch)
+
+	var tops []int32
+	if comps == 1 {
+		tops = []int32{nodeRef[find(0)]}
+	} else {
+		for i := int32(0); i < int32(k); i++ {
+			if find(i) == i {
+				tops = append(tops, nodeRef[i])
+			}
+		}
+	}
+	virtual := false
+	if len(tops) > 1 {
+		stitch = append(stitch, stitchNode{level: sweepMax + 1, children: tops})
+		virtual = true
+	}
+
+	// Phase 5: graft. Survivors bulk-copy in old-id order (leaves keep their
+	// ids and are never dirty, so they take the memmove fast path), stitch
+	// nodes append after them; both preserve child < parent.
+	total := nodes - len(dirtyList) + len(stitch)
+	newID := growI32(sc.newID, nodes+len(stitch))
+	sc.newID = newID
+	for x := 0; x < n; x++ {
+		newID[x] = int32(x)
+	}
+	next := int32(n)
+	for x := n; x < nodes; x++ {
+		if dirty[x] {
+			newID[x] = -1
+			continue
+		}
+		newID[x] = next
+		next++
+	}
+	for j := range stitch {
+		newID[nodes+j] = next
+		next++
+	}
+	stats.ReusedNodes = nodes - len(dirtyList) - n
+
+	h2 := &Hierarchy{g: g2}
+	backing := make([]int32, 3*total)
+	h2.level = backing[:total:total]
+	h2.parent = backing[total : 2*total : 2*total]
+	h2.vertexCount = backing[2*total:]
+	copy(h2.level[:n], old.level[:n])
+	copy(h2.vertexCount[:n], old.vertexCount[:n])
+	// newID of a dirty parent is -1, which doubles as "orphan until the stitch
+	// loop adopts it" — kept-subtree roots are re-parented there.
+	for u := 0; u < n; u++ {
+		if p := old.parent[u]; p >= 0 {
+			h2.parent[u] = newID[p]
+		} else {
+			h2.parent[u] = -1
+		}
+	}
+	for x := n; x < nodes; x++ {
+		id := newID[x]
+		if id < 0 {
+			continue
+		}
+		h2.level[id] = old.level[x]
+		h2.vertexCount[id] = old.vertexCount[x]
+		p := int32(-1)
+		if op := old.parent[x]; op >= 0 {
+			p = newID[op]
+		}
+		h2.parent[id] = p
+	}
+	for j, sn := range stitch {
+		id := newID[nodes+j]
+		h2.level[id] = sn.level
+		h2.parent[id] = -1
+		var vc int32
+		for _, c := range sn.children {
+			cid := newID[c]
+			h2.parent[cid] = id
+			vc += h2.vertexCount[cid]
+		}
+		h2.vertexCount[id] = vc
+	}
+
+	internal := total - n
+	h2.childStart = make([]int32, internal+1)
+	idx := 0
+	for x := n; x < nodes; x++ {
+		if newID[x] < 0 {
+			continue
+		}
+		h2.childStart[idx+1] = h2.childStart[idx] + int32(len(old.Children(int32(x))))
+		idx++
+	}
+	for _, sn := range stitch {
+		h2.childStart[idx+1] = h2.childStart[idx] + int32(len(sn.children))
+		idx++
+	}
+	h2.children = make([]int32, h2.childStart[internal])
+	at := 0
+	for x := n; x < nodes; x++ {
+		if newID[x] < 0 {
+			continue
+		}
+		for _, c := range old.Children(int32(x)) {
+			h2.children[at] = newID[c]
+			at++
+		}
+	}
+	for _, sn := range stitch {
+		for _, c := range sn.children {
+			h2.children[at] = newID[c]
+			at++
+		}
+	}
+
+	if virtual {
+		h2.root = newID[nodes+len(stitch)-1]
+	} else {
+		h2.root = newID[tops[0]]
+	}
+	h2.virtualRoot = virtual
+	h2.maxLevel = h2.level[h2.root]
+	return h2, stats, nil
+}

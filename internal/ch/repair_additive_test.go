@@ -1,0 +1,212 @@
+package ch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// checkRepairAdditive overlays an additive delta (inserts plus non-increasing
+// re-weights), runs the additive repair, and asserts the result is a fully
+// valid hierarchy isomorphic to a fresh build of the mutated graph.
+func checkRepairAdditive(t *testing.T, g *graph.Graph, set, ins []graph.Edge) (*Hierarchy, RepairStats) {
+	t.Helper()
+	h := BuildKruskal(g)
+	g2, _, err := g.Overlay(set, ins, nil)
+	if err != nil {
+		t.Fatalf("overlay: %v", err)
+	}
+	added := make([]graph.Edge, 0, len(set)+len(ins))
+	added = append(added, ins...)
+	added = append(added, set...)
+	h2, stats, err := RepairAdditive(h, g2, added)
+	if err != nil {
+		t.Fatalf("additive repair: %v", err)
+	}
+	if err := h2.ValidateStructure(); err != nil {
+		t.Fatalf("repaired structure invalid: %v", err)
+	}
+	if err := h2.Validate(); err != nil {
+		t.Fatalf("repaired hierarchy invalid: %v", err)
+	}
+	fresh := BuildKruskal(g2)
+	sa, sb := signature(h2), signature(fresh)
+	for v := range sa {
+		if len(sa[v]) != len(sb[v]) {
+			t.Fatalf("vertex %d root path length %d vs fresh %d", v, len(sa[v]), len(sb[v]))
+		}
+		for i := range sa[v] {
+			if sa[v][i] != sb[v][i] {
+				t.Fatalf("vertex %d signature differs from fresh build at step %d", v, i)
+			}
+		}
+	}
+	return h2, stats
+}
+
+// minCopyWeight is the lowest stored weight among the parallel copies of
+// (u,v) — the ceiling an additive re-weight must stay at or under.
+func minCopyWeight(g *graph.Graph, u, v int32) uint32 {
+	ts, ws := g.Neighbors(u)
+	best := uint32(0)
+	for i, t := range ts {
+		if t == v && (best == 0 || ws[i] < best) {
+			best = ws[i]
+		}
+	}
+	return best
+}
+
+func TestRepairAdditiveInsertAndDecrease(t *testing.T) {
+	g := gen.Random(300, 1200, 1<<10, gen.UWD, 21)
+	checkRepairAdditive(t, g, nil, []graph.Edge{{U: 5, V: 250, W: 3}})
+	e := g.Edges()[17]
+	w := minCopyWeight(g, e.U, e.V)
+	checkRepairAdditive(t, g, []graph.Edge{{U: e.U, V: e.V, W: w/2 + 1}}, nil)
+	checkRepairAdditive(t, g, []graph.Edge{{U: e.U, V: e.V, W: 1}}, nil)
+	// Mixed additive batch, including a level-crossing decrease.
+	e2 := g.Edges()[40]
+	checkRepairAdditive(t, g,
+		[]graph.Edge{{U: e2.U, V: e2.V, W: 1}},
+		[]graph.Edge{{U: 1, V: 299, W: 7}, {U: 0, V: 150, W: 1 << 20}})
+}
+
+func TestRepairAdditiveBridgesComponents(t *testing.T) {
+	// Two separate clusters under a virtual root; an inserted bridge must
+	// dissolve it — including a bridge heavier than every existing edge,
+	// which exercises the virtual-root clamp in the dirty-marking level skip.
+	b := graph.NewBuilder(20)
+	for c := 0; c < 2; c++ {
+		base := int32(c * 10)
+		for i := int32(0); i < 10; i++ {
+			b.MustAddEdge(base+i, base+(i+1)%10, uint32(i%4+1))
+		}
+	}
+	g := b.Build()
+	h2, _ := checkRepairAdditive(t, g, nil, []graph.Edge{{U: 4, V: 15, W: 2}})
+	if h2.virtualRoot {
+		t.Fatal("bridge insert left the virtual root standing")
+	}
+	h3, _ := checkRepairAdditive(t, g, nil, []graph.Edge{{U: 4, V: 15, W: 1 << 20}})
+	if h3.virtualRoot {
+		t.Fatal("heavy bridge insert left the virtual root standing")
+	}
+	// A heavy edge WITHIN one component merges nothing; the virtual root
+	// must survive with both components intact.
+	h4, stats := checkRepairAdditive(t, g, nil, []graph.Edge{{U: 0, V: 5, W: 1 << 20}})
+	if !h4.virtualRoot {
+		t.Fatal("intra-component insert dissolved the virtual root")
+	}
+	if stats.NewNodes != 0 {
+		t.Fatalf("intra-component heavy insert created %d nodes, want 0", stats.NewNodes)
+	}
+}
+
+func TestRepairAdditiveEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	checkRepairAdditive(t, g, nil, []graph.Edge{{U: 0, V: 1, W: 3}})
+	checkRepairAdditive(t, g, nil, []graph.Edge{{U: 0, V: 1, W: 3}, {U: 2, V: 3, W: 9}})
+}
+
+func TestRepairAdditiveNoOpSharesArrays(t *testing.T) {
+	// A connected graph gaining an edge heavier than its connectivity level:
+	// nothing can restructure, so the repair must return the old arrays
+	// verbatim (the zero-allocation shortcut).
+	b := graph.NewBuilder(8)
+	for i := int32(0); i < 7; i++ {
+		b.MustAddEdge(i, i+1, 1)
+	}
+	g := b.Build()
+	h := BuildKruskal(g)
+	g2, _, err := g.Overlay(nil, []graph.Edge{{U: 0, V: 5, W: 64}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, stats, err := RepairAdditive(h, g2, []graph.Edge{{U: 0, V: 5, W: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DirtyNodes != 0 || stats.NewNodes != 0 {
+		t.Fatalf("no-op delta dirtied %d nodes, created %d", stats.DirtyNodes, stats.NewNodes)
+	}
+	if &h2.level[0] != &h.level[0] || &h2.parent[0] != &h.parent[0] {
+		t.Fatal("no-op repair copied the hierarchy arrays instead of sharing them")
+	}
+	if err := h2.Validate(); err != nil {
+		t.Fatalf("shared-array hierarchy invalid against mutated graph: %v", err)
+	}
+}
+
+func TestRepairAdditiveRejectsBadInput(t *testing.T) {
+	g := gen.Random(50, 200, 1<<8, gen.UWD, 23)
+	h := BuildKruskal(g)
+	if _, _, err := RepairAdditive(nil, g, []graph.Edge{{U: 0, V: 1, W: 1}}); err == nil {
+		t.Fatal("nil hierarchy accepted")
+	}
+	if _, _, err := RepairAdditive(h, g, nil); err == nil {
+		t.Fatal("empty added list accepted")
+	}
+	if _, _, err := RepairAdditive(h, g, []graph.Edge{{U: 0, V: 99, W: 1}}); err == nil {
+		t.Fatal("out-of-range added edge accepted")
+	}
+	small, _ := g.InducedSubgraph([]int32{0, 1, 2})
+	if _, _, err := RepairAdditive(h, small, []graph.Edge{{U: 0, V: 1, W: 1}}); err == nil {
+		t.Fatal("vertex-set change accepted")
+	}
+}
+
+func TestRepairAdditiveRandomizedAcrossFamilies(t *testing.T) {
+	families := []*graph.Graph{
+		gen.Random(300, 1200, 1<<10, gen.UWD, 31),
+		gen.Random(300, 1200, 4, gen.UWD, 32), // tiny weight range: few levels
+		gen.RMATGraph(256, 1024, 1<<8, gen.UWD, 33),
+		gen.GridGraph(15, 20, 16, gen.PWD, 34),
+		gen.Path(64, 35),
+		gen.Star(64, 36),
+	}
+	for fi, g := range families {
+		rnd := rand.New(rand.NewSource(int64(200 + fi)))
+		cur := g
+		for round := 0; round < 4; round++ {
+			edges := cur.Edges()
+			var set, ins []graph.Edge
+			used := map[[2]int32]bool{}
+			pair := func(e graph.Edge) [2]int32 {
+				if e.U > e.V {
+					e.U, e.V = e.V, e.U
+				}
+				return [2]int32{e.U, e.V}
+			}
+			for i := 0; i < 1+rnd.Intn(6); i++ {
+				n := int32(cur.NumVertices())
+				if len(edges) > 0 && rnd.Intn(2) == 0 {
+					e := edges[rnd.Intn(len(edges))]
+					if used[pair(e)] {
+						continue
+					}
+					used[pair(e)] = true
+					// A decrease must undercut every parallel copy.
+					w := minCopyWeight(cur, e.U, e.V)
+					set = append(set, graph.Edge{U: e.U, V: e.V, W: uint32(1 + rnd.Intn(int(w)))})
+				} else {
+					cand := graph.Edge{U: rnd.Int31n(n), V: rnd.Int31n(n), W: uint32(1 + rnd.Intn(1<<12))}
+					if !used[pair(cand)] {
+						used[pair(cand)] = true
+						ins = append(ins, cand)
+					}
+				}
+			}
+			if len(set)+len(ins) == 0 {
+				continue
+			}
+			checkRepairAdditive(t, cur, set, ins)
+			next, _, err := cur.Overlay(set, ins, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = next // chain deltas so later rounds repair mutated graphs
+		}
+	}
+}

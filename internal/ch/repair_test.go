@@ -1,0 +1,197 @@
+package ch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// checkRepair applies the mutation via Overlay, repairs, and asserts the
+// result is a fully valid hierarchy isomorphic to a fresh build of the
+// mutated graph.
+func checkRepair(t *testing.T, g *graph.Graph, set, ins, del []graph.Edge) RepairStats {
+	t.Helper()
+	h := BuildKruskal(g)
+	g2, _, err := g.Overlay(set, ins, del)
+	if err != nil {
+		t.Fatalf("overlay: %v", err)
+	}
+	touched := touchedOf(set, ins, del)
+	h2, stats, err := Repair(h, g2, touched)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if err := h2.ValidateStructure(); err != nil {
+		t.Fatalf("repaired structure invalid: %v", err)
+	}
+	if err := h2.Validate(); err != nil {
+		t.Fatalf("repaired hierarchy invalid: %v", err)
+	}
+	fresh := BuildKruskal(g2)
+	sa, sb := signature(h2), signature(fresh)
+	for v := range sa {
+		if len(sa[v]) != len(sb[v]) {
+			t.Fatalf("vertex %d root path length %d vs fresh %d", v, len(sa[v]), len(sb[v]))
+		}
+		for i := range sa[v] {
+			if sa[v][i] != sb[v][i] {
+				t.Fatalf("vertex %d signature differs from fresh build at step %d", v, i)
+			}
+		}
+	}
+	return stats
+}
+
+func touchedOf(lists ...[]graph.Edge) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, l := range lists {
+		for _, e := range l {
+			for _, v := range []int32{e.U, e.V} {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestRepairWeightChange(t *testing.T) {
+	g := gen.Random(300, 1200, 1<<10, gen.UWD, 1)
+	e := g.Edges()[17]
+	checkRepair(t, g, []graph.Edge{{U: e.U, V: e.V, W: e.W/2 + 1}}, nil, nil)
+	// A change that moves the edge across levels.
+	checkRepair(t, g, []graph.Edge{{U: e.U, V: e.V, W: 1}}, nil, nil)
+	checkRepair(t, g, []graph.Edge{{U: e.U, V: e.V, W: 1 << 20}}, nil, nil)
+}
+
+func TestRepairInsertAndDelete(t *testing.T) {
+	g := gen.Random(300, 1200, 1<<10, gen.UWD, 2)
+	checkRepair(t, g, nil, []graph.Edge{{U: 5, V: 250, W: 3}}, nil)
+	e := g.Edges()[3]
+	checkRepair(t, g, nil, nil, []graph.Edge{{U: e.U, V: e.V}})
+	// Mixed batch.
+	e2 := g.Edges()[40]
+	checkRepair(t, g,
+		[]graph.Edge{{U: e2.U, V: e2.V, W: 777}},
+		[]graph.Edge{{U: 1, V: 299, W: 1}},
+		[]graph.Edge{{U: e.U, V: e.V}})
+}
+
+func TestRepairBridgeDeletionSplitsComponent(t *testing.T) {
+	// Two dense clusters joined by one bridge: deleting it must surface a
+	// virtual root over two tops.
+	b := graph.NewBuilder(20)
+	for c := 0; c < 2; c++ {
+		base := int32(c * 10)
+		for i := int32(0); i < 10; i++ {
+			b.MustAddEdge(base+i, base+(i+1)%10, uint32(i%4+1))
+		}
+	}
+	b.MustAddEdge(4, 15, 100)
+	g := b.Build()
+	stats := checkRepair(t, g, nil, nil, []graph.Edge{{U: 4, V: 15}})
+	if stats.Touched != 2 {
+		t.Fatalf("touched %d, want 2", stats.Touched)
+	}
+	// And the reverse: inserting a bridge merges two components.
+	g2, _, err := g.Overlay(nil, nil, []graph.Edge{{U: 4, V: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRepair(t, g2, nil, []graph.Edge{{U: 0, V: 19, W: 7}}, nil)
+}
+
+func TestRepairDisconnectedAndTinyGraphs(t *testing.T) {
+	// Single vertex with a self-loop mutation target.
+	b := graph.NewBuilder(1)
+	b.MustAddEdge(0, 0, 5)
+	g := b.Build()
+	checkRepair(t, g, []graph.Edge{{U: 0, V: 0, W: 9}}, nil, nil)
+	checkRepair(t, g, nil, nil, []graph.Edge{{U: 0, V: 0}})
+
+	// Already-disconnected graph gaining an edge between components.
+	b2 := graph.NewBuilder(6)
+	b2.MustAddEdge(0, 1, 2)
+	b2.MustAddEdge(2, 3, 4)
+	g2 := b2.Build()
+	checkRepair(t, g2, nil, []graph.Edge{{U: 1, V: 2, W: 8}}, nil)
+	checkRepair(t, g2, nil, []graph.Edge{{U: 4, V: 5, W: 1}}, nil)
+}
+
+func TestRepairRejectsBadInput(t *testing.T) {
+	g := gen.Random(50, 200, 1<<8, gen.UWD, 3)
+	h := BuildKruskal(g)
+	if _, _, err := Repair(h, g, nil); err == nil {
+		t.Fatal("empty touched set accepted")
+	}
+	if _, _, err := Repair(h, g, []int32{99}); err == nil {
+		t.Fatal("out-of-range touched vertex accepted")
+	}
+	small, _ := g.InducedSubgraph([]int32{0, 1, 2})
+	if _, _, err := Repair(h, small, []int32{0}); err == nil {
+		t.Fatal("vertex-set change accepted")
+	}
+}
+
+func TestRepairRandomizedAcrossFamilies(t *testing.T) {
+	families := []*graph.Graph{
+		gen.Random(300, 1200, 1<<10, gen.UWD, 11),
+		gen.Random(300, 1200, 4, gen.UWD, 12), // tiny weight range: few levels
+		gen.RMATGraph(256, 1024, 1<<8, gen.UWD, 13),
+		gen.GridGraph(15, 20, 16, gen.PWD, 14),
+		gen.Path(64, 15),
+		gen.Star(64, 16),
+	}
+	for fi, g := range families {
+		rnd := rand.New(rand.NewSource(int64(100 + fi)))
+		cur := g
+		for round := 0; round < 4; round++ {
+			edges := cur.Edges()
+			if len(edges) == 0 {
+				break
+			}
+			var set, ins, del []graph.Edge
+			used := map[[2]int32]bool{}
+			pair := func(e graph.Edge) [2]int32 {
+				if e.U > e.V {
+					e.U, e.V = e.V, e.U
+				}
+				return [2]int32{e.U, e.V}
+			}
+			for i := 0; i < 1+rnd.Intn(6); i++ {
+				e := edges[rnd.Intn(len(edges))]
+				if used[pair(e)] {
+					continue
+				}
+				used[pair(e)] = true
+				switch rnd.Intn(3) {
+				case 0:
+					set = append(set, graph.Edge{U: e.U, V: e.V, W: uint32(1 + rnd.Intn(1<<12))})
+				case 1:
+					del = append(del, graph.Edge{U: e.U, V: e.V})
+				default:
+					n := int32(cur.NumVertices())
+					cand := graph.Edge{U: rnd.Int31n(n), V: rnd.Int31n(n), W: uint32(1 + rnd.Intn(1<<12))}
+					if !used[pair(cand)] {
+						used[pair(cand)] = true
+						ins = append(ins, cand)
+					}
+				}
+			}
+			if len(set)+len(ins)+len(del) == 0 {
+				continue
+			}
+			checkRepair(t, cur, set, ins, del)
+			next, _, err := cur.Overlay(set, ins, del)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = next // chain mutations so later rounds repair mutated graphs
+		}
+	}
+}

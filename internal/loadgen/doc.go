@@ -1,7 +1,9 @@
 // Package loadgen is the workload model and load generator for ssspd: it
 // turns a small, committed JSON-lines spec into a deterministic sequence of
 // HTTP requests (Zipf-skewed or cache-hostile source vertices, a weighted
-// graph mix across catalog entries, a single/batch/?solver= endpoint mix)
+// graph mix across catalog entries, a single/batch/mutate/?solver= endpoint
+// mix — mutate requests carry deterministic insert-only edge deltas, so a
+// mixed workload measures read latency under generation churn)
 // and drives that sequence against a live daemon either open-loop (fixed
 // offered arrival rate, unbounded concurrency — real queueing is measured,
 // not hidden behind blocked workers) or closed-loop (a fixed worker count,

@@ -92,6 +92,10 @@ func workloadFuzzSeeds() [][]byte {
 			CacheHostile: true, BatchSize: 8,
 			Graphs:    []GraphMix{{Graph: "g", N: 100, Weight: 1}},
 			Endpoints: []Weighted{{Name: EndpointBatch, Weight: 1}}},
+		{Name: "seed-mutate", Version: 1, Seed: 3, Requests: 24, Mode: ModeClosed, Workers: 1,
+			MutateOps: 2,
+			Graphs:    []GraphMix{{Graph: "m", N: 32, Weight: 1}},
+			Endpoints: []Weighted{{Name: EndpointSSSP, Weight: 2}, {Name: EndpointMutate, Weight: 1}}},
 	}
 	for i := range specs {
 		add(dump(&Workload{Spec: specs[i]}))
@@ -104,6 +108,13 @@ func workloadFuzzSeeds() [][]byte {
 	}
 	full := dump(rec)
 	add(full)
+	// A recording with mutate deltas, so the fuzzer starts from concrete
+	// in-line ops too.
+	recM := &Workload{Spec: specs[2]}
+	if err := recM.Expand(); err != nil {
+		panic(err)
+	}
+	add(dump(recM))
 	add(full[:len(full)/2])                                                   // truncated mid-recording
 	add(bytes.Replace(full, []byte(`"ep":"sssp"`), []byte(`"ep":"nope"`), 1)) // foreign endpoint
 	header := dump(&Workload{Spec: specs[0]})

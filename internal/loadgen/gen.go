@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/mutate"
 	"repro/internal/rng"
 )
 
@@ -186,6 +187,10 @@ func (s *Spec) Generate() ([]Request, error) {
 	if batch == 0 {
 		batch = 16
 	}
+	mutOps := s.MutateOps
+	if mutOps == 0 {
+		mutOps = 4
+	}
 
 	reqs := make([]Request, s.Requests)
 	at := 0.0 // seconds
@@ -215,6 +220,33 @@ func (s *Spec) Generate() ([]Request, error) {
 			req.Srcs = make([]int32, batch)
 			for j := range req.Srcs {
 				req.Srcs[j] = model.sample(r)
+			}
+		case EndpointMutate:
+			// Insert-only deltas: the generator never asks the server which
+			// edges exist, and an insert is valid against any graph state.
+			// One op per undirected slot, as the daemon's batch rules demand;
+			// clamping to n keeps the rejection loop terminating on tiny
+			// graphs (n vertices always have at least n free slots).
+			k := mutOps
+			if int64(k) > int64(model.n) {
+				k = int(model.n)
+			}
+			req.Ops = make([]mutate.Op, k)
+			used := make(map[[2]int32]bool, k)
+			for j := range req.Ops {
+				var u, v int32
+				for {
+					u = int32(r.Uint64n(uint64(model.n)))
+					v = int32(r.Uint64n(uint64(model.n)))
+					if u > v {
+						u, v = v, u
+					}
+					if !used[[2]int32{u, v}] {
+						break
+					}
+				}
+				used[[2]int32{u, v}] = true
+				req.Ops[j] = mutate.Op{Op: mutate.OpInsert, U: u, V: v, W: uint32(1 + r.Uint64n(1<<10))}
 			}
 		default:
 			return nil, fmt.Errorf("loadgen: unreachable endpoint %q", req.Endpoint)

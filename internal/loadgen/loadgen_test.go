@@ -8,9 +8,12 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/mutate"
 )
 
 func testSpec() Spec {
@@ -211,6 +214,8 @@ func TestValidateRejects(t *testing.T) {
 		func(s *Spec) { s.ZipfS = 21 },
 		func(s *Spec) { s.BatchSize = MaxBatchSize + 1 },
 		func(s *Spec) { s.FullFraction = 1.5 },
+		func(s *Spec) { s.MutateOps = -1 },
+		func(s *Spec) { s.MutateOps = MaxMutateOps + 1 },
 		func(s *Spec) { s.Graphs = nil },
 		func(s *Spec) { s.Graphs[0].Graph = "no/slash" },
 		func(s *Spec) { s.Graphs[0].N = 0 },
@@ -259,6 +264,172 @@ func TestReplayRejectsForeignRequests(t *testing.T) {
 		if err == nil {
 			t.Errorf("foreign request accepted: %s", line)
 		}
+	}
+}
+
+// Mutate requests carry deterministic insert-only deltas: every op is an
+// in-range insert, slots within one delta are distinct, and the whole
+// sequence regenerates identically. Read endpoints must never carry ops.
+func TestGenerateMutateDeltas(t *testing.T) {
+	spec := testSpec()
+	spec.Requests = 80
+	spec.MutateOps = 3
+	spec.Endpoints = []Weighted{
+		{Name: EndpointMutate, Weight: 1},
+		{Name: EndpointSSSP, Weight: 1},
+	}
+	reqs, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutates := 0
+	for i := range reqs {
+		r := &reqs[i]
+		if r.Endpoint != EndpointMutate {
+			if len(r.Ops) != 0 {
+				t.Fatalf("request %d (%s) carries a delta", i, r.Endpoint)
+			}
+			continue
+		}
+		mutates++
+		n, _ := spec.graphN(r.Graph)
+		if len(r.Ops) != 3 {
+			t.Fatalf("request %d delta has %d ops, want 3", i, len(r.Ops))
+		}
+		seen := map[[2]int32]bool{}
+		for _, op := range r.Ops {
+			if op.Op != mutate.OpInsert {
+				t.Fatalf("request %d generated a %q op", i, op.Op)
+			}
+			if op.U < 0 || op.U >= n || op.V < 0 || op.V >= n {
+				t.Fatalf("request %d op (%d,%d) out of range [0,%d)", i, op.U, op.V, n)
+			}
+			if op.W < 1 || op.W > 1024 {
+				t.Fatalf("request %d op weight %d out of range [1,1024]", i, op.W)
+			}
+			u, v := op.U, op.V
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int32{u, v}] {
+				t.Fatalf("request %d repeats slot (%d,%d) within one delta", i, u, v)
+			}
+			seen[[2]int32{u, v}] = true
+		}
+	}
+	if mutates == 0 {
+		t.Fatal("a half-weight mutate mix generated no mutate requests")
+	}
+	// Regeneration reproduces the deltas exactly.
+	reqs2, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reqs, reqs2) {
+		t.Fatal("mutate expansion is not deterministic")
+	}
+}
+
+// MutateOps must not perturb the random stream unless the mutate endpoint is
+// actually in the mix — old committed specs keep expanding byte-identically.
+func TestMutateOpsInertWithoutMutateEndpoint(t *testing.T) {
+	plain := testSpec()
+	r1, err := plain.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOps := testSpec()
+	withOps.MutateOps = 7
+	r2, err := withOps.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("setting mutate_ops changed a mutate-free expansion")
+	}
+}
+
+// Recorded mutate lines replay only when the spec could have generated their
+// shape: insert-only, in-range, distinct slots, positive weight.
+func TestReplayMutateLines(t *testing.T) {
+	spec := testSpec()
+	spec.Requests = 1
+	head, err := json.Marshal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		line string
+		ok   bool
+	}{
+		{`{"i":0,"at_us":0,"ep":"mutate","graph":"a","ops":[{"op":"insert","u":1,"v":2,"w":3}]}`, true},
+		{`{"i":0,"at_us":0,"ep":"mutate","graph":"a"}`, false},                                                                             // empty delta
+		{`{"i":0,"at_us":0,"ep":"mutate","graph":"a","ops":[{"op":"set_weight","u":1,"v":2,"w":3}]}`, false},                               // not insert-only
+		{`{"i":0,"at_us":0,"ep":"mutate","graph":"a","ops":[{"op":"insert","u":500,"v":2,"w":3}]}`, false},                                 // u out of range
+		{`{"i":0,"at_us":0,"ep":"mutate","graph":"a","ops":[{"op":"insert","u":1,"v":2}]}`, false},                                         // zero weight
+		{`{"i":0,"at_us":0,"ep":"mutate","graph":"a","ops":[{"op":"insert","u":1,"v":2,"w":3},{"op":"insert","u":2,"v":1,"w":4}]}`, false}, // duplicate slot
+	}
+	for _, tc := range cases {
+		in := string(head) + "\n" + tc.line + "\n"
+		_, err := ReadWorkload(strings.NewReader(in))
+		if tc.ok && err != nil {
+			t.Errorf("valid mutate line rejected: %v\n%s", err, tc.line)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("foreign mutate line accepted: %s", tc.line)
+		}
+	}
+}
+
+// The runner shapes a mutate request as POST /graphs/{name}/mutate with the
+// delta as the daemon's JSON batch body.
+func TestMutateRequestShape(t *testing.T) {
+	var mu sync.Mutex
+	var paths []string
+	var batches []mutate.Batch
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b mutate.Batch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		paths = append(paths, r.Method+" "+r.URL.Path)
+		batches = append(batches, b)
+		mu.Unlock()
+		w.Write([]byte(`{"status":"mutated"}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	spec := testSpec()
+	spec.Mode = ModeClosed
+	spec.Workers = 1 // sequential: recorded order matches request order
+	spec.Requests = 10
+	spec.MutateOps = 2
+	spec.Endpoints = []Weighted{{Name: EndpointMutate, Weight: 1}}
+	w := &Workload{Spec: spec}
+	out, err := Run(context.Background(), w, Options{BaseURL: ts.URL, Client: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(w, out)
+	if rep.OK != 10 || rep.Errors != 0 {
+		t.Fatalf("mutate run not clean: %+v", rep)
+	}
+	if len(paths) != 10 {
+		t.Fatalf("server saw %d requests, want 10", len(paths))
+	}
+	for i := range w.Requests {
+		want := "POST /graphs/" + w.Requests[i].Graph + "/mutate"
+		if paths[i] != want {
+			t.Fatalf("request %d hit %q, want %q", i, paths[i], want)
+		}
+		if !reflect.DeepEqual(batches[i].Ops, w.Requests[i].Ops) {
+			t.Fatalf("request %d body ops %+v, want %+v", i, batches[i].Ops, w.Requests[i].Ops)
+		}
+	}
+	if _, ok := rep.PerEndpoint[EndpointMutate]; !ok {
+		t.Fatalf("report has no mutate endpoint breakdown: %+v", rep.PerEndpoint)
 	}
 }
 

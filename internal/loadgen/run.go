@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mutate"
 	"repro/internal/obs"
 )
 
@@ -276,6 +277,19 @@ func buildHTTP(ctx context.Context, base string, req *Request) (*http.Request, e
 		// the query string so only ?graph= routes.
 		q.Del("solver")
 		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/batch?"+q.Encode(), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		return hreq, nil
+	case EndpointMutate:
+		// The graph travels in the path for mutations; names were validated
+		// URL-safe, so no escaping is needed.
+		body, err := json.Marshal(&mutate.Batch{Ops: req.Ops})
+		if err != nil {
+			return nil, err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/graphs/"+req.Graph+"/mutate", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}

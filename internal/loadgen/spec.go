@@ -9,6 +9,9 @@ import (
 	"math"
 	"os"
 	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mutate"
 )
 
 // Limits on what a spec may ask for. They bound what a hostile or corrupted
@@ -26,6 +29,10 @@ const (
 	MaxVertices = 1 << 24
 	// MaxWorkers caps closed-loop concurrency.
 	MaxWorkers = 4096
+	// MaxMutateOps caps ops per generated mutate delta — far below the
+	// daemon's own mutate.MaxOps, because a load generator emitting huge
+	// deltas is measuring the rebuild path, not serving under churn.
+	MaxMutateOps = 1024
 	// MaxRate caps the open-loop offered rate in requests/second.
 	MaxRate = 1e6
 	// maxNameLen caps workload/graph/endpoint/solver name lengths.
@@ -36,9 +43,10 @@ const (
 
 // Endpoint names a request shape the generator can emit.
 const (
-	EndpointSSSP  = "sssp"  // GET /sssp?src=
-	EndpointDist  = "dist"  // GET /dist?src=&dst=
-	EndpointBatch = "batch" // POST /batch
+	EndpointSSSP   = "sssp"   // GET /sssp?src=
+	EndpointDist   = "dist"   // GET /dist?src=&dst=
+	EndpointBatch  = "batch"  // POST /batch
+	EndpointMutate = "mutate" // POST /graphs/{name}/mutate
 )
 
 // Modes of driving the request sequence.
@@ -116,6 +124,11 @@ type Spec struct {
 	// FullFraction is the fraction of sssp requests asking for the full
 	// distance vector (full=1) rather than the summary.
 	FullFraction float64 `json:"full_fraction,omitempty"`
+	// MutateOps is the number of edge-insert ops per generated mutate delta
+	// (default 4, clamped to the target graph's vertex count). The generator
+	// emits insert-only deltas: it is hermetic and cannot know which edges
+	// exist on the server, and inserts are valid against any graph state.
+	MutateOps int `json:"mutate_ops,omitempty"`
 	// Graphs is the weighted graph mix (required, at least one entry).
 	Graphs []GraphMix `json:"graphs"`
 	// Endpoints is the weighted endpoint mix (default: all sssp).
@@ -148,6 +161,8 @@ type Request struct {
 	Solver string `json:"solver,omitempty"`
 	// Srcs are the per-item sources of a /batch request.
 	Srcs []int32 `json:"srcs,omitempty"`
+	// Ops is the concrete delta of a mutate request (insert ops only).
+	Ops []mutate.Op `json:"ops,omitempty"`
 }
 
 // At returns the request's arrival offset as a duration.
@@ -231,6 +246,9 @@ func (s *Spec) Validate() error {
 	if !finiteNonNeg(s.FullFraction) || s.FullFraction > 1 {
 		return fmt.Errorf("loadgen: full_fraction %v out of range [0,1]", s.FullFraction)
 	}
+	if s.MutateOps < 0 || s.MutateOps > MaxMutateOps {
+		return fmt.Errorf("loadgen: mutate_ops %d out of range [0,%d]", s.MutateOps, MaxMutateOps)
+	}
 	if len(s.Graphs) == 0 {
 		return fmt.Errorf("loadgen: graph mix is empty")
 	}
@@ -250,7 +268,7 @@ func (s *Spec) Validate() error {
 	ew := make([]float64, len(s.Endpoints))
 	for i, e := range s.Endpoints {
 		switch e.Name {
-		case EndpointSSSP, EndpointDist, EndpointBatch:
+		case EndpointSSSP, EndpointDist, EndpointBatch, EndpointMutate:
 		default:
 			return fmt.Errorf("loadgen: unknown endpoint %q", e.Name)
 		}
@@ -332,6 +350,30 @@ func (s *Spec) validateRequest(i int, r *Request) error {
 			if !inRange(v) {
 				return fmt.Errorf("loadgen: request %d batch source %d out of range [0,%d)", i, v, n)
 			}
+		}
+	case EndpointMutate:
+		if len(r.Ops) < 1 || len(r.Ops) > MaxMutateOps {
+			return fmt.Errorf("loadgen: request %d delta size %d out of range [1,%d]", i, len(r.Ops), MaxMutateOps)
+		}
+		seen := make(map[[2]int32]bool, len(r.Ops))
+		for j, op := range r.Ops {
+			if op.Op != mutate.OpInsert {
+				return fmt.Errorf("loadgen: request %d op %d is %q; generated deltas are insert-only", i, j, op.Op)
+			}
+			if !inRange(op.U) || !inRange(op.V) {
+				return fmt.Errorf("loadgen: request %d op %d edge (%d,%d) out of range [0,%d)", i, j, op.U, op.V, n)
+			}
+			if op.W < 1 || op.W > graph.MaxWeight {
+				return fmt.Errorf("loadgen: request %d op %d weight %d out of range [1,%d]", i, j, op.W, graph.MaxWeight)
+			}
+			u, v := op.U, op.V
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int32{u, v}] {
+				return fmt.Errorf("loadgen: request %d has two ops on edge (%d,%d)", i, u, v)
+			}
+			seen[[2]int32{u, v}] = true
 		}
 	default:
 		return fmt.Errorf("loadgen: request %d has unknown endpoint %q", i, r.Endpoint)

@@ -1,0 +1,172 @@
+package mutate
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestWriteMutateBenchJSON emits BENCH_mutate.json when BENCH_MUTATE_OUT is
+// set (see `make bench-mutate`). The headline number is the cost of repairing
+// the hierarchy after a small additive delta — two weight decreases and two
+// inserts, the shape the service's mutation traffic has — on the logn=14
+// bench family, against rebuilding the same hierarchy from scratch on the
+// mutated graph. Both mutation paths pay the identical copy-on-write overlay
+// first, so repair-vs-build on the same post-overlay graph is the isolated
+// comparison; the end-to-end generation step (Mutate, overlay included)
+// against apply-plus-rebuild is reported alongside as mutate_ns /
+// apply_build_ns. Gate: repair >= 10x faster than rebuild, the economics
+// that justify the mutation subsystem existing at all.
+//
+// A delete-bearing delta is measured alongside and reported un-gated
+// (mixed_*): deletes can split components, so they take the general repair,
+// whose level re-sweep is near O(m) on this family's high-fanout hierarchy.
+func TestWriteMutateBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_MUTATE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_MUTATE_OUT=path to write the mutation benchmark JSON (make bench-mutate)")
+	}
+
+	g := gen.Random(1<<14, 1<<16, 1<<10, gen.UWD, 42)
+	h := ch.BuildKruskal(g)
+
+	// Pick three distinct edge slots spread through the edge list, then two
+	// insert slots that collide with nothing.
+	edges := g.Edges()
+	seen := map[[2]int32]bool{}
+	var picked []int
+	for i := 0; i < len(edges) && len(picked) < 3; i += len(edges)/7 + 1 {
+		k := pairKey(edges[i].U, edges[i].V)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		picked = append(picked, i)
+	}
+	if len(picked) < 3 {
+		t.Fatalf("could not pick 3 distinct edge slots from %d edges", len(edges))
+	}
+	freeSlot := func(u, v int32) (int32, int32) {
+		for seen[pairKey(u, v)] {
+			v++
+		}
+		seen[pairKey(u, v)] = true
+		return u, v
+	}
+	insU, insV := freeSlot(3, 4097)
+	ins2U, ins2V := freeSlot(9000, 123)
+	e0, e1, e2 := edges[picked[0]], edges[picked[1]], edges[picked[2]]
+	additive := &Batch{Ops: []Op{
+		{Op: OpSetWeight, U: e0.U, V: e0.V, W: 1},
+		{Op: OpSetWeight, U: e1.U, V: e1.V, W: 2},
+		{Op: OpInsert, U: insU, V: insV, W: 7},
+		{Op: OpInsert, U: ins2U, V: ins2V, W: 300},
+	}}
+	mixed := &Batch{Ops: []Op{
+		{Op: OpSetWeight, U: e0.U, V: e0.V, W: e0.W%1024 + 1},
+		{Op: OpDelete, U: e2.U, V: e2.V},
+		{Op: OpInsert, U: insU, V: insV, W: 7},
+	}}
+	for _, b := range []*Batch{additive, mixed} {
+		if err := b.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One un-clocked run for the delta's shape numbers and sanity.
+	probe, err := Mutate(g, h, additive, Options{Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Fallback || probe.H == nil {
+		t.Fatalf("small delta fell back (touched %d, frac %.4f)", probe.Touched, probe.Frac)
+	}
+	if !probe.Additive {
+		t.Fatal("additive delta missed the additive repair path")
+	}
+
+	avg := func(reps int, fn func()) time.Duration {
+		var total time.Duration
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			fn()
+			total += time.Since(start)
+		}
+		return total / time.Duration(reps)
+	}
+	clockMutate := func(b *Batch) func() {
+		return func() {
+			res, err := Mutate(g, h, b, Options{Threshold: 1.0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fallback {
+				t.Fatal("incremental rep fell back")
+			}
+		}
+	}
+
+	// The isolated repair-vs-rebuild comparison runs both stages on the same
+	// post-overlay graph, exactly the inputs Mutate hands them.
+	g2, _, err := Apply(g, additive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := make([]graph.Edge, 0, len(additive.Ops))
+	for _, op := range additive.Ops {
+		added = append(added, graph.Edge{U: op.U, V: op.V, W: op.W})
+	}
+	repair := avg(100, func() {
+		if _, _, err := ch.RepairAdditive(h, g2, added); err != nil {
+			t.Fatal(err)
+		}
+	})
+	build := avg(5, func() { ch.BuildKruskal(g2) })
+
+	mutateNS := avg(50, clockMutate(additive))
+	mixedInc := avg(5, clockMutate(mixed))
+	applyBuild := avg(3, func() {
+		ag, _, err := Apply(g, additive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch.BuildKruskal(ag)
+	})
+
+	speedup := float64(build) / float64(repair)
+	doc := map[string]any{
+		"vertices":             g.NumVertices(),
+		"edges":                g.NumEdges(),
+		"delta_ops":            len(additive.Ops),
+		"touched":              probe.Touched,
+		"touched_frac":         probe.Frac,
+		"repair_ns":            repair.Nanoseconds(),
+		"rebuild_ns":           build.Nanoseconds(),
+		"speedup":              speedup,
+		"mutate_ns":            mutateNS.Nanoseconds(),
+		"apply_build_ns":       applyBuild.Nanoseconds(),
+		"mutate_speedup":       float64(applyBuild) / float64(mutateNS),
+		"mixed_delta_ops":      len(mixed.Ops),
+		"mixed_incremental_ns": mixedInc.Nanoseconds(),
+		"mixed_speedup":        float64(applyBuild) / float64(mixedInc),
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d-op additive delta touching %d/%d vertices — repair %s vs rebuild %s (%.1fx); end-to-end %s vs %s (%.1fx); mixed delta %s (%.1fx)",
+		out, len(additive.Ops), probe.Touched, g.NumVertices(), repair, build, speedup,
+		mutateNS, applyBuild, float64(applyBuild)/float64(mutateNS),
+		mixedInc, float64(applyBuild)/float64(mixedInc))
+	if speedup < 10 {
+		t.Errorf("incremental repair speedup %.1fx over full rebuild, want >= 10x", speedup)
+	}
+}

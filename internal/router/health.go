@@ -30,6 +30,14 @@ type backendState struct {
 	lastScrape time.Time
 }
 
+// setWeight updates the backend's ring weight when a reload carries the
+// state over with a new weight (snapshot reads it under the same lock).
+func (b *backendState) setWeight(w int) {
+	b.mu.Lock()
+	b.weight = w
+	b.mu.Unlock()
+}
+
 // graphState returns the backend's last-scraped state for a graph ("" when
 // the backend does not serve it or has never been scraped).
 func (b *backendState) graphState(graph string) string {
@@ -107,12 +115,18 @@ func (b *backendState) snapshot() BackendHealth {
 	return h
 }
 
-// checkOnce scrapes every backend concurrently and folds the results in.
-// Each scrape gets its own HealthTimeout so one wedged backend cannot stall
-// the round past the interval.
+// checkOnce scrapes every backend of the current view; Reload-retired states
+// simply stop being scraped once no view references them.
 func (rt *Router) checkOnce(ctx context.Context) {
+	rt.scrape(ctx, rt.view.Load().backends)
+}
+
+// scrape probes the given backends concurrently and folds the results in.
+// Each probe gets its own HealthTimeout so one wedged backend cannot stall
+// the round past the interval.
+func (rt *Router) scrape(ctx context.Context, backends []*backendState) {
 	var wg sync.WaitGroup
-	for _, b := range rt.backends {
+	for _, b := range backends {
 		wg.Add(1)
 		go func(b *backendState) {
 			defer wg.Done()

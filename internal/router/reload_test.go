@@ -1,0 +1,173 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// tableFor builds a validated table naming the given fakes.
+func tableFor(replicas int, fakes ...*fakeBackend) *Table {
+	tbl := &Table{Version: 1, Replicas: replicas}
+	for _, fb := range fakes {
+		tbl.Backends = append(tbl.Backends, Backend{Name: fb.name, URL: fb.srv.URL})
+	}
+	return tbl
+}
+
+// The hot-reload contract: a request that is inside a backend when the table
+// is swapped — even one that removes that backend from the fleet — completes
+// normally, because the request holds the view (and backend state) it started
+// with.
+func TestReloadPreservesInFlightRequests(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	a := newFakeBackend(t, "a", "g")
+	b := newFakeBackend(t, "b", "g")
+	a.setQuery(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		json.NewEncoder(w).Encode(map[string]string{"backend": "a"})
+	})
+	rt := newTestRouter(t, Config{}, a)
+	mux := rt.Mux()
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- get(t, mux, "/dist?graph=g&s=0&t=1") }()
+	<-entered
+
+	// Swap a out for b while the request is inside a.
+	if err := rt.Reload(tableFor(1, b)); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if rt.Counter(cTableReloads) != 1 {
+		t.Fatalf("table_reloads = %d, want 1", rt.Counter(cTableReloads))
+	}
+
+	// New requests route to b immediately: Reload primed its health
+	// synchronously, no CheckNow needed.
+	if w := get(t, mux, "/dist?graph=g&s=0&t=1"); w.Code != http.StatusOK || w.Header().Get("X-Backend") != "b" {
+		t.Fatalf("post-reload request: status %d backend %q, want 200 from b", w.Code, w.Header().Get("X-Backend"))
+	}
+
+	// The request that was in flight across the swap still completes on a.
+	close(release)
+	w := <-done
+	if w.Code != http.StatusOK || w.Header().Get("X-Backend") != "a" {
+		t.Fatalf("in-flight request across reload: status %d backend %q, want 200 from a", w.Code, w.Header().Get("X-Backend"))
+	}
+}
+
+// Backends that persist across a reload keep their scraped health state — the
+// swap must not blank the fleet into an unknown-health brown-out.
+func TestReloadCarriesBackendStateOver(t *testing.T) {
+	a := newFakeBackend(t, "a", "g")
+	b := newFakeBackend(t, "b", "g")
+	rt := newTestRouter(t, Config{}, a, b)
+
+	// A reload of an unchanged fleet must not probe anything: zero probes
+	// plus both backends still eligible proves the state objects were carried
+	// over rather than rebuilt fresh (fresh states start unknown and would
+	// have needed priming).
+	probes := rt.Counter(cHealthProbes)
+	if err := rt.Reload(tableFor(2, a, b)); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if got := rt.Counter(cHealthProbes); got != probes {
+		t.Fatalf("reload of an unchanged fleet ran %d probes, want 0 (state carried over)", got-probes)
+	}
+	_, eligible := rt.replicasFor("g")
+	if len(eligible) != 2 {
+		t.Fatalf("eligible after same-fleet reload = %d backends, want 2", len(eligible))
+	}
+
+	// A reload that changes a backend's URL rebuilds that state from scratch
+	// and primes it; pointing "b" at a dead address must leave only a.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	tbl := tableFor(2, a)
+	tbl.Backends = append(tbl.Backends, Backend{Name: "b", URL: dead.URL})
+	if err := rt.Reload(tbl); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if got := rt.Counter(cHealthProbes); got != probes+1 {
+		t.Fatalf("reload with one rebuilt backend ran %d probes, want 1", got-probes)
+	}
+	_, eligible = rt.replicasFor("g")
+	if len(eligible) != 1 || eligible[0].name != "a" {
+		t.Fatalf("eligible after URL change = %v, want just a", eligible)
+	}
+}
+
+// A table that fails validation is rejected outright: the current view keeps
+// serving and no counters move.
+func TestReloadRejectsInvalidTable(t *testing.T) {
+	a := newFakeBackend(t, "a", "g")
+	rt := newTestRouter(t, Config{}, a)
+	if err := rt.Reload(&Table{Version: 7}); err == nil {
+		t.Fatal("Reload accepted an invalid table")
+	}
+	if err := rt.Reload(nil); err == nil {
+		t.Fatal("Reload accepted a nil table")
+	}
+	if rt.Counter(cTableReloads) != 0 {
+		t.Fatalf("table_reloads = %d after rejected reloads, want 0", rt.Counter(cTableReloads))
+	}
+	if w := get(t, rt.Mux(), "/dist?graph=g&s=0&t=1"); w.Code != http.StatusOK {
+		t.Fatalf("request after rejected reload: %d, want 200", w.Code)
+	}
+}
+
+// Reload under live traffic: queries hammer the router while the fleet
+// composition flips back and forth; every response must be a 200 (the
+// request's view is coherent) and /metrics must never observe a torn fleet.
+func TestReloadUnderConcurrentTraffic(t *testing.T) {
+	a := newFakeBackend(t, "a", "g")
+	b := newFakeBackend(t, "b", "g")
+	rt := newTestRouter(t, Config{}, a, b)
+	mux := rt.Mux()
+
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					errc <- nil
+					return
+				default:
+				}
+				w := httptest.NewRecorder()
+				mux.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/dist?graph=g&s=0&t=1", nil))
+				if w.Code != http.StatusOK {
+					errc <- nil
+					t.Errorf("query during reload churn: status %d: %s", w.Code, w.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		var tbl *Table
+		if i%2 == 0 {
+			tbl = tableFor(1, a)
+		} else {
+			tbl = tableFor(2, a, b)
+		}
+		if err := rt.Reload(tbl); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+	}
+	close(stop)
+	for i := 0; i < 4; i++ {
+		<-errc
+	}
+	if got := rt.Counter(cTableReloads); got != 20 {
+		t.Fatalf("table_reloads = %d, want 20", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -61,6 +62,7 @@ const (
 	cRetryBudgetSpent    = "retry_budget_exhausted"
 	cNoReplica           = "no_replica"
 	cAllShedding         = "all_shedding"
+	cTableReloads        = "table_reloads"
 	cFanouts             = "fanouts"
 	cFanoutSubrequests   = "fanout_subrequests"
 	cFanoutItemErrors    = "fanout_item_errors"
@@ -76,11 +78,8 @@ const (
 // out across a graph's replicas with per-item recombination. It is the
 // entire behavior of cmd/ssspr; the command is flags plus this type.
 type Router struct {
-	cfg      Config
-	table    *Table
-	ring     *Ring
-	backends []*backendState
-	byName   map[string]*backendState
+	cfg  Config
+	view atomic.Pointer[fleetView]
 
 	metrics  *obs.Registry
 	counters *obs.Group
@@ -90,8 +89,49 @@ type Router struct {
 	client       *http.Client
 	healthClient *http.Client
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	reloadMu sync.Mutex // serializes Reload (SIGHUP storms)
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// fleetView is the immutable routing state one table produces: the table, its
+// consistent-hash ring, and the live backend states. Requests read the
+// current view once and act on it; Reload swaps a whole new view in beneath
+// them, so an in-flight request keeps the backend set it started with.
+type fleetView struct {
+	table    *Table
+	ring     *Ring
+	backends []*backendState
+	byName   map[string]*backendState
+}
+
+// buildView materializes a validated table into a view. Backends that persist
+// from prev — same name and URL — keep their backendState object, so health
+// and in-flight accounting carry across a reload; everything else starts
+// fresh (and unhealthy, until a scrape says otherwise).
+func buildView(tbl *Table, prev *fleetView) *fleetView {
+	v := &fleetView{
+		table:  tbl,
+		ring:   BuildRing(tbl),
+		byName: make(map[string]*backendState, len(tbl.Backends)),
+	}
+	for i := range tbl.Backends {
+		tb := &tbl.Backends[i]
+		url := strings.TrimRight(tb.URL, "/")
+		var b *backendState
+		if prev != nil {
+			if old := prev.byName[tb.Name]; old != nil && old.url == url {
+				b = old
+				b.setWeight(weightOf(tb))
+			}
+		}
+		if b == nil {
+			b = &backendState{name: tb.Name, url: url, weight: weightOf(tb)}
+		}
+		v.backends = append(v.backends, b)
+		v.byName[tb.Name] = b
+	}
+	return v
 }
 
 // New builds a router over cfg.Table, primes health with one synchronous
@@ -117,13 +157,11 @@ func New(cfg Config) (*Router, error) {
 		cfg.RetryBackoff = 5 * time.Millisecond
 	}
 	rt := &Router{
-		cfg:   cfg,
-		table: cfg.Table,
-		ring:  BuildRing(cfg.Table),
+		cfg: cfg,
 		metrics: obs.NewRegistry("healthz", "metrics", "fleet", "route", "debug_traces",
 			"sssp", "dist", "st", "table", "batch"),
 		counters: obs.NewGroup(cRouted, cProxyErrors, cRetries, cRetrySuccess, cRetryBudgetSpent,
-			cNoReplica, cAllShedding, cFanouts, cFanoutSubrequests, cFanoutItemErrors,
+			cNoReplica, cAllShedding, cTableReloads, cFanouts, cFanoutSubrequests, cFanoutItemErrors,
 			cHealthProbes, cHealthProbeFailures, cHealthTransitions),
 		tracer:       trace.New(cfg.Trace),
 		client:       cfg.Client,
@@ -140,21 +178,48 @@ func New(cfg Config) (*Router, error) {
 	if rt.client == nil {
 		rt.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
 	}
-	rt.byName = make(map[string]*backendState, len(cfg.Table.Backends))
-	for i := range cfg.Table.Backends {
-		tb := &cfg.Table.Backends[i]
-		b := &backendState{
-			name:   tb.Name,
-			url:    strings.TrimRight(tb.URL, "/"),
-			weight: weightOf(tb),
-		}
-		rt.backends = append(rt.backends, b)
-		rt.byName[tb.Name] = b
-	}
+	rt.view.Store(buildView(cfg.Table, nil))
 	rt.checkOnce(context.Background())
 	rt.wg.Add(1)
 	go rt.healthLoop()
 	return rt, nil
+}
+
+// Reload swaps in a new routing table without disturbing traffic: backends
+// that persist (same name and URL) keep their health state and in-flight
+// accounting, removed backends finish the requests they already carry, and
+// backends new to the fleet are primed with one synchronous health round
+// before the swap so they never take traffic with unknown health. cmd/ssspr
+// calls this on SIGHUP with a re-read table file; a table that fails
+// validation is rejected and the current view stays in place.
+func (rt *Router) Reload(tbl *Table) error {
+	if tbl == nil {
+		return fmt.Errorf("router: Reload with nil table")
+	}
+	if err := tbl.Validate(); err != nil {
+		return err
+	}
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	prev := rt.view.Load()
+	next := buildView(tbl, prev)
+	var fresh []*backendState
+	carried := 0
+	for _, b := range next.backends {
+		if prev.byName[b.name] == b {
+			carried++
+		} else {
+			fresh = append(fresh, b)
+		}
+	}
+	if len(fresh) > 0 {
+		rt.scrape(context.Background(), fresh)
+	}
+	rt.view.Store(next)
+	rt.counters.C(cTableReloads).Inc()
+	rt.logf("router: table reloaded: %d backends (%d carried over, %d new)",
+		len(next.backends), carried, len(fresh))
+	return nil
 }
 
 // Close stops the health loop. In-flight proxied requests are unaffected.
@@ -178,9 +243,10 @@ func (rt *Router) Counter(name string) int64 { return rt.counters.C(name).Value(
 // replicasFor resolves a graph to its ring replica set and the eligible
 // (healthy, graph-ready) subset, preserving ring order.
 func (rt *Router) replicasFor(graph string) (replicas []string, eligible []*backendState) {
-	replicas = rt.ring.ReplicasFor(graph, rt.table.ReplicaCount(graph))
+	v := rt.view.Load()
+	replicas = v.ring.ReplicasFor(graph, v.table.ReplicaCount(graph))
 	for _, name := range replicas {
-		if b := rt.byName[name]; b != nil && b.eligible(graph) {
+		if b := v.byName[name]; b != nil && b.eligible(graph) {
 			eligible = append(eligible, b)
 		}
 	}
@@ -515,9 +581,10 @@ func drain(resp *http.Response) {
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	fv := rt.view.Load()
 	healthy := 0
-	views := make([]BackendHealth, 0, len(rt.backends))
-	for _, b := range rt.backends {
+	views := make([]BackendHealth, 0, len(fv.backends))
+	for _, b := range fv.backends {
 		v := b.snapshot()
 		if v.Healthy {
 			healthy++
@@ -527,10 +594,10 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"uptime_seconds": rt.metrics.UptimeSeconds(),
 		"fleet": map[string]any{
-			"backends":         len(rt.backends),
+			"backends":         len(fv.backends),
 			"healthy":          healthy,
-			"vnodes":           rt.table.vnodes(),
-			"replicas_default": rt.table.ReplicaCount(""),
+			"vnodes":           fv.table.vnodes(),
+			"replicas_default": fv.table.ReplicaCount(""),
 		},
 		"endpoints": rt.metrics.Snapshot(),
 		"router":    rt.counters.Snapshot(),
@@ -541,14 +608,15 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
-	views := make([]BackendHealth, 0, len(rt.backends))
-	for _, b := range rt.backends {
+	fv := rt.view.Load()
+	views := make([]BackendHealth, 0, len(fv.backends))
+	for _, b := range fv.backends {
 		views = append(views, b.snapshot())
 	}
 	writeJSON(w, map[string]any{
 		"backends":         views,
-		"vnodes":           rt.table.vnodes(),
-		"replicas_default": rt.table.ReplicaCount(""),
+		"vnodes":           fv.table.vnodes(),
+		"replicas_default": fv.table.ReplicaCount(""),
 		"default_graph":    rt.cfg.DefaultGraph,
 	})
 }

@@ -165,7 +165,7 @@ func checkCatalog(cfg Config, name string, g *graph.Graph, sources []int32) *Fai
 		if !ok {
 			break
 		}
-		if err := cat.Reload("main"); err != nil {
+		if _, err := cat.Reload("main"); err != nil {
 			report(fail("catalog-lifecycle", "reload main: %v", err))
 			break
 		}

@@ -1,0 +1,158 @@
+package stress
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mutate"
+	"repro/internal/par"
+)
+
+// TestMutationSequenceDeterministic: the oracle's sequence is a pure function
+// of the seed and graph, so failures re-derive identically on replay.
+func TestMutationSequenceDeterministic(t *testing.T) {
+	g := gen.Random(200, 800, 1<<10, gen.UWD, 11)
+	a := genMutationSequence(g, 6, 99)
+	b := genMutationSequence(g, 6, 99)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("sequence lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(mutate.EncodeDelta(a[i]), mutate.EncodeDelta(b[i])) {
+			t.Fatalf("batch %d differs between identical seeds", i)
+		}
+	}
+	if c := genMutationSequence(g, 6, 100); len(c) > 0 &&
+		bytes.Equal(mutate.EncodeDelta(a[0]), mutate.EncodeDelta(c[0])) {
+		t.Fatal("different seeds produced the same first batch")
+	}
+}
+
+// TestMutationOracleClean: on a correct tree the oracle must pass, with both
+// the incremental path and the forced-fallback path (every third batch)
+// exercised.
+func TestMutationOracleClean(t *testing.T) {
+	rt := par.NewExec(2)
+	g := gen.Random(150, 600, 1<<10, gen.UWD, 5)
+	cfg := Config{Seed: 5, MutateRounds: 6}.withDefaults()
+	if f := checkMutate(cfg, rt, "clean", g, []int32{0, 50, 100}); f != nil {
+		t.Fatalf("oracle tripped on correct machinery: %v", f)
+	}
+}
+
+// TestMutationFaultCaughtShrunkAndReplayed is the dynamic-graph acceptance
+// gate: with the planted repair bug active (the incremental path mis-applies
+// the first weighted op by one), the sweep must catch it, the shrinker must
+// reduce both the witness graph and the mutation sequence to near-minimal,
+// and the written repro (DIMACS pair + .mut sidecar) must reproduce the same
+// failure through ReplayFile.
+func TestMutationFaultCaughtShrunkAndReplayed(t *testing.T) {
+	cfg := Config{
+		Seed:        7,
+		MaxN:        128,
+		Workers:     2,
+		MutateFault: true,
+		NoRace:      true,
+	}
+	f := Run(cfg)
+	if f == nil {
+		t.Fatal("planted repair fault not caught")
+	}
+	if !strings.HasPrefix(f.Check, "mutate-") {
+		t.Fatalf("failure not attributed to the mutation oracle: %v", f)
+	}
+	if n := f.G.NumVertices(); n > 64 {
+		t.Fatalf("graph shrinker left %d vertices, want <= 64 (failure: %v)", n, f)
+	}
+	totalOps := 0
+	for _, b := range f.Mutations {
+		totalOps += len(b.Ops)
+	}
+	if len(f.Mutations) > 2 || totalOps > 2 {
+		t.Fatalf("sequence shrinker left %d batches / %d ops, want near-minimal (failure: %v)",
+			len(f.Mutations), totalOps, f)
+	}
+	t.Logf("shrunk witness: n=%d m=%d batches=%d ops=%d: %v",
+		f.G.NumVertices(), f.G.NumEdges(), len(f.Mutations), totalOps, f)
+
+	dir := t.TempDir()
+	grPath, err := f.WriteRepro(dir)
+	if err != nil {
+		t.Fatalf("WriteRepro: %v", err)
+	}
+	mutPath := strings.TrimSuffix(grPath, ".gr") + ".mut"
+	if _, err := os.Stat(mutPath); err != nil {
+		t.Fatalf("mutation repro missing its .mut sidecar: %v", err)
+	}
+	rep, err := LoadRepro(grPath)
+	if err != nil {
+		t.Fatalf("LoadRepro: %v", err)
+	}
+	if len(rep.Mutations) != len(f.Mutations) || !rep.Fault {
+		t.Fatalf("sidecar round trip lost the sequence or fault flag: %+v", rep)
+	}
+
+	rt := par.NewExec(2)
+	f2, err := ReplayFile(cfg, rt, grPath)
+	if err != nil {
+		t.Fatalf("ReplayFile: %v", err)
+	}
+	if f2 == nil || f2.Check != f.Check {
+		t.Fatalf("replayed repro did not reproduce %q: got %v", f.Check, f2)
+	}
+}
+
+// TestShrinkMutationsConverges: ddmin over batches and ops must reduce a
+// padded sequence to the single op the property needs.
+func TestShrinkMutationsConverges(t *testing.T) {
+	seq := []*mutate.Batch{
+		{Ops: []mutate.Op{
+			{Op: mutate.OpSetWeight, U: 0, V: 1, W: 5},
+			{Op: mutate.OpDelete, U: 2, V: 3},
+		}},
+		{Ops: []mutate.Op{
+			{Op: mutate.OpInsert, U: 4, V: 5, W: 1}, // the needle
+			{Op: mutate.OpSetWeight, U: 6, V: 7, W: 9},
+		}},
+		{Ops: []mutate.Op{{Op: mutate.OpDelete, U: 8, V: 9}}},
+	}
+	keep := func(cand []*mutate.Batch) bool {
+		for _, b := range cand {
+			for _, op := range b.Ops {
+				if op.Op == mutate.OpInsert {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	out := ShrinkMutations(seq, keep)
+	if len(out) != 1 || len(out[0].Ops) != 1 || out[0].Ops[0].Op != mutate.OpInsert {
+		t.Fatalf("shrinker stalled at %d batches: %+v", len(out), out)
+	}
+}
+
+// TestMutationSmokeCorpusEntry pins the committed .mut sidecar to the replay
+// path: the corpus entry must load with its sequence attached and replay
+// clean (TestReplayCorpus also covers it, as part of the whole directory).
+func TestMutationSmokeCorpusEntry(t *testing.T) {
+	grPath := filepath.Join("..", "..", "testdata", "stress", "mutation-smoke.gr")
+	rep, err := LoadRepro(grPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mutations) != 3 || rep.Fault {
+		t.Fatalf("sidecar not loaded as expected: %d batches, fault=%v", len(rep.Mutations), rep.Fault)
+	}
+	f, err := ReplayFile(Config{Workers: 2}, par.NewExec(2), grPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != nil {
+		t.Fatalf("smoke entry failed: %v", f)
+	}
+}

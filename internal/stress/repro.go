@@ -1,6 +1,7 @@
 package stress
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,8 +10,17 @@ import (
 
 	"repro/internal/dimacs"
 	"repro/internal/graph"
+	"repro/internal/mutate"
 	"repro/internal/par"
 )
+
+// mutSidecar is the JSON schema of the optional <slug>.mut file written next
+// to a repro's DIMACS pair: the failing mutation sequence plus whether the
+// planted repair fault was active when it tripped.
+type mutSidecar struct {
+	Fault   bool            `json:"fault,omitempty"`
+	Batches []*mutate.Batch `json:"batches"`
+}
 
 // WriteRepro persists the failure's witness instance as a self-contained
 // DIMACS pair: <dir>/<slug>.gr (graph, with the failure described in comment
@@ -46,6 +56,15 @@ func (f *Failure) WriteRepro(dir string) (string, error) {
 	}
 	if werr != nil {
 		return "", werr
+	}
+	if len(f.Mutations) > 0 {
+		data, err := json.MarshalIndent(mutSidecar{Fault: f.MutateFault, Batches: f.Mutations}, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(dir, slug+".mut"), append(data, '\n'), 0o644); err != nil {
+			return "", err
+		}
 	}
 	return grPath, nil
 }
@@ -87,21 +106,44 @@ func LoadRepro(grPath string) (*LoadedRepro, error) {
 			return nil, fmt.Errorf("%s: source %d out of range [0,%d)", grPath, s, g.NumVertices())
 		}
 	}
-	return &LoadedRepro{Name: filepath.Base(grPath), G: g, Sources: sources}, nil
+	rep := &LoadedRepro{Name: filepath.Base(grPath), G: g, Sources: sources}
+	mutPath := strings.TrimSuffix(grPath, filepath.Ext(grPath)) + ".mut"
+	if data, err := os.ReadFile(mutPath); err == nil {
+		var sc mutSidecar
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return nil, fmt.Errorf("%s: %v", mutPath, err)
+		}
+		rep.Mutations, rep.Fault = sc.Batches, sc.Fault
+	}
+	return rep, nil
 }
 
-// LoadedRepro is one replayable instance from disk.
+// LoadedRepro is one replayable instance from disk. Mutations is non-nil when
+// a .mut sidecar recorded a failing mutation sequence (Fault marks whether
+// the planted repair bug was active).
 type LoadedRepro struct {
-	Name    string
-	G       *graph.Graph
-	Sources []int32
+	Name      string
+	G         *graph.Graph
+	Sources   []int32
+	Mutations []*mutate.Batch
+	Fault     bool
 }
 
-// ReplayFile re-runs the full oracle stack on one repro file.
+// ReplayFile re-runs the full oracle stack on one repro file. A repro with a
+// .mut sidecar replays its recorded mutation sequence (under the recorded
+// fault flag, so planted-bug repros reproduce) before the standard checks.
 func ReplayFile(cfg Config, rt *par.Runtime, grPath string) (*Failure, error) {
 	rep, err := LoadRepro(grPath)
 	if err != nil {
 		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if len(rep.Mutations) > 0 {
+		if f := checkMutationSequence(cfg, rt, rep.Name, rep.G, rep.Sources, rep.Mutations, rep.Fault); f != nil {
+			f.Seed = cfg.Seed
+			return f, nil
+		}
+		return nil, nil
 	}
 	return CheckInstance(cfg, rt, rep.Name, rep.G, rep.Sources), nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/deltastep"
 	"repro/internal/dijkstra"
 	"repro/internal/graph"
+	"repro/internal/mutate"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/solver"
@@ -25,6 +26,9 @@ type Config struct {
 	Solvers []solver.Solver                  // solver pool (default solver.All()); tests may append broken ones
 	NoRace  bool                             // skip the concurrent-query stage (the shrinker sets this for speed)
 	Logf    func(format string, args ...any) // optional progress sink
+
+	MutateRounds int  // mutation batches per instance for the dynamic-graph oracle (default 4; negative disables)
+	MutateFault  bool // plant the incremental-repair bug (mutate.Options.InjectFault); the oracle must catch it
 }
 
 func (cfg Config) withDefaults() Config {
@@ -43,6 +47,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Solvers == nil {
 		cfg.Solvers = solver.All()
 	}
+	if cfg.MutateRounds == 0 {
+		cfg.MutateRounds = 4
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -58,6 +65,12 @@ type Failure struct {
 	Seed    uint64 // base seed of the run that found it
 	G       *graph.Graph
 	Sources []int32
+
+	// Mutation-oracle failures additionally carry the (shrunk) batch
+	// sequence and whether the planted repair fault was active; WriteRepro
+	// persists both in a .mut sidecar next to the DIMACS pair.
+	Mutations   []*mutate.Batch
+	MutateFault bool
 }
 
 func (f *Failure) Error() string {
@@ -104,7 +117,10 @@ func shrinkFailure(cfg Config, rt *par.Runtime, f *Failure) *Failure {
 		return f
 	}
 	f2.Seed = f.Seed
-	cfg.Logf("stress: shrunk to n=%d m=%d sources=%v", g.NumVertices(), g.NumEdges(), sources)
+	if len(f2.Mutations) > 0 {
+		f2 = shrinkMutationSequence(sub, rt, f2)
+	}
+	cfg.Logf("stress: shrunk to n=%d m=%d sources=%v", f2.G.NumVertices(), f2.G.NumEdges(), f2.Sources)
 	return f2
 }
 
@@ -222,6 +238,12 @@ func CheckInstance(cfg Config, rt *par.Runtime, name string, g *graph.Graph, sou
 
 	// Metamorphic transformations.
 	if f := checkMetamorphic(cfg, rt, name, g, sources, ref); f != nil {
+		return f
+	}
+
+	// Dynamic-graph oracle: random mutation sequences through the
+	// incremental-repair and fallback paths vs an independent replay.
+	if f := checkMutate(cfg, rt, name, g, sources); f != nil {
 		return f
 	}
 

@@ -1,0 +1,4 @@
+c sources for the mutation smoke replay
+p aux sp ss 2
+s 1
+s 3
