@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine bench-catalog bench-trace bench-serve bench-serve-smoke bench-router bench-mutate check docs-check stress fuzz experiments examples clean
+.PHONY: all build vet test race bench bench-engine bench-catalog bench-trace bench-serve bench-serve-smoke bench-router bench-mutate bench-costmodel check docs-check stress fuzz experiments examples clean
 
 all: build vet test
 
@@ -22,7 +22,7 @@ race:
 		./internal/par ./internal/bfs ./internal/mta ./internal/digraph \
 		./internal/obs ./internal/engine ./internal/catalog ./internal/snapshot \
 		./internal/trace ./internal/loadgen ./internal/router ./internal/mutate \
-		./cmd/ssspd ./cmd/ssspr .
+		./internal/costmodel ./cmd/ssspd ./cmd/ssspr .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -77,6 +77,16 @@ bench-mutate:
 	BENCH_MUTATE_OUT=$(CURDIR)/BENCH_mutate.json \
 		$(GO) test -run TestWriteMutateBenchJSON -count=1 -v ./internal/mutate
 
+# Cost-model selection benchmark: the stress generator sweep solved by
+# every applicable solver, a model fitted from those trace samples, and
+# static-policy vs model-driven solver choices priced against the shared
+# per-family median table, written to BENCH_costmodel.json. FAILS if the
+# model's mean chosen-solver latency is worse than the static policy's, or
+# if its choice is >5% slower on any single family.
+bench-costmodel:
+	BENCH_COSTMODEL_OUT=$(CURDIR)/BENCH_costmodel.json \
+		$(GO) test -run TestWriteCostModelBenchJSON -count=1 -v ./cmd/ssspd
+
 # Shrunk always-on slice of bench-serve: every committed workload spec
 # parses, matches the bench catalog, and passes its SLO at smoke size.
 bench-serve-smoke:
@@ -93,7 +103,7 @@ check:
 	$(GO) test -race ./internal/core/... ./internal/engine/... \
 		./internal/catalog/... ./internal/snapshot/... ./internal/trace/... \
 		./internal/loadgen/... ./internal/router/... ./internal/mutate/... \
-		./cmd/ssspd/... ./cmd/ssspr/...
+		./internal/costmodel/... ./cmd/ssspd/... ./cmd/ssspr/...
 	$(MAKE) bench-serve-smoke
 	$(MAKE) stress
 
@@ -121,6 +131,7 @@ fuzz:
 	$(GO) test -fuzz FuzzWorkloadSpec -fuzztime 10s ./internal/loadgen
 	$(GO) test -fuzz FuzzMutateRequest -fuzztime 10s ./internal/mutate
 	$(GO) test -fuzz FuzzRoutingTable -fuzztime 10s ./internal/router
+	$(GO) test -fuzz FuzzCoefficientsFile -fuzztime 10s ./internal/costmodel
 	$(GO) test -fuzz FuzzThorupVsDijkstra -fuzztime 10s ./internal/core
 	$(GO) test -fuzz FuzzDeltaStepVsDijkstra -fuzztime 10s ./internal/core
 	$(GO) test -fuzz FuzzMLBVsDijkstra -fuzztime 10s ./internal/core

@@ -1,0 +1,349 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/ch"
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/loadgen"
+	"repro/internal/trace"
+)
+
+// writeModelFile seals a hand-written coefficient set (µs per feature unit,
+// feature order costmodel.FeatureNames) into a loadable coefficients file.
+func writeModelFile(t *testing.T, coef map[string][]float64) string {
+	t.Helper()
+	f := &costmodel.File{
+		Version:        costmodel.FileVersion,
+		Features:       append([]string(nil), costmodel.FeatureNames...),
+		DatasetVersion: costmodel.DatasetVersion,
+		TrainedAt:      "2026-08-07T00:00:00Z",
+		Solvers:        make(map[string]costmodel.SolverCoef),
+	}
+	for name, c := range coef {
+		f.Solvers[name] = costmodel.SolverCoef{Coef: c, Samples: 100}
+		f.TotalSamples += 100
+	}
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Every executed solve — and nothing else — becomes a training sample:
+// cache hits contribute nothing, multi-source queries carry their source
+// count, and the export round-trips through the same reader cmd/costfit
+// uses.
+func TestCostModelDatasetCollection(t *testing.T) {
+	g, h := testGraph()
+	srv := newServer(g, h, "test-instance", catalog.Source{}, serverOptions{
+		workers: 4, maxInflight: 64, timeout: 30 * time.Second,
+		engine: engine.Config{CacheEntries: 64, CacheBytes: 8 << 20},
+		trace:  trace.Config{SampleN: 1, RingSize: 64},
+	})
+	t.Cleanup(srv.cat.Close)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+
+	var resp map[string]any
+	if code := getJSON(t, ts.URL+"/sssp?src=1", &resp); code != 200 {
+		t.Fatalf("sssp: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/sssp?src=1", &resp); code != 200 { // cache hit
+		t.Fatalf("sssp repeat: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/sssp?src=2", &resp); code != 200 {
+		t.Fatalf("sssp 2: %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/batch", `{"queries":[{"srcs":[3,4]}]}`, &resp); code != 200 {
+		t.Fatalf("batch: %d", code)
+	}
+
+	hr, err := http.Get(ts.URL + "/debug/costmodel/dataset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if got := hr.Header.Get("X-Dataset-Version"); got != "1" {
+		t.Fatalf("X-Dataset-Version = %q", got)
+	}
+	raw, err := io.ReadAll(hr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := costmodel.ReadSamples(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("dataset does not round-trip through costfit's reader: %v\n%s", err, raw)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("%d samples for 3 executed solves (cache hit must not count):\n%s", len(samples), raw)
+	}
+	for i, s := range samples {
+		if s.Graph != "test-instance" || s.Gen != 1 {
+			t.Fatalf("sample %d graph/gen: %+v", i, s)
+		}
+		if s.N != g.NumVertices() || s.M != g.NumEdges() || s.MaxWeight != g.MaxWeight() {
+			t.Fatalf("sample %d features: %+v", i, s)
+		}
+		if s.Solver == "" || s.DurUS < 0 {
+			t.Fatalf("sample %d label: %+v", i, s)
+		}
+	}
+	// Oldest first: the two single-source solves, then the 2-source batch item.
+	if samples[0].Sources != 1 || samples[1].Sources != 1 || samples[2].Sources != 2 {
+		t.Fatalf("source counts: %+v", samples)
+	}
+
+	var metrics map[string]any
+	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	cm, ok := metrics["costmodel"].(map[string]any)
+	if !ok {
+		t.Fatalf("no costmodel metrics section: %v", metrics)
+	}
+	if held := cm["samples_held"].(float64); held != 3 {
+		t.Fatalf("samples_held = %v, want 3", held)
+	}
+	if cm["enabled"].(bool) {
+		t.Fatal("no model loaded, but costmodel reports enabled")
+	}
+}
+
+// Hot reload: coefficients swap in without a restart and change live solver
+// selection; a corrupted file is refused with 400 and the previous model
+// keeps serving.
+func TestCostModelReloadEndpoint(t *testing.T) {
+	ts, srv, _ := testServerOpts(t, 64, 30*time.Second)
+
+	// No -cost-model flag and nothing loaded yet: nothing to reload from.
+	var errResp map[string]any
+	if code := postJSON(t, ts.URL+"/debug/costmodel/reload", `{}`, &errResp); code != 400 {
+		t.Fatalf("pathless reload: %d", code)
+	}
+
+	var before map[string]any
+	getJSON(t, ts.URL+"/sssp?src=1", &before)
+	if before["solver"] == "dijkstra" {
+		t.Fatalf("static policy already picks dijkstra; test needs a contrast")
+	}
+
+	// A model that knows only dijkstra makes the argmin pick it everywhere.
+	path := writeModelFile(t, map[string][]float64{
+		"dijkstra": {100, 0, 0, 0, 0, 0.001, 0},
+	})
+	var ok map[string]any
+	if code := postJSON(t, ts.URL+"/debug/costmodel/reload", `{"path":"`+path+`"}`, &ok); code != 200 {
+		t.Fatalf("reload: %d %v", code, ok)
+	}
+	if ok["status"] != "reloaded" {
+		t.Fatalf("reload response: %v", ok)
+	}
+	var after map[string]any
+	getJSON(t, ts.URL+"/sssp?src=2", &after)
+	if after["solver"] != "dijkstra" {
+		t.Fatalf("post-reload solver = %v, want dijkstra", after["solver"])
+	}
+
+	// Corrupt the file in place: the reload is refused, the old model serves.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, ts.URL+"/debug/costmodel/reload", `{}`, &errResp); code != 400 {
+		t.Fatalf("corrupt reload: %d (%v)", code, errResp)
+	}
+	var still map[string]any
+	getJSON(t, ts.URL+"/sssp?src=3", &still)
+	if still["solver"] != "dijkstra" {
+		t.Fatalf("solver after failed reload = %v, want dijkstra (old model)", still["solver"])
+	}
+	ctrs := srv.costProv.Counters().Snapshot()
+	if ctrs[costmodel.CtrReloads] != 1 || ctrs[costmodel.CtrReloadFailures] != 1 {
+		t.Fatalf("reload counters: %v", ctrs)
+	}
+
+	var metrics map[string]any
+	getJSON(t, ts.URL+"/metrics", &metrics)
+	cm := metrics["costmodel"].(map[string]any)
+	if !cm["enabled"].(bool) || cm["path"] != path {
+		t.Fatalf("costmodel metrics after reload: %v", cm)
+	}
+}
+
+// Predictive admission rejects with 503 + Retry-After BEFORE the query
+// reaches a worker: on a fresh daemon the rejection happens with zero
+// executed solves (the predictions counter only moves when a solve runs).
+func TestPredictiveAdmission503BeforeWorker(t *testing.T) {
+	// Prediction: 1ms + 61ms per source. Limit: 200ms × 0.8 = 160ms. One
+	// source (62ms) clears it; eight sources (489ms) must be shed.
+	path := writeModelFile(t, map[string][]float64{
+		"dijkstra": {1000, 0, 0, 0, 61000, 0, 0},
+		"delta":    {1000, 0, 0, 0, 61000, 0, 0},
+		"thorup":   {1000, 0, 0, 0, 61000, 0, 0},
+	})
+	g, h := testGraph()
+	srv := newServer(g, h, "test-instance", catalog.Source{}, serverOptions{
+		workers: 4, maxInflight: 64, timeout: 200 * time.Millisecond,
+		engine:    engine.Config{CacheEntries: 64, CacheBytes: 8 << 20},
+		costModel: path, admitHead: 0.8,
+	})
+	t.Cleanup(srv.cat.Close)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`{"queries":[{"srcs":[1,2,3,4,5,6,7,8]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("over-limit batch: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatal("predictive rejection carries no Retry-After")
+	}
+	if !strings.Contains(string(body), "predicted cost") {
+		t.Fatalf("rejection body: %s", body)
+	}
+	ctrs := srv.costProv.Counters().Snapshot()
+	if ctrs[costmodel.CtrAdmissionRejected] != 1 {
+		t.Fatalf("admission_rejected_predicted = %d, want 1", ctrs[costmodel.CtrAdmissionRejected])
+	}
+	if ctrs[costmodel.CtrPredictions] != 0 {
+		t.Fatalf("predictions = %d, want 0: the rejected query must never reach a solver",
+			ctrs[costmodel.CtrPredictions])
+	}
+
+	// Under the limit: admitted and answered.
+	var okResp map[string]any
+	if code := getJSON(t, ts.URL+"/sssp?src=1", &okResp); code != 200 {
+		t.Fatalf("single-source query: %d %v", code, okResp)
+	}
+	ctrs = srv.costProv.Counters().Snapshot()
+	if ctrs[costmodel.CtrPredictions] != 1 || ctrs[costmodel.CtrAdmissionRejected] != 1 {
+		t.Fatalf("post-admit counters: %v", ctrs)
+	}
+
+	// The capacity-style admission gate is per-predicted-cost, not a
+	// semaphore event: the endpoint shed counter (admission-limit 503s)
+	// stays untouched.
+	var metrics map[string]any
+	getJSON(t, ts.URL+"/metrics", &metrics)
+	batchEp := metrics["endpoints"].(map[string]any)["batch"].(map[string]any)
+	if shed, present := batchEp["shed"]; present && shed.(float64) != 0 {
+		t.Fatalf("endpoint shed = %v, want 0 (predictive rejections are counted separately)", shed)
+	}
+}
+
+// Predictive admission under a real workload: with a model that prices the
+// larger graph over the limit and the smaller one under it, a loadgen run
+// across both sees every large-graph request shed as 503 + Retry-After and
+// every small-graph request answered, with the daemon's
+// admission_rejected_predicted counter matching the client's observed
+// shed count exactly.
+func TestPredictiveAdmissionUnderLoad(t *testing.T) {
+	// Cost = 400µs·n: wl-a (n=512) → 204.8ms over the 180ms limit,
+	// wl-b (n=384) → 153.6ms under it.
+	path := writeModelFile(t, map[string][]float64{
+		"dijkstra": {0, 400, 0, 0, 0, 0, 0},
+		"delta":    {0, 400, 0, 0, 0, 0, 0},
+		"thorup":   {0, 400, 0, 0, 0, 0, 0},
+	})
+	graphs := serveWorkloadGraphs()
+	ga := graphs["wl-a"]
+	srv := newServer(ga, ch.BuildKruskal(ga), "wl-a", catalog.Source{}, serverOptions{
+		workers: 4, maxInflight: 256, timeout: 200 * time.Millisecond,
+		engine:    engine.Config{CacheEntries: 64, CacheBytes: 8 << 20},
+		costModel: path, admitHead: 0.9,
+	})
+	gb := graphs["wl-b"]
+	if _, err := srv.cat.AddPrebuilt("wl-b", catalog.Source{}, gb, ch.BuildKruskal(gb), nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	old := log.Writer()
+	log.SetOutput(io.Discard)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.cat.Close()
+		log.SetOutput(old)
+	})
+
+	w := &loadgen.Workload{Spec: loadgen.Spec{
+		Name: "predictive", Version: 1, Seed: 17, Requests: 80,
+		Mode: loadgen.ModeClosed, Workers: 4, BatchSize: 3,
+		Graphs: []loadgen.GraphMix{
+			{Graph: "wl-a", N: 512, Weight: 1},
+			{Graph: "wl-b", N: 384, Weight: 1},
+		},
+		Endpoints: []loadgen.Weighted{
+			{Name: loadgen.EndpointSSSP, Weight: 2},
+			{Name: loadgen.EndpointDist, Weight: 1},
+			{Name: loadgen.EndpointBatch, Weight: 1},
+		},
+	}}
+	out, err := loadgen.Run(context.Background(), w, loadgen.Options{
+		BaseURL: ts.URL, Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.BuildReport(w, out)
+
+	var shedA, okB int
+	for i := range out.Results {
+		res := &out.Results[i]
+		req := &w.Requests[i]
+		switch req.Graph {
+		case "wl-a":
+			if res.Status != 503 {
+				t.Fatalf("request %d on wl-a: status %d, want 503 (predicted 204.8ms > 180ms limit)",
+					i, res.Status)
+			}
+			if !res.RetryAfter {
+				t.Fatalf("request %d: predictive shed without Retry-After", i)
+			}
+			shedA++
+		case "wl-b":
+			if res.Status != 200 {
+				t.Fatalf("request %d on wl-b: status %d err %q, want 200 (predicted 153.6ms < limit)",
+					i, res.Status, res.Err)
+			}
+			okB++
+		}
+	}
+	if shedA == 0 || okB == 0 {
+		t.Fatalf("workload split shedA=%d okB=%d, want both > 0", shedA, okB)
+	}
+	if rep.Shed != shedA {
+		t.Fatalf("report shed = %d, client counted %d", rep.Shed, shedA)
+	}
+	ctrs := srv.costProv.Counters().Snapshot()
+	if got := ctrs[costmodel.CtrAdmissionRejected]; got != int64(shedA) {
+		t.Fatalf("daemon admission_rejected_predicted = %d, client observed %d predictive 503s", got, shedA)
+	}
+}

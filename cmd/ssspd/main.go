@@ -26,8 +26,10 @@
 //	POST /graphs/unload            admin: drain a graph out of service
 //	POST /graphs/{name}/mutate     admin: apply a batch of edge mutations as a new generation
 //	GET  /stats                    instance, hierarchy, cache, and catalog statistics
-//	GET  /metrics                  per-endpoint + engine + catalog + tracing + runtime metrics
+//	GET  /metrics                  per-endpoint + engine + catalog + tracing + cost-model + runtime metrics
 //	GET  /debug/traces             retained request traces (span trees), filterable
+//	GET  /debug/costmodel/dataset  cost-model training samples (JSON lines, oldest first)
+//	POST /debug/costmodel/reload   admin: hot-reload the -cost-model coefficients file
 //	GET  /healthz                  liveness
 //
 // Graphs live in an internal/catalog: background workers build hierarchies
@@ -55,6 +57,17 @@
 // -trace-ring traces served by GET /debug/traces. Profiling via
 // net/http/pprof is opt-in on a separate -pprof-addr listener so a CPU
 // profile can never compete with query admission.
+//
+// A learned cost model (internal/costmodel) can replace the static solver
+// ladder: -cost-model points at a coefficients file fitted offline by
+// cmd/costfit from this daemon's own traces. Finished traces feed a bounded
+// ring of training samples (-cost-samples) exported as JSON lines from
+// GET /debug/costmodel/dataset; POST /debug/costmodel/reload swaps in new
+// coefficients without a restart, and a missing, corrupt, or stale file
+// degrades to the static policy rather than failing. With -admit-headroom
+// set, the model also gates admission: a query whose predicted cost exceeds
+// -timeout times the headroom factor is shed with 503 + Retry-After before
+// it ever occupies a worker.
 package main
 
 import (
@@ -76,6 +89,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/ch"
 	"repro/internal/cli"
+	"repro/internal/costmodel"
 	"repro/internal/dijkstra"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -109,6 +123,9 @@ func main() {
 		slowQuery    = flag.Duration("slow-query", 0, "log and always retain query traces at least this slow (0 disables the slow-query log)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty disables profiling)")
 		mutateThresh = flag.Float64("mutate-threshold", 0, "max fraction of vertices a mutation batch may touch and still repair the hierarchy incrementally; larger deltas rebuild in the background (0 = default 0.05, negative = always rebuild)")
+		costModel    = flag.String("cost-model", "", "learned cost-model coefficients file (cmd/costfit output) driving solver selection; empty, missing, or stale keeps the static policy")
+		admitHead    = flag.Float64("admit-headroom", 0, "predictive admission: shed queries whose model-predicted cost exceeds -timeout times this factor with 503 before they occupy a worker (0 disables)")
+		costSamples  = flag.Int("cost-samples", 4096, "cost-model training-sample ring capacity exported by /debug/costmodel/dataset")
 	)
 	flag.Parse()
 
@@ -154,6 +171,9 @@ func main() {
 		mapping:      mapping,
 		mutateThresh: *mutateThresh,
 		trace:        trace.Config{SampleN: *traceSample, RingSize: *traceRing, SlowQuery: *slowQuery},
+		costModel:    *costModel,
+		admitHead:    *admitHead,
+		costSamples:  *costSamples,
 	})
 	defer srv.cat.Close()
 
@@ -235,6 +255,13 @@ type serverOptions struct {
 	// /graphs/{name}/mutate (see catalog.Config.MutateThreshold).
 	mutateThresh float64
 	trace        trace.Config
+	// costModel is the coefficients file loaded at startup (empty or
+	// unloadable keeps the static policy); admitHead is the predictive
+	// admission headroom factor (0 disables); costSamples sizes the
+	// training-sample ring (<=0 = default 4096).
+	costModel   string
+	admitHead   float64
+	costSamples int
 }
 
 // servePprof serves net/http/pprof on its own listener, explicitly routed so
@@ -267,6 +294,14 @@ type server struct {
 	tracer  *trace.Tracer
 	sem     chan struct{} // admission: one token per in-flight query
 	timeout time.Duration
+
+	// costProv serves cost predictions to every generation's engine and is
+	// the hot-reload point for new coefficients; collector rings the training
+	// samples harvested from finished traces; admitHead > 0 turns on
+	// predictive admission against timeout*admitHead.
+	costProv  *costmodel.Provider
+	collector *costmodel.Collector
+	admitHead float64
 }
 
 func newServer(g *graph.Graph, h *ch.Hierarchy, name string, src catalog.Source, opts serverOptions) *server {
@@ -276,6 +311,20 @@ func newServer(g *graph.Graph, h *ch.Hierarchy, name string, src catalog.Source,
 	if opts.engine.BatchWorkers == 0 {
 		opts.engine.BatchWorkers = opts.workers
 	}
+	// The provider is installed in the engine template before the catalog is
+	// built so every generation — the startup graph and every later load,
+	// reload, and mutation — prices solvers through the same hot-reloadable
+	// model. An unloadable file is a warning, not a fatal: the provider stays
+	// empty and the static policy serves.
+	costProv := costmodel.NewProvider()
+	if opts.costModel != "" {
+		if err := costProv.LoadFile(opts.costModel); err != nil {
+			log.Printf("ssspd: cost model %s not loaded (static policy stays): %v", opts.costModel, err)
+		} else {
+			log.Printf("ssspd: cost model %s loaded (%d solvers)", opts.costModel, len(costProv.Model().Solvers()))
+		}
+	}
+	opts.engine.CostModel = costProv
 	cat := catalog.New(catalog.Config{
 		Workers:         opts.buildWorkers,
 		MemoryBudget:    opts.memBudget,
@@ -293,19 +342,43 @@ func newServer(g *graph.Graph, h *ch.Hierarchy, name string, src catalog.Source,
 	if _, err := cat.AddPrebuilt(name, src, g, h, opts.mapping); err != nil {
 		panic(err) // fresh catalog: the only failure is a duplicate name
 	}
+	if opts.costSamples <= 0 {
+		opts.costSamples = 4096
+	}
+	collector := costmodel.NewCollector(opts.costSamples)
 	tcfg := opts.trace
 	if tcfg.Logf == nil {
 		tcfg.Logf = func(format string, args ...any) { log.Printf("ssspd: "+format, args...) }
+	}
+	// Every finished trace — retained by the sampler or not — contributes its
+	// executed solves as training samples, joined with the serving
+	// generation's graph features at harvest time.
+	tcfg.OnFinish = func(tr *trace.Trace) {
+		for _, rec := range tr.SolveRecords() {
+			f, genNum, ok := cat.Features(rec.Graph)
+			if !ok {
+				continue // unloaded or mid-swap: no features to join against
+			}
+			collector.Add(costmodel.Sample{
+				Graph: rec.Graph, Gen: genNum, Solver: rec.Solver,
+				N: f.N, M: f.M, MaxWeight: f.MaxWeight,
+				Sources: rec.Sources, DurUS: rec.DurUS, Counters: rec.Counters,
+			})
+		}
 	}
 	return &server{
 		cat:          cat,
 		defaultGraph: name,
 		ecfg:         opts.engine,
 		metrics: obs.NewRegistry("healthz", "stats", "metrics", "sssp", "dist", "st", "table", "batch",
-			"graphs", "graphs_load", "graphs_reload", "graphs_unload", "graphs_mutate", "debug_traces"),
-		tracer:  trace.New(tcfg),
-		sem:     make(chan struct{}, opts.maxInflight),
-		timeout: opts.timeout,
+			"graphs", "graphs_load", "graphs_reload", "graphs_unload", "graphs_mutate", "debug_traces",
+			"costmodel_dataset", "costmodel_reload"),
+		tracer:    trace.New(tcfg),
+		sem:       make(chan struct{}, opts.maxInflight),
+		timeout:   opts.timeout,
+		costProv:  costProv,
+		collector: collector,
+		admitHead: opts.admitHead,
 	}
 }
 
@@ -327,6 +400,8 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("POST /graphs/unload", s.instrument("graphs_unload", false, s.handleGraphUnload))
 	m.HandleFunc("POST /graphs/{name}/mutate", s.instrument("graphs_mutate", false, s.handleGraphMutate))
 	m.HandleFunc("GET /debug/traces", s.instrument("debug_traces", false, s.handleDebugTraces))
+	m.HandleFunc("GET /debug/costmodel/dataset", s.instrument("costmodel_dataset", false, s.handleCostModelDataset))
+	m.HandleFunc("POST /debug/costmodel/reload", s.instrument("costmodel_reload", false, s.handleCostModelReload))
 	return m
 }
 
@@ -515,10 +590,50 @@ func runWithDeadline(w http.ResponseWriter, r *http.Request, release func(), fn 
 	}
 }
 
+// admitPredicted is the predictive half of admission control: before a query
+// occupies a worker goroutine, ask the cost model what it will cost. A
+// prediction over timeout*admitHead is a query that will blow its deadline
+// anyway — shed it now with 503 + Retry-After so the worker slot goes to a
+// query that can finish. Returns false (response written, generation
+// released) when the request was rejected. Advisory only: no model, no
+// prediction, or headroom disabled all admit, and a malformed request is
+// admitted so the engine surfaces its usual 400.
+func (s *server) admitPredicted(w http.ResponseWriter, r *http.Request, gen *catalog.Generation, release func(),
+	reqs ...engine.Request) bool {
+	if s.admitHead <= 0 || s.timeout <= 0 {
+		return true
+	}
+	limit := time.Duration(float64(s.timeout) * s.admitHead)
+	for _, req := range reqs {
+		name, cost, ok, err := gen.Engine.PredictCost(req)
+		if err != nil || !ok {
+			continue
+		}
+		if cost > limit {
+			s.costProv.CountAdmissionRejected()
+			sp := trace.FromContext(r.Context()).StartSpan("predictive_admission")
+			sp.SetAttr("solver", name)
+			sp.SetAttr("predicted_us", cost.Microseconds())
+			sp.SetAttr("rejected", true)
+			sp.End()
+			release()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, fmt.Sprintf(
+				"predicted cost %s exceeds admission limit %s (solver %s): retry later or narrow the query",
+				cost.Round(time.Microsecond), limit.Round(time.Microsecond), name))
+			return false
+		}
+	}
+	return true
+}
+
 // query runs one engine query on the acquired generation under the request's
 // deadline and shapes the response with fn.
 func (s *server) query(w http.ResponseWriter, r *http.Request, gen *catalog.Generation, release func(),
 	req engine.Request, fn func(res *engine.Result, via engine.Via) any) {
+	if !s.admitPredicted(w, r, gen, release, req) {
+		return
+	}
 	runWithDeadline(w, r, release, func() any {
 		res, via, err := gen.Engine.Query(r.Context(), req)
 		if err != nil {
@@ -563,6 +678,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"catalog":        s.cat.StatsSnapshot(),
 		"tracing":        s.tracer.StatsSnapshot(),
 		"runtime":        obs.ReadRuntimeStats(),
+		"costmodel":      s.costModelSnapshot(),
 	}
 	// Engine and Thorup sections come from the default graph's current
 	// generation; while it is unavailable (draining, reloading after a
@@ -586,6 +702,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		release()
 	}
 	writeJSON(w, doc)
+}
+
+// costModelSnapshot is the /metrics cost-model section: provider state
+// (model identity, prediction counters and error histograms) plus the
+// training-sample collector's fill level.
+func (s *server) costModelSnapshot() map[string]any {
+	doc := s.costProv.StatsSnapshot()
+	doc["admission_headroom"] = s.admitHead
+	doc["samples_held"] = s.collector.Len()
+	doc["samples_collected"] = s.collector.Total()
+	doc["dataset_version"] = costmodel.DatasetVersion
+	return doc
 }
 
 // handleDebugTraces serves the retained request traces, newest first.
@@ -616,6 +744,49 @@ func (s *server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 		"held":    s.tracer.Retained(),
 		"traces":  s.tracer.Traces(f),
 	})
+}
+
+// handleCostModelDataset streams the training-sample ring as JSON lines
+// (one costmodel.Sample per line, oldest first) — the dataset cmd/costfit
+// consumes. The ring keeps serving across reloads; the v field on each line
+// pins the dataset schema version.
+func (s *server) handleCostModelDataset(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Dataset-Version", strconv.Itoa(costmodel.DatasetVersion))
+	if _, err := s.collector.WriteJSONL(w); err != nil {
+		log.Printf("ssspd: dataset write: %v", err)
+	}
+}
+
+// costModelReloadRequest optionally overrides the file to load; the default
+// is the -cost-model path (or the last successfully loaded path).
+type costModelReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// handleCostModelReload re-reads the coefficients file and swaps it in
+// atomically. A file that fails validation (corrupt, checksum mismatch,
+// stale version) is a 400 and the previous model keeps serving.
+func (s *server) handleCostModelReload(w http.ResponseWriter, r *http.Request) {
+	var req costModelReloadRequest
+	if !decodeAdminBody(w, r, &req) {
+		return
+	}
+	path := req.Path
+	if path == "" {
+		path = s.costProv.Path()
+	}
+	if path == "" {
+		httpError(w, http.StatusBadRequest, "no cost-model path: pass {\"path\": ...} or start with -cost-model")
+		return
+	}
+	if err := s.costProv.LoadFile(path); err != nil {
+		httpError(w, http.StatusBadRequest, "cost model not reloaded (previous model keeps serving): "+err.Error())
+		return
+	}
+	m := s.costProv.Model()
+	log.Printf("ssspd: cost model reloaded from %s (%d solvers)", path, len(m.Solvers()))
+	writeJSON(w, map[string]any{"status": "reloaded", "path": path, "solvers": m.Solvers()})
 }
 
 func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
@@ -860,6 +1031,9 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	for i, src := range sources {
 		reqs[i] = engine.Request{Sources: []int32{src}, Solver: solverName}
 	}
+	if !s.admitPredicted(w, r, gen, release, reqs...) {
+		return
+	}
 	runWithDeadline(w, r, release, func() any {
 		results := gen.Engine.Batch(r.Context(), reqs)
 		out := make([][]int64, len(results))
@@ -926,6 +1100,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			name = breq.Solver
 		}
 		reqs[i] = engine.Request{Sources: srcs, Solver: name}
+	}
+	if !s.admitPredicted(w, r, gen, release, reqs...) {
+		return
 	}
 	// Every item inherits the request's trace ID: batch items are spans of
 	// the parent trace, not traces of their own, so one slow item is found

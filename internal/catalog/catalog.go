@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ch"
 	"repro/internal/cli"
+	"repro/internal/costmodel"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mutate"
@@ -459,6 +460,27 @@ func (c *Catalog) AcquireTraced(ctx context.Context, name string) (*Generation, 
 	return gen, release, err
 }
 
+// Features returns the cost-model feature description of a graph's current
+// serving generation (its vertex/edge counts and weight class, plus the
+// generation number so dataset rows can be tied to the exact graph version
+// they were measured on). ok is false when the graph is unknown or not
+// ready. It reads under the catalog lock without acquiring a reference —
+// callers want O(1) metadata, not a pinned generation.
+func (c *Catalog) Features(name string) (costmodel.Features, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok || e.state != StateReady || e.gen == nil {
+		return costmodel.Features{}, 0, false
+	}
+	g := e.gen.G
+	return costmodel.Features{
+		N:         g.NumVertices(),
+		M:         g.NumEdges(),
+		MaxWeight: g.MaxWeight(),
+	}, e.gen.Gen, true
+}
+
 // runJob executes one background build: load the source, build the
 // hierarchy if the source did not carry one, construct and warm a fresh
 // engine, then swap it in. Initial loads walk the entry through
@@ -582,6 +604,7 @@ func (c *Catalog) failJob(name string, err error) {
 func (c *Catalog) newEngine(name string, gen uint64, g *graph.Graph, h *ch.Hierarchy) *engine.Engine {
 	ecfg := c.cfg.Engine
 	ecfg.KeyPrefix = fmt.Sprintf("%s@%d|", name, gen)
+	ecfg.Graph = name
 	in := solver.NewInstanceWithHierarchy(g, par.NewExec(c.cfg.QueryWorkers), h)
 	return engine.New(in, ecfg)
 }

@@ -1,0 +1,44 @@
+package catalog
+
+import (
+	"testing"
+)
+
+// Features must expose the serving generation's cost-model features without
+// pinning a reference, and report ok=false for unknown or not-ready graphs.
+func TestFeatures(t *testing.T) {
+	c := testCatalog(t, Config{})
+	if _, _, ok := c.Features("missing"); ok {
+		t.Fatal("unknown graph reported features")
+	}
+	if err := c.Load("g", Source{Loader: loaderFor(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	f, genNum, ok := c.Features("g")
+	if !ok {
+		t.Fatal("ready graph reported no features")
+	}
+	if f.N != 400 || f.M != 1600 || f.MaxWeight == 0 || genNum != 1 {
+		t.Fatalf("features = %+v gen=%d", f, genNum)
+	}
+	if f.Sources != 0 {
+		t.Fatal("graph-level features must leave Sources unset")
+	}
+	// A reload bumps the generation the features are tied to.
+	if _, err := c.Reload("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady("g", waitFor); err != nil {
+		t.Fatal(err)
+	}
+	if _, genNum, ok := c.Features("g"); !ok || genNum != 2 {
+		t.Fatalf("post-reload gen = %d ok=%v, want 2", genNum, ok)
+	}
+	c.Unload("g")
+	if _, _, ok := c.Features("g"); ok {
+		t.Fatal("unloaded graph reported features")
+	}
+}

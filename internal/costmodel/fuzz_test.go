@@ -1,0 +1,55 @@
+package costmodel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzCoefficientsFile asserts the coefficients-file contract: anything
+// Parse accepts must (a) pass Validate, (b) re-encode deterministically,
+// and (c) round-trip through Encode→Parse to an identical file. Everything
+// else must be rejected without panicking — this is the artifact operators
+// hand-copy between machines, so a truncated or bit-rotted file has to
+// fail loudly at load time, never at query time.
+func FuzzCoefficientsFile(f *testing.F) {
+	seed := &File{
+		Version:        FileVersion,
+		Features:       append([]string(nil), FeatureNames...),
+		DatasetVersion: DatasetVersion,
+		TrainedAt:      "2026-08-07T00:00:00Z",
+		TotalSamples:   16,
+		Solvers: map[string]SolverCoef{
+			"dijkstra": {Coef: []float64{100, 0, 0, 0.08, 0, 0.01, 0}, Samples: 8},
+			"thorup":   {Coef: []float64{5000, 0.1, 0.05, 0, 0, 0, 0}, Samples: 8},
+		},
+	}
+	data, err := seed.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"features":[],"dataset_version":1,"total_samples":0,"solvers":{},"checksum":"crc64:0000000000000000"}`))
+	f.Add(data[:len(data)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if err := parsed.Validate(); err != nil {
+			t.Fatalf("Parse accepted a file Validate rejects: %v", err)
+		}
+		enc, err := parsed.Encode()
+		if err != nil {
+			t.Fatalf("accepted file failed to re-encode: %v", err)
+		}
+		again, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-encoded file failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(parsed, again) {
+			t.Fatalf("round trip not identical:\n%+v\n%+v", parsed, again)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package costmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+	"sort"
+	"time"
+)
+
+// SolverCoef holds one solver's fitted coefficients over FeatureNames, in
+// microseconds per feature unit.
+type SolverCoef struct {
+	// Coef is the coefficient vector, aligned with the file's Features list.
+	Coef []float64 `json:"coef"`
+	// Samples is how many training samples backed this solver's fit.
+	Samples int `json:"samples"`
+}
+
+// File is the on-disk coefficients artifact written by cmd/costfit and
+// loaded by ssspd (-cost-model, POST /debug/costmodel/reload). It is
+// versioned and checksummed so a truncated, hand-edited, or
+// schema-drifted file is refused instead of silently mispricing queries.
+type File struct {
+	Version        int                   `json:"version"`
+	Features       []string              `json:"features"`
+	DatasetVersion int                   `json:"dataset_version"`
+	TrainedAt      string                `json:"trained_at,omitempty"`
+	TotalSamples   int                   `json:"total_samples"`
+	Solvers        map[string]SolverCoef `json:"solvers"`
+	// Graphs holds per-graph multiplicative calibration: for a graph the
+	// training traces covered, Graphs[graph][solver] scales the solver's
+	// global prediction. The feature basis cannot see graph structure
+	// (degree skew, weight distribution shape), so per-solver cost varies
+	// severalfold between graphs with identical (n, m, C); a daemon serves
+	// long-lived named graphs, and calibrating each one's residual from its
+	// own traces removes exactly that error. Unknown graphs fall back to
+	// the uncalibrated global regression.
+	Graphs   map[string]map[string]float64 `json:"graphs,omitempty"`
+	Checksum string                        `json:"checksum"`
+}
+
+// checksum returns the canonical CRC-64/ECMA of the file with the Checksum
+// field emptied. encoding/json sorts map keys, so the encoding — and
+// therefore the digest — is deterministic.
+func (f *File) checksum() (string, error) {
+	cp := *f
+	cp.Checksum = ""
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("crc64:%016x", crc64.Checksum(b, crc64.MakeTable(crc64.ECMA))), nil
+}
+
+// Seal recomputes and stores the checksum. cmd/costfit calls it last
+// before writing.
+func (f *File) Seal() error {
+	sum, err := f.checksum()
+	if err != nil {
+		return err
+	}
+	f.Checksum = sum
+	return nil
+}
+
+// Encode seals the file and renders it as indented JSON with a trailing
+// newline.
+func (f *File) Encode() ([]byte, error) {
+	if err := f.Seal(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Validate checks everything about the file except the checksum: version,
+// feature schema, and coefficient-vector shape. A file that fails Validate
+// is "stale" in the sense of the design doc — it was written for a
+// different binary and must not be served from.
+func (f *File) Validate() error {
+	if f.Version != FileVersion {
+		return fmt.Errorf("costmodel: file version %d, this binary speaks %d (stale)", f.Version, FileVersion)
+	}
+	if len(f.Features) != NumFeatures {
+		return fmt.Errorf("costmodel: file has %d features, schema has %d (stale)", len(f.Features), NumFeatures)
+	}
+	for i, name := range f.Features {
+		if name != FeatureNames[i] {
+			return fmt.Errorf("costmodel: feature %d is %q, schema says %q (stale)", i, name, FeatureNames[i])
+		}
+	}
+	if f.DatasetVersion != DatasetVersion {
+		return fmt.Errorf("costmodel: dataset version %d, this binary speaks %d (stale)", f.DatasetVersion, DatasetVersion)
+	}
+	if len(f.Solvers) == 0 {
+		return fmt.Errorf("costmodel: file has no solvers")
+	}
+	for name, sc := range f.Solvers {
+		if name == "" {
+			return fmt.Errorf("costmodel: empty solver name")
+		}
+		if len(sc.Coef) != NumFeatures {
+			return fmt.Errorf("costmodel: solver %q has %d coefficients, want %d", name, len(sc.Coef), NumFeatures)
+		}
+		for i, c := range sc.Coef {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("costmodel: solver %q coefficient %d is not finite", name, i)
+			}
+		}
+		if sc.Samples < 0 {
+			return fmt.Errorf("costmodel: solver %q has negative sample count", name)
+		}
+	}
+	for graph, factors := range f.Graphs {
+		if graph == "" {
+			return fmt.Errorf("costmodel: empty graph name in calibration map")
+		}
+		for solver, factor := range factors {
+			if _, ok := f.Solvers[solver]; !ok {
+				return fmt.Errorf("costmodel: graph %q calibrates unknown solver %q", graph, solver)
+			}
+			if math.IsNaN(factor) || math.IsInf(factor, 0) || factor <= 0 {
+				return fmt.Errorf("costmodel: graph %q solver %q calibration %v is not a positive finite factor", graph, solver, factor)
+			}
+		}
+	}
+	return nil
+}
+
+// Parse decodes, checksums, and validates a coefficients file. Unknown
+// fields, a bad digest, or any Validate failure is an error — the caller
+// keeps whatever model it had.
+func Parse(data []byte) (*File, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("costmodel: decode: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil {
+		return nil, fmt.Errorf("costmodel: trailing data after coefficients object")
+	}
+	if f.Checksum == "" {
+		return nil, fmt.Errorf("costmodel: missing checksum")
+	}
+	want, err := f.checksum()
+	if err != nil {
+		return nil, err
+	}
+	if f.Checksum != want {
+		return nil, fmt.Errorf("costmodel: checksum mismatch (file %s, computed %s)", f.Checksum, want)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// ReadFile loads and parses a coefficients file from disk.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Model is the immutable inference form of a parsed File: one dot product
+// per candidate solver. Build one with NewModel; share it freely.
+type Model struct {
+	file    *File
+	coef    map[string][NumFeatures]float64
+	nonZero map[string]bool
+	solvers []string // sorted, for stable iteration/reporting
+}
+
+// NewModel compiles a validated File into inference form.
+func NewModel(f *File) *Model {
+	m := &Model{
+		file:    f,
+		coef:    make(map[string][NumFeatures]float64, len(f.Solvers)),
+		nonZero: make(map[string]bool, len(f.Solvers)),
+	}
+	for name, sc := range f.Solvers {
+		var v [NumFeatures]float64
+		any := false
+		for i, c := range sc.Coef {
+			v[i] = c
+			if c != 0 {
+				any = true
+			}
+		}
+		m.coef[name] = v
+		m.nonZero[name] = any
+		m.solvers = append(m.solvers, name)
+	}
+	sort.Strings(m.solvers)
+	return m
+}
+
+// File returns the artifact this model was compiled from.
+func (m *Model) File() *File { return m.file }
+
+// Solvers returns the solver names the model has coefficients for, sorted.
+func (m *Model) Solvers() []string { return m.solvers }
+
+// Predict returns the predicted solve duration for running solver name on
+// an instance with the given features. ok is false when the model has no
+// coefficients for that solver, or only zero coefficients — the caller
+// must fall back to the static policy rather than trust a zero prediction.
+// Negative predictions (possible at the edge of the training distribution)
+// are clamped to zero.
+func (m *Model) Predict(name string, f Features) (time.Duration, bool) {
+	return m.PredictFor("", name, f)
+}
+
+// PredictFor is Predict with the file's per-graph calibration applied when
+// the training traces covered graph (File.Graphs). An empty or unknown
+// graph yields the uncalibrated global prediction.
+func (m *Model) PredictFor(graph, name string, f Features) (time.Duration, bool) {
+	coef, present := m.coef[name]
+	if !present || !m.nonZero[name] {
+		return 0, false
+	}
+	x := f.Vector()
+	var us float64
+	for i := range x {
+		us += coef[i] * x[i]
+	}
+	if us < 0 {
+		us = 0
+	}
+	if factor, ok := m.file.Graphs[graph][name]; ok {
+		us *= factor
+	}
+	return time.Duration(us * float64(time.Microsecond)), true
+}

@@ -7,8 +7,10 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/deltastep"
 	"repro/internal/dijkstra"
 	"repro/internal/graph"
@@ -46,6 +48,14 @@ type Config struct {
 	// to "name@gen|" so results can never alias across instances even if
 	// engines were ever to share storage.
 	KeyPrefix string
+	// CostModel supplies learned per-solver latency predictions for solver
+	// selection (predicted-cost argmin) and admission pricing. nil — or a
+	// provider with no model loaded — keeps the static policy.
+	CostModel *costmodel.Provider
+	// Graph is the name this instance is served under (the catalog's graph
+	// name). It keys the cost model's per-graph calibration; empty means
+	// uncalibrated global predictions.
+	Graph string
 }
 
 // Engine executes SSSP queries against one shared solver.Instance with
@@ -65,6 +75,9 @@ type Engine struct {
 
 	cache  *lru
 	flight flightGroup
+
+	cost     *costmodel.Provider // may be nil (static policy only)
+	baseFeat costmodel.Features  // graph-level features; Sources set per query
 
 	counters   *obs.Group
 	solverRuns map[string]*obs.Counter
@@ -104,6 +117,12 @@ func New(in *solver.Instance, cfg Config) *Engine {
 		counters: obs.NewGroup(cSolves, cDedupHits, cCacheHits, cCacheMisses,
 			cCacheEvictions, cBatchRequests, cBatchItems, cFullJSONBuilt, cFullBytesFromCache),
 		solverRuns: make(map[string]*obs.Counter, len(solvers)),
+		cost:       cfg.CostModel,
+		baseFeat: costmodel.Features{
+			N:         in.G.NumVertices(),
+			M:         in.G.NumEdges(),
+			MaxWeight: in.G.MaxWeight(),
+		},
 	}
 	if bfs, ok := e.byName("bfs"); ok {
 		e.unitW = bfs.Applicable(in.G)
@@ -241,7 +260,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, Via, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, ViaSolve, err
 	}
-	name, srcs, key, err := e.plan(req)
+	name, srcs, key, err := e.plan(req, true)
 	if err != nil {
 		return nil, ViaSolve, err
 	}
@@ -281,7 +300,9 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Result, Via, error) {
 // plan validates the request, canonicalizes the source set (sorted, deduped
 // — multi-source distances are order-independent, so equivalent requests
 // share one cache key), resolves the solver by policy, and builds the key.
-func (e *Engine) plan(req Request) (name string, srcs []int32, key string, err error) {
+// record is forwarded to pickSolver: true for real selections, false for
+// advisory ones (PredictCost).
+func (e *Engine) plan(req Request, record bool) (name string, srcs []int32, key string, err error) {
 	n := e.in.G.NumVertices()
 	if len(req.Sources) == 0 {
 		return "", nil, "", fmt.Errorf("%w: no source vertices", ErrBadQuery)
@@ -302,7 +323,7 @@ func (e *Engine) plan(req Request) (name string, srcs []int32, key string, err e
 	}
 	srcs = srcs[:w]
 
-	name, err = e.pickSolver(req.Solver, srcs)
+	name, err = e.pickSolver(req.Solver, srcs, record)
 	if err != nil {
 		return "", nil, "", err
 	}
@@ -315,6 +336,30 @@ func (e *Engine) plan(req Request) (name string, srcs []int32, key string, err e
 		kb = strconv.AppendInt(kb, int64(s), 10)
 	}
 	return name, srcs, string(kb), nil
+}
+
+// features projects the engine's graph plus a source-set size onto the cost
+// model's feature space.
+func (e *Engine) features(sources int) costmodel.Features {
+	f := e.baseFeat
+	f.Sources = sources
+	return f
+}
+
+// PredictCost resolves the solver req would run under the current policy
+// and prices it with the loaded cost model, without executing anything and
+// without touching the selection counters — the serving layer calls it to
+// decide predictive admission before committing a worker. ok is false when
+// no model is loaded or it has no usable coefficients for the resolved
+// solver. err carries the same ErrBadQuery validation errors Query would
+// return, so callers can skip admission and let Query surface the 4xx.
+func (e *Engine) PredictCost(req Request) (solverName string, cost time.Duration, ok bool, err error) {
+	name, srcs, _, err := e.plan(req, false)
+	if err != nil {
+		return "", 0, false, err
+	}
+	d, ok := e.cost.PredictFor(e.cfg.Graph, name, e.features(len(srcs)))
+	return name, d, ok, nil
 }
 
 // solve runs the named solver on the canonical source set with pooled state,
@@ -331,6 +376,14 @@ func (e *Engine) solve(parent *trace.Span, name string, srcs []int32, key string
 	sp.SetAttr("solver", name)
 	sp.SetAttr("sources", len(srcs))
 	defer sp.End()
+	// Exactly one prediction-vs-actual observation per executed solve: cache
+	// hits and singleflight joiners never reach this function, so the drift
+	// histograms measure real model error, once per label.
+	if pred, havePred := e.cost.PredictFor(e.cfg.Graph, name, e.features(len(srcs))); havePred {
+		sp.SetAttr("predicted_us", pred.Microseconds())
+		start := time.Now()
+		defer func() { e.cost.ObservePrediction(pred, time.Since(start)) }()
+	}
 	var dist []int64
 	switch name {
 	case "thorup":

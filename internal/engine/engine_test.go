@@ -126,7 +126,7 @@ func TestPolicySelection(t *testing.T) {
 	e := New(weighted, Config{})
 	pick := func(e *Engine, name string, srcs []int32) string {
 		t.Helper()
-		got, err := e.pickSolver(name, srcs)
+		got, err := e.pickSolver(name, srcs, true)
 		if err != nil {
 			t.Fatalf("pickSolver(%q, %v): %v", name, srcs, err)
 		}

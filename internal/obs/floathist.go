@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// FloatHistogram is a fixed-bucket histogram over dimensionless float64
+// observations (ratios, relative errors) — the unit-free sibling of
+// Histogram. Observations are atomic; the sum uses a CAS loop over the
+// float's bit pattern.
+type FloatHistogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the last bucket is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewFloatHistogram creates a histogram over the given strictly ascending
+// bucket upper bounds.
+func NewFloatHistogram(bounds []float64) *FloatHistogram {
+	if len(bounds) == 0 {
+		panic("obs: float histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &FloatHistogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *FloatHistogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// FloatHistogramSnapshot is a point-in-time copy, shaped for JSON. Buckets
+// are cumulative: Buckets[i].Count is the number of observations <=
+// Buckets[i].LE.
+type FloatHistogramSnapshot struct {
+	Count   int64              `json:"count"`
+	Sum     float64            `json:"sum"`
+	Mean    float64            `json:"mean"`
+	Buckets []FloatBucketCount `json:"buckets"`
+}
+
+// FloatBucketCount is one cumulative bucket.
+type FloatBucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot copies the histogram; the same mild skew caveats as
+// Histogram.Snapshot apply.
+func (h *FloatHistogram) Snapshot() FloatHistogramSnapshot {
+	s := FloatHistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sum.Load()),
+		Buckets: make([]FloatBucketCount, len(h.bounds)),
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = FloatBucketCount{LE: b, Count: cum}
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"testing"
+)
+
+// SolveRecords must extract exactly the executed solves: solver, source
+// count, duration, and integer phase counters — skipping non-solve spans,
+// non-integer attrs, and the model's own predicted_us annotation.
+func TestSolveRecords(t *testing.T) {
+	tr := newTrace("t1", "sssp", false)
+	tr.SetGraph("road")
+
+	lk := tr.StartSpan("cache_lookup")
+	lk.SetAttr("hit", false)
+	lk.End()
+
+	sp := tr.StartSpan("solve")
+	sp.SetAttr("solver", "thorup")
+	sp.SetAttr("sources", 3)
+	sp.SetAttr("visits", int64(12345))
+	sp.SetAttr("relaxations", 678)
+	sp.SetAttr("predicted_us", int64(999)) // model output, not a feature
+	sp.SetAttr("note", "not a counter")
+	sp.End()
+
+	sp2 := tr.StartSpan("solve")
+	sp2.SetAttr("solver", "dijkstra")
+	sp2.SetAttr("sources", 1)
+	sp2.End()
+
+	// A solve span with no solver attr (malformed) is dropped.
+	sp3 := tr.StartSpan("solve")
+	sp3.End()
+
+	tr.finish(200)
+	recs := tr.SolveRecords()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Graph != "road" || r.Solver != "thorup" || r.Sources != 3 {
+		t.Fatalf("record 0: %+v", r)
+	}
+	if r.Counters["visits"] != 12345 || r.Counters["relaxations"] != 678 {
+		t.Fatalf("counters: %+v", r.Counters)
+	}
+	if _, ok := r.Counters["predicted_us"]; ok {
+		t.Fatal("predicted_us leaked into counters")
+	}
+	if _, ok := r.Counters["note"]; ok {
+		t.Fatal("string attr leaked into counters")
+	}
+	if recs[1].Solver != "dijkstra" || recs[1].Sources != 1 || recs[1].Counters != nil {
+		t.Fatalf("record 1: %+v", recs[1])
+	}
+
+	var nilTrace *Trace
+	if nilTrace.SolveRecords() != nil {
+		t.Fatal("nil trace should yield nil records")
+	}
+}
+
+// The OnFinish hook fires exactly once per finished trace, retained or not.
+func TestTracerOnFinish(t *testing.T) {
+	var got []*Trace
+	tc := New(Config{SampleN: 1000, OnFinish: func(tr *Trace) { got = append(got, tr) }})
+	for i := 0; i < 3; i++ {
+		tr := tc.StartRequest("", "sssp")
+		sp := tr.StartSpan("solve")
+		sp.SetAttr("solver", "delta")
+		sp.SetAttr("sources", 1)
+		sp.End()
+		tc.Finish(tr, 200)
+		tc.Finish(tr, 200) // idempotent: must not re-fire
+	}
+	if len(got) != 3 {
+		t.Fatalf("OnFinish fired %d times, want 3", len(got))
+	}
+	// SampleN=1000 retained (almost) nothing, but the hook still saw solves.
+	if recs := got[1].SolveRecords(); len(recs) != 1 || recs[0].Solver != "delta" {
+		t.Fatalf("records via hook: %+v", recs)
+	}
+}
